@@ -1,0 +1,642 @@
+package repro
+
+// One benchmark group per experiment/figure of the reproduction (see
+// DESIGN.md §2). `go test -bench=. -benchmem` regenerates every series;
+// cmd/mrombench prints the same data as formatted tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/persist"
+	"repro/internal/security"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// ---- E1 / Figure 1: meta-invocation levels ----
+
+func BenchmarkFig1_InvocationLevels(b *testing.B) {
+	caller := experiments.Stranger()
+	arg := value.NewInt(7)
+	for levels := 0; levels <= 3; levels++ {
+		b.Run(fmt.Sprintf("levels=%d", levels), func(b *testing.B) {
+			obj := experiments.BenchObject(4, 4)
+			if err := experiments.AddInvokeLevels(obj, levels); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E2 / Figure 2: HADAS topology, relayed invocation ----
+
+func BenchmarkFig2_Topology(b *testing.B) {
+	host, origin, cleanup, err := experiments.TwoSites()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	if _, err := host.Import("bench-origin", "payroll"); err != nil {
+		b.Fatal(err)
+	}
+	amb, err := host.ResolveObject("payroll@bench-origin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	apo, err := origin.APO("payroll")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := security.Principal{Object: host.Generator().New(), Domain: host.Domain()}
+	who := value.NewString("alice")
+
+	b.Run("direct-apo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := apo.Invoke(client, "salaryOf", who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("relayed-ambassador", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := amb.Invoke(client, "salaryOf", who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E3: invocation cost vs baselines ----
+
+func BenchmarkE3_DirectGoCall(b *testing.B) {
+	fn := func(a []value.Value) value.Value { return a[0] }
+	args := []value.Value{value.NewInt(1)}
+	for i := 0; i < b.N; i++ {
+		_ = fn(args)
+	}
+}
+
+func BenchmarkE3_MapDispatch(b *testing.B) {
+	md := experiments.NewMapDispatch()
+	args := []value.Value{value.NewInt(1)}
+	for i := 0; i < b.N; i++ {
+		_ = md.Call("work", args)
+	}
+}
+
+func BenchmarkE3_MROMFixedMethod(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "work", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_MROMExtensibleMethod(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "workExt", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_MROMSelfInvocation(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.InvokeSelf("work", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_MROMInvokeMetaMethod(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	caller := experiments.Stranger()
+	name := value.NewString("work")
+	args := value.NewListOf(value.NewInt(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "invoke", name, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_MROMScriptMethod(b *testing.B) {
+	gen := experiments.Gen
+	builder := core.NewBuilder(gen, "ScriptBench", core.WithPolicy(experiments.OpenPolicy()))
+	builder.FixedScriptMethod("work", `fn(x) { return x; }`)
+	obj := builder.MustBuild()
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "work", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: fixed offset vs lookup ----
+
+func BenchmarkE4_GoStructField(b *testing.B) {
+	gs := &experiments.GoStruct{F2: 3}
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += gs.F2
+	}
+	_ = sink
+}
+
+func BenchmarkE4_Get(b *testing.B) {
+	caller := experiments.Stranger()
+	for _, n := range []int{4, 64, 1024} {
+		obj := experiments.BenchObject(n, n)
+		fixedName := value.NewString(fmt.Sprintf("f%04d", n/2))
+		extName := value.NewString(fmt.Sprintf("e%04d", n/2))
+		b.Run(fmt.Sprintf("fixed-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "get", fixedName); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ext-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "get", extName); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4_Set(b *testing.B) {
+	obj := experiments.BenchObject(64, 64)
+	caller := experiments.Stranger()
+	name := value.NewString("e0001")
+	v := value.NewInt(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "set", name, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E5: ACL match cost ----
+
+func BenchmarkE5_ACLScan(b *testing.B) {
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	for _, n := range []int{0, 16, 256, 1024} {
+		obj := experiments.ACLObject(n, security.AllowObject(caller.Object))
+		b.Run(fmt.Sprintf("entries=%d", n+1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE5_PolicyDefault(b *testing.B) {
+	obj := experiments.BenchObject(1, 1)
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "work", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5_Denied(b *testing.B) {
+	obj := experiments.ACLObject(0, security.DenyAll())
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "work", arg); err == nil {
+			b.Fatal("denied call succeeded")
+		}
+	}
+}
+
+// ---- E6: wrapping ----
+
+func BenchmarkE6_Wrapping(b *testing.B) {
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	for _, cfg := range []struct {
+		name      string
+		pre, post bool
+	}{
+		{"bare", false, false},
+		{"pre", true, false},
+		{"post", false, true},
+		{"pre+post", true, true},
+	} {
+		obj := experiments.WrappedObject(cfg.pre, cfg.post)
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE6_ChargingMetaLevel(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": core.DescriptorToValue(core.BodyDescriptor{Kind: core.BodyNative, Name: "bench.pass"}),
+			"pre":  core.DescriptorToValue(core.BodyDescriptor{Kind: core.BodyNative, Name: "bench.true"}),
+		})); err != nil {
+		b.Fatal(err)
+	}
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Invoke(caller, "work", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: migration pipeline ----
+
+func BenchmarkE7_MigrationPipeline(b *testing.B) {
+	for _, size := range []struct{ items, scripts int }{
+		{8, 2}, {64, 4}, {512, 8},
+	} {
+		obj := experiments.MigrationObject(size.items, size.scripts, 8)
+		img, err := obj.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := wire.EncodeImage(img)
+		label := fmt.Sprintf("items=%d,scripts=%d", size.items, size.scripts)
+		b.Run("snapshot/"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("encode/"+label, func(b *testing.B) {
+			b.SetBytes(int64(len(enc)))
+			for i := 0; i < b.N; i++ {
+				_ = wire.EncodeImage(img)
+			}
+		})
+		b.Run("decode/"+label, func(b *testing.B) {
+			b.SetBytes(int64(len(enc)))
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeImage(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("materialize/"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.FromImage(img, nil, core.HostPolicy(experiments.OpenPolicy())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE7_FullImport(b *testing.B) {
+	host, _, cleanup, err := experiments.TwoSites()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := host.Import("bench-origin", "payroll"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E8: dynamic update availability (throughput while flipping) ----
+
+func BenchmarkE8_QueryDuringUpdates(b *testing.B) {
+	host, origin, cleanup, err := experiments.TwoSites()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	if _, err := host.Import("bench-origin", "payroll"); err != nil {
+		b.Fatal(err)
+	}
+	amb, err := host.ResolveObject("payroll@bench-origin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := security.Principal{Object: host.Generator().New(), Domain: host.Domain()}
+	who := value.NewString("alice")
+	maintenance := false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%100 == 99 {
+			// Flip maintenance mode every 100 queries.
+			b.StopTimer()
+			if maintenance {
+				if _, err := origin.UpdateAmbassadors("payroll", "deleteMethod",
+					value.NewString("invoke")); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := origin.UpdateAmbassadors("payroll", "setMethod",
+					value.NewString("invoke"),
+					value.NewMap(map[string]value.Value{
+						"body": value.NewString(`fn(name, callArgs) {
+							if name == "deleteMethod" || name == "setMethod" {
+								return self.invokeNext(name, callArgs);
+							}
+							return "maintenance";
+						}`),
+					})); err != nil {
+					b.Fatal(err)
+				}
+			}
+			maintenance = !maintenance
+			b.StartTimer()
+		}
+		if _, err := amb.Invoke(client, "salaryOf", who); err != nil {
+			b.Fatal(err) // hard failures must never happen
+		}
+	}
+}
+
+// ---- E9: coercion ----
+
+func BenchmarkE9_Coercion(b *testing.B) {
+	cases := []struct {
+		name string
+		in   value.Value
+		to   value.Kind
+	}{
+		{"int-identity", value.NewInt(5), value.KindInt},
+		{"float-to-int", value.NewFloat(3.9), value.KindInt},
+		{"string-to-int", value.NewString("12345"), value.KindInt},
+		{"html-to-int", value.NewString("<td><b>Salary:</b> $12,500</td>"), value.KindInt},
+		{"int-to-string", value.NewInt(12345), value.KindString},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := value.Coerce(c.in, c.to); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E10: persistence ----
+
+func BenchmarkE10_Persistence(b *testing.B) {
+	for _, size := range []struct{ items, scripts int }{
+		{8, 2}, {64, 4}, {512, 8},
+	} {
+		obj := experiments.MigrationObject(size.items, size.scripts, 8)
+		store := persist.NewMemStore()
+		if err := persist.SaveObject(store, obj); err != nil {
+			b.Fatal(err)
+		}
+		slot := obj.ID().String()
+		label := fmt.Sprintf("items=%d,scripts=%d", size.items, size.scripts)
+		b.Run("save/"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := persist.SaveObject(store, obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("bootstrap/"+label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := persist.LoadObject(store, slot, nil,
+					core.HostPolicy(experiments.OpenPolicy())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Ablations: the design choices DESIGN.md calls out ----
+
+// Ablation: per-call cost of the Serialized() admission gate. Both
+// objects carry the identical script body; only the admission differs.
+func BenchmarkAblation_SerializedAdmission(b *testing.B) {
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	gen := experiments.Gen
+	build := func(serialized bool) *core.Object {
+		opts := []core.BuildOption{core.WithPolicy(experiments.OpenPolicy())}
+		if serialized {
+			opts = append(opts, core.Serialized())
+		}
+		sb := core.NewBuilder(gen, "AdmissionBench", opts...)
+		sb.FixedScriptMethod("work", `fn(x) { return x; }`)
+		return sb.MustBuild()
+	}
+	for _, cfg := range []struct {
+		name       string
+		serialized bool
+	}{{"plain", false}, {"serialized", true}} {
+		obj := build(cfg.serialized)
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: atomic invocation (checkpoint + rollback machinery) vs plain,
+// by extensible-section size (the checkpoint copies it).
+func BenchmarkAblation_AtomicCheckpoint(b *testing.B) {
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	for _, n := range []int{4, 64, 512} {
+		obj := experiments.BenchObject(4, n)
+		b.Run(fmt.Sprintf("plain-ext=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("atomic-ext=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := obj.InvokeAtomic(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: denial paths — hidden item (encapsulation, reads as not
+// found) vs ACL deny vs policy deny.
+func BenchmarkAblation_DenialPaths(b *testing.B) {
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	gen := experiments.Gen
+
+	hb := core.NewBuilder(gen, "Hiding", core.WithPolicy(experiments.OpenPolicy()))
+	hb.FixedScriptMethod("covert", `fn() { return 1; }`, core.Hidden())
+	hidden := hb.MustBuild()
+	b.Run("hidden-not-found", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hidden.Invoke(caller, "covert", arg); err == nil {
+				b.Fatal("hidden invoked")
+			}
+		}
+	})
+
+	denied := experiments.ACLObject(0, security.DenyAll())
+	b.Run("acl-deny", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := denied.Invoke(caller, "work", arg); err == nil {
+				b.Fatal("denied invoked")
+			}
+		}
+	})
+
+	pb := core.NewBuilder(gen, "Closed", core.WithPolicy(security.NewPolicy()))
+	pb.FixedScriptMethod("work", `fn(x) { return x; }`)
+	policyDenied := pb.MustBuild()
+	b.Run("policy-deny", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := policyDenied.Invoke(caller, "work", arg); err == nil {
+				b.Fatal("policy-denied invoked")
+			}
+		}
+	})
+}
+
+// Ablation: the functionality split — relayed vs migrated method on the
+// same ambassador (the codesplit decision measured).
+func BenchmarkAblation_RelayVsMigrated(b *testing.B) {
+	host, origin, cleanup, err := experiments.TwoSites()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	if _, err := host.Import("bench-origin", "payroll"); err != nil {
+		b.Fatal(err)
+	}
+	amb, err := host.ResolveObject("payroll@bench-origin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := security.Principal{Object: host.Generator().New(), Domain: host.Domain()}
+	who := value.NewString("alice")
+
+	b.Run("relayed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := amb.Invoke(client, "salaryOf", who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Migrate data + method into the ambassador, then measure again.
+	apo, err := origin.APO("payroll")
+	if err != nil {
+		b.Fatal(err)
+	}
+	records, err := apo.Get(apo.Principal(), "records")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := origin.UpdateAmbassadors("payroll", "addDataItem",
+		value.NewString("records"), records); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := origin.UpdateAmbassadors("payroll", "setMethod",
+		value.NewString("salaryOf"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name) {
+				let recs = self.records;
+				if !has(recs, name) { return -1; }
+				return recs[name]["salary"];
+			}`),
+		})); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("migrated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := amb.Invoke(client, "salaryOf", who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E11: itinerant agent journey ----
+
+func BenchmarkE11_AgentHop(b *testing.B) {
+	// A single hop there-and-back between two sites, which is the unit the
+	// E11 table scales: ship the agent out, let onArrival bounce it home.
+	host, _, cleanup, err := experiments.TwoSites()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	builder := host.NewAPOBuilder("Bouncer")
+	builder.FixedScriptMethod("onArrival", `fn(hop) {
+		if hop["hostSite"] == "bench-host" { return "home"; }
+		return ctx.lookup("ioo").dispatchAgent(hop["agent"], "bench-host");
+	}`)
+	agent, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := host.AddAPO("bouncer", agent); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := host.DispatchAgent("bouncer", "bench-origin")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.String() != "home" {
+			b.Fatalf("journey = %v", v)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// hadasd runs a HADAS site daemon: it binds the site protocol endpoint,
+// optionally loads APOs and interoperability programs from a JSON
+// manifest, links to peers, and serves until interrupted.
+//
+// Usage:
+//
+//	hadasd -name tokyo -listen 127.0.0.1:7001 \
+//	       -manifest site.json -link 127.0.0.1:7002 -store /var/lib/hadas
+//
+// Manifest format (all sections optional):
+//
+//	{
+//	  "apos": [
+//	    {
+//	      "name": "payroll",
+//	      "class": "EmployeeDB",
+//	      "data":    {"records": {"alice": {"salary": 12500}}},
+//	      "extData": {"cache": {}},
+//	      "methods": {"query": "fn(name) { ... }"}
+//	    }
+//	  ],
+//	  "programs": {"totalPayroll": "fn(names) { ... }"}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/hadas"
+	"repro/internal/persist"
+	"repro/internal/value"
+)
+
+type manifest struct {
+	APOs []struct {
+		Name    string                     `json:"name"`
+		Class   string                     `json:"class"`
+		Data    map[string]json.RawMessage `json:"data"`
+		ExtData map[string]json.RawMessage `json:"extData"`
+		Methods map[string]string          `json:"methods"`
+	} `json:"apos"`
+	Programs map[string]string `json:"programs"`
+}
+
+type linkList []string
+
+func (l *linkList) String() string { return strings.Join(*l, ",") }
+func (l *linkList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.Ltime)
+	var (
+		name         = flag.String("name", "", "site name (required)")
+		domain       = flag.String("domain", "", "trust domain (defaults to the site name)")
+		listen       = flag.String("listen", "127.0.0.1:0", "protocol listen address")
+		manifestPath = flag.String("manifest", "", "JSON manifest of APOs and programs")
+		storeDir     = flag.String("store", "", "directory for persistent object slots")
+		links        linkList
+	)
+	flag.Var(&links, "link", "peer address to link to (repeatable)")
+	flag.Parse()
+
+	if err := run(*name, *domain, *listen, *manifestPath, *storeDir, links); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(name, domain, listen, manifestPath, storeDir string, links []string) error {
+	if name == "" {
+		return fmt.Errorf("hadasd: -name is required")
+	}
+	cfg := hadas.Config{
+		Name:   name,
+		Domain: domain,
+		Output: func(line string) { log.Printf("[%s] %s", name, line) },
+	}
+	if storeDir != "" {
+		store, err := persist.NewFileStore(storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+	}
+	site, err := hadas.NewSite(cfg)
+	if err != nil {
+		return err
+	}
+	defer site.Close()
+
+	addr, err := site.Serve(listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("site %s serving on %s (domain %s)", site.Name(), addr, site.Domain())
+
+	if manifestPath != "" {
+		if err := loadManifest(site, manifestPath); err != nil {
+			return err
+		}
+	}
+	for _, peer := range links {
+		peerName, err := site.Link(peer)
+		if err != nil {
+			return fmt.Errorf("link %s: %w", peer, err)
+		}
+		log.Printf("linked to %s at %s", peerName, peer)
+	}
+
+	if cfg.Store != nil {
+		if err := site.PersistAll(); err != nil {
+			return fmt.Errorf("initial persist: %w", err)
+		}
+		log.Printf("persisted Home to %s", storeDir)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if cfg.Store != nil {
+		if err := site.PersistAll(); err != nil {
+			log.Printf("final persist failed: %v", err)
+		}
+	}
+	return nil
+}
+
+func loadManifest(site *hadas.Site, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("manifest %s: %w", path, err)
+	}
+	for _, apo := range m.APOs {
+		if apo.Name == "" {
+			return fmt.Errorf("manifest: APO without a name")
+		}
+		class := apo.Class
+		if class == "" {
+			class = apo.Name
+		}
+		b := site.NewAPOBuilder(class)
+		for item, doc := range apo.Data {
+			v, err := value.FromJSON(doc)
+			if err != nil {
+				return fmt.Errorf("manifest APO %q data %q: %w", apo.Name, item, err)
+			}
+			b.FixedData(item, v)
+		}
+		for item, doc := range apo.ExtData {
+			v, err := value.FromJSON(doc)
+			if err != nil {
+				return fmt.Errorf("manifest APO %q extData %q: %w", apo.Name, item, err)
+			}
+			b.ExtData(item, v)
+		}
+		for method, src := range apo.Methods {
+			b.FixedScriptMethod(method, src)
+		}
+		obj, err := b.Build()
+		if err != nil {
+			return fmt.Errorf("manifest APO %q: %w", apo.Name, err)
+		}
+		if err := site.AddAPO(apo.Name, obj); err != nil {
+			return err
+		}
+		log.Printf("installed APO %s (class %s)", apo.Name, class)
+	}
+	for name, src := range m.Programs {
+		if err := site.AddProgram(name, src); err != nil {
+			return err
+		}
+		log.Printf("installed program %s", name)
+	}
+	return nil
+}

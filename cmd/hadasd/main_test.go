@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hadas"
+	"repro/internal/value"
+)
+
+const testManifest = `{
+  "apos": [
+    {
+      "name": "payroll",
+      "class": "EmployeeDB",
+      "data": {"records": {"alice": {"salary": 12500}}},
+      "extData": {"cache": {}},
+      "methods": {
+        "salaryOf": "fn(name) { let recs = self.records; if !has(recs, name) { return -1; } return recs[name][\"salary\"]; }"
+      }
+    }
+  ],
+  "programs": {"hello": "fn() { return \"hi\"; }"}
+}`
+
+func writeManifest(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "site.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadManifest(t *testing.T) {
+	site, err := hadas.NewSite(hadas.Config{Name: "manifest-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	if err := loadManifest(site, writeManifest(t, testManifest)); err != nil {
+		t.Fatal(err)
+	}
+	apo, err := site.APO("payroll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := apo.Invoke(site.IOO().Principal(), "salaryOf", value.NewString("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 12500 {
+		t.Errorf("salaryOf = %v", v)
+	}
+	out, err := site.RunProgram("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "hi" {
+		t.Errorf("program = %v", out)
+	}
+	// Ext data installed too.
+	if _, err := apo.Get(apo.Principal(), "cache"); err != nil {
+		t.Errorf("extData missing: %v", err)
+	}
+}
+
+func TestLoadManifestErrors(t *testing.T) {
+	site, err := hadas.NewSite(hadas.Config{Name: "manifest-errors"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	cases := map[string]string{
+		"bad json":     `{not json`,
+		"nameless apo": `{"apos": [{"class": "X"}]}`,
+		"bad data":     `{"apos": [{"name": "a", "data": {"x": }}]}`,
+		"bad method":   `{"apos": [{"name": "a", "methods": {"m": "not a fn"}}]}`,
+		"bad program":  `{"programs": {"p": "still not a fn"}}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := loadManifest(site, writeManifest(t, content)); err == nil {
+				t.Error("bad manifest accepted")
+			}
+		})
+	}
+	if err := loadManifest(site, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing manifest accepted")
+	}
+}

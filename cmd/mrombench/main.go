@@ -1,0 +1,63 @@
+// mrombench runs the paper-reproduction experiment suite (E1–E10 in
+// DESIGN.md/EXPERIMENTS.md) and prints one table per experiment.
+//
+// Usage:
+//
+//	mrombench            # run everything
+//	mrombench -exp e3    # run one experiment
+//	mrombench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (e1..e10)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("e1   Figure 1: meta-invocation levels")
+		fmt.Println("e2   Figure 2: HADAS topology and relay")
+		fmt.Println("e3   invocation cost vs native baselines")
+		fmt.Println("e4   fixed-offset vs lookup data access")
+		fmt.Println("e5   ACL match cost")
+		fmt.Println("e6   pre/post wrapping cost")
+		fmt.Println("e7   migration pipeline cost")
+		fmt.Println("e8   availability during dynamic update")
+		fmt.Println("e9   generic coercion cost")
+		fmt.Println("e10  self-contained persistence cost")
+		fmt.Println("e11  itinerant agent journey cost")
+		return
+	}
+
+	if *exp != "" {
+		run, ok := experiments.ByID(strings.ToLower(*exp))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		table, err := run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		return
+	}
+
+	tables, err := experiments.All()
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suite failed:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,230 @@
+// mromsh is an interactive shell onto a live HADAS site — a first cut of
+// the "mobile programming" direction the paper's §6 sketches. Each input
+// is installed as a transient MScript method of the site's IOO and invoked
+// through the full MROM mechanism, so the shell exercises exactly what
+// mobile code experiences: `self` is the IOO, `ctx.lookup` resolves Home
+// members and hosted ambassadors, and every call passes Lookup-Match-Apply.
+//
+// Usage:
+//
+//	mromsh -name shell [-listen 127.0.0.1:0] [-link ADDR]...
+//
+// Shell commands:
+//
+//	:help                 this text
+//	:ls                   site inventory (APOs, peers, ambassadors, programs)
+//	:link ADDR            link to a peer site
+//	:import SITE APO      import an APO's ambassador
+//	:describe NAME        self-representation of an object
+//	:quit                 exit
+//
+// Anything else is MScript, e.g.:
+//
+//	self.describe()
+//	ctx.lookup("payroll@hq").salaryOf("alice")
+//	let t = 0; for i in 10 { t = t + i; } return t;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/hadas"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		name   = flag.String("name", "shell", "site name")
+		listen = flag.String("listen", "", "optional protocol listen address")
+	)
+	var links linkList
+	flag.Var(&links, "link", "peer address to link to (repeatable)")
+	flag.Parse()
+
+	if err := run(*name, *listen, links, os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type linkList []string
+
+func (l *linkList) String() string { return strings.Join(*l, ",") }
+func (l *linkList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func run(name, listen string, links []string, in *os.File, out *os.File) error {
+	site, err := hadas.NewSite(hadas.Config{
+		Name:   name,
+		Output: func(line string) { fmt.Fprintln(out, "  |", line) },
+	})
+	if err != nil {
+		return err
+	}
+	defer site.Close()
+	if listen != "" {
+		addr, err := site.Serve(listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving on %s\n", addr)
+	}
+	for _, peer := range links {
+		peerName, err := site.Link(peer)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "linked to %s\n", peerName)
+	}
+
+	fmt.Fprintf(out, "mromsh — site %q; :help for commands\n", name)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(out, "mrom> ")
+		} else {
+			fmt.Fprint(out, "  ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ":") {
+			if quit := command(site, strings.TrimSpace(line), out); quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		src := pending.String()
+		if braceBalance(src) > 0 {
+			prompt()
+			continue // keep reading a multi-line construct
+		}
+		pending.Reset()
+		if strings.TrimSpace(src) != "" {
+			eval(site, src, out)
+		}
+		prompt()
+	}
+	fmt.Fprintln(out)
+	return sc.Err()
+}
+
+// braceBalance counts unclosed braces/brackets/parens outside strings.
+func braceBalance(src string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '{' || c == '[' || c == '(':
+			depth++
+		case c == '}' || c == ']' || c == ')':
+			depth--
+		}
+	}
+	return depth
+}
+
+// eval installs the input as a transient IOO method and invokes it.
+func eval(site *hadas.Site, src string, out *os.File) {
+	body := wrap(src)
+	ioo := site.IOO()
+	const tmp = "repl_input"
+	_, _ = ioo.InvokeSelf("deleteMethod", value.NewString(tmp)) // stale leftovers
+	if _, err := ioo.InvokeSelf("addMethod", value.NewString(tmp), value.NewString(body)); err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	defer func() { _, _ = ioo.InvokeSelf("deleteMethod", value.NewString(tmp)) }()
+	v, err := ioo.InvokeSelf(tmp)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if !v.IsNull() {
+		fmt.Fprintln(out, v.String())
+	}
+}
+
+// wrap turns shell input into a function body: bare expressions get an
+// implicit return; statement sequences run as-is.
+func wrap(src string) string {
+	trimmed := strings.TrimSpace(src)
+	if !strings.HasSuffix(trimmed, ";") && !strings.HasSuffix(trimmed, "}") {
+		return "fn() { return (" + trimmed + "); }"
+	}
+	return "fn() { " + trimmed + " }"
+}
+
+func command(site *hadas.Site, line string, out *os.File) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":q", ":exit":
+		return true
+	case ":help", ":h":
+		fmt.Fprintln(out, ":ls | :link ADDR | :import SITE APO | :describe NAME | :quit")
+		fmt.Fprintln(out, "anything else is MScript; self = this site's IOO")
+	case ":ls":
+		fmt.Fprintln(out, "APOs:       ", site.APONames())
+		fmt.Fprintln(out, "peers:      ", site.PeerNames())
+		fmt.Fprintln(out, "ambassadors:", site.Ambassadors())
+		fmt.Fprintln(out, "programs:   ", site.ProgramNames())
+	case ":link":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: :link ADDR")
+			return false
+		}
+		peer, err := site.Link(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(out, "linked to", peer)
+	case ":import":
+		if len(fields) != 3 {
+			fmt.Fprintln(out, "usage: :import SITE APO")
+			return false
+		}
+		local, err := site.Import(fields[1], fields[2])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(out, "imported as", local)
+	case ":describe":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: :describe NAME")
+			return false
+		}
+		obj, err := site.ResolveObject(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(out, obj.Describe(site.IOO().Principal()).String())
+	default:
+		fmt.Fprintln(out, "unknown command; :help")
+	}
+	return false
+}

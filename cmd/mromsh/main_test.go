@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestBraceBalance(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int
+	}{
+		{"", 0},
+		{"1 + 2", 0},
+		{"fn() {", 1},
+		{"fn() { }", 0},
+		{"let m = {a: [1, (2", 3},
+		{`"{ not a brace"`, 0},
+		{`"escaped \" { still string"`, 0},
+		{"} too many", -1},
+	}
+	for _, tt := range tests {
+		if got := braceBalance(tt.src); got != tt.want {
+			t.Errorf("braceBalance(%q) = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"1 + 2", "fn() { return (1 + 2); }"},
+		{"self.describe()", "fn() { return (self.describe()); }"},
+		{"let x = 1; return x;", "fn() { let x = 1; return x; }"},
+		{"if a { b(); } else { c(); }", "fn() { if a { b(); } else { c(); } }"},
+		{"  padded  ", "fn() { return (padded); }"},
+	}
+	for _, tt := range tests {
+		if got := wrap(tt.in); got != tt.want {
+			t.Errorf("wrap(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer inW.Close()
+		fmt.Fprintln(inW, `1 + 2 * 3`)
+		// A multi-line construct: the shell keeps reading until the braces
+		// balance, then evaluates the whole block as one transient method.
+		fmt.Fprintln(inW, `let t = 0; for i in 5 {`)
+		fmt.Fprintln(inW, `  t = t + i;`)
+		fmt.Fprintln(inW, `} return t * 100;`)
+		fmt.Fprintln(inW, `self.addDataItem("note", "kept");`)
+		fmt.Fprintln(inW, `self.note`)
+		fmt.Fprintln(inW, `:ls`)
+		fmt.Fprintln(inW, `:describe ioo`)
+		fmt.Fprintln(inW, `:badcmd`)
+		fmt.Fprintln(inW, `boom(`)
+		fmt.Fprintln(inW, `)`)
+		fmt.Fprintln(inW, `:quit`)
+	}()
+	done := make(chan error, 1)
+	go func() {
+		err := run("shelltest", "", nil, inR, outW)
+		outW.Close()
+		done <- err
+	}()
+	out, err := io.ReadAll(outR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"7",        // expression result
+		"1000",     // multi-line loop result (sum 0..4 = 10, times 100)
+		"kept",     // state persisted in the IOO across inputs
+		"programs", // :ls output
+		"IOO",      // :describe
+		"unknown command",
+		"error:", // undefined boom
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shell output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// agent demonstrates the paper's third family of mobile code (§1):
+// "execution of computational objects known as 'agents', which exhibit
+// some level of autonomy and/or intelligence in the form of goals, plans,
+// itinerary".
+//
+// A price-survey agent is launched from headquarters with an itinerary of
+// market sites. At each stop its onArrival method runs locally: it queries
+// the site's market APO, records the best offer seen so far in its own
+// extensible state, and asks the hosting IOO to dispatch it to the next
+// stop. The whole object — code, itinerary, and accumulated findings —
+// migrates; nothing is left behind.
+//
+// Run with: go run ./examples/agent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hadas"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := transport.NewInProcNet()
+	newSite := func(name string) *hadas.Site {
+		s, err := hadas.NewSite(hadas.Config{
+			Name: name,
+			Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+			Output: func(line string) {
+				fmt.Printf("  [%s] %s\n", name, line)
+			},
+		})
+		check(err)
+		check(s.ServeInProc(net))
+		return s
+	}
+	hq := newSite("hq")
+	markets := map[string]int64{"north-market": 112, "east-market": 98, "west-market": 104}
+	sites := []*hadas.Site{hq}
+	for name, price := range markets {
+		m := newSite(name)
+		b := m.NewAPOBuilder("Market")
+		b.FixedData("price", value.NewInt(price))
+		b.FixedScriptMethod("quote", `fn() { return self.price; }`)
+		check(m.AddAPO("market", b.MustBuild()))
+		sites = append(sites, m)
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	// Full mesh so the agent's home domain is trusted everywhere.
+	names := []string{"hq", "north-market", "east-market", "west-market"}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			_, err := findSite(sites, a).Link(b)
+			check(err)
+		}
+	}
+
+	// The agent: goal (find the best price), plan (onArrival), itinerary.
+	b := hq.NewAPOBuilder("PriceSurveyAgent")
+	b.ExtData("itinerary", value.NewListOf(
+		value.NewString("east-market"),
+		value.NewString("west-market"),
+		value.NewString("hq"),
+	))
+	b.ExtData("bestPrice", value.NewInt(-1))
+	b.ExtData("bestSite", value.NewString(""))
+	b.FixedScriptMethod("onArrival", `fn(hop) {
+		let host = hop["hostSite"];
+		let ioo = ctx.lookup("ioo");
+		if contains(ioo.apos(), "market") {
+			let offer = ctx.lookup("market").quote();
+			ctx.log("agent saw price", offer, "at", host);
+			if self.bestPrice < 0 || offer < self.bestPrice {
+				self.bestPrice = offer;
+				self.bestSite = host;
+			}
+		}
+		let it = self.itinerary;
+		if len(it) == 0 {
+			return "best offer: " + self.bestPrice + " at " + self.bestSite;
+		}
+		let next = it[0];
+		self.itinerary = slice(it, 1, len(it));
+		return ioo.dispatchAgent(hop["agent"], next);
+	}`)
+	check(hq.AddAPO("surveyor", b.MustBuild()))
+
+	fmt.Println("launching surveyor: hq → north-market → east-market → west-market → hq")
+	result, err := hq.DispatchAgent("surveyor", "north-market")
+	check(err)
+	fmt.Println("\njourney result:", result)
+
+	// The agent is home again, carrying its findings.
+	back, err := hq.ResolveObject("surveyor")
+	check(err)
+	best, err := back.Get(back.Principal(), "bestSite")
+	check(err)
+	fmt.Println("agent's own record of the best site:", best)
+	for _, name := range names[1:] {
+		if _, err := findSite(sites, name).ResolveObject("surveyor"); err == nil {
+			fmt.Println("ERROR: agent left a copy at", name)
+		}
+	}
+	fmt.Println("no copies left behind — the agent exists only at hq")
+}
+
+func findSite(sites []*hadas.Site, name string) *hadas.Site {
+	for _, s := range sites {
+		if s.Name() == name {
+			return s
+		}
+	}
+	panic("unknown site " + name)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// charging reproduces the §3 "code renting" use of meta-mutability
+// (after Yourdon): an object rented from a vendor contacts a charging
+// object before every invocation. The rented object installs a level-1
+// meta-invoke whose pre-procedure debits the account; when the account is
+// exhausted, the pre-procedure returns false and the body never runs —
+// "A False return value from pre-procedure prevents from invoking the
+// body of the method."
+//
+// Run with: go run ./examples/charging
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	gen := naming.NewGenerator("charging")
+	policy := security.NewPolicy()
+	policy.SetDefault(security.Untrusted, security.Allow)
+
+	// The vendor's charging object: a prepaid account with a debit method.
+	cb := core.NewBuilder(gen, "ChargingService", core.WithPolicy(policy))
+	cb.ExtData("balance", value.NewInt(3), core.WithDynKind(value.KindInt))
+	cb.FixedScriptMethod("debit", `fn() {
+		let b = self.balance;
+		if b <= 0 { return false; }
+		self.balance = b - 1;
+		return true;
+	}`)
+	cb.FixedScriptMethod("topUp", `fn(n) {
+		self.balance = self.balance + n;
+		return self.balance;
+	}`)
+	charger := cb.MustBuild()
+
+	// The rented component.
+	rb := core.NewBuilder(gen, "RentedTranslator", core.WithPolicy(policy))
+	rb.FixedScriptMethod("translate", `fn(word) {
+		let dict = {hello: "shalom", world: "olam", peace: "shalom"};
+		if has(dict, word) { return dict[word]; }
+		return "?" + word + "?";
+	}`)
+	rented := rb.MustBuild()
+
+	// Wire the rented object to a resolver that can find the charger —
+	// mobile code reaches other objects only through the model.
+	resolver := &mapResolver{site: "vendor-demo", objects: map[string]*core.Object{
+		"charger": charger,
+	}}
+	rented.SetResolver(resolver)
+	charger.SetResolver(resolver)
+
+	// Install the charging meta-invoke: its pre-procedure contacts the
+	// charging object before the actual invocation of ANY method. ("Since
+	// the pre-procedure is on the invoke method itself, it applies to the
+	// invocation of all methods in the object.")
+	_, err := rented.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"pre": value.NewString(`fn(name, callArgs) {
+				let c = ctx.lookup("charger");
+				return c.debit();
+			}`),
+			"body": value.NewString(`fn(name, callArgs) {
+				return self.invokeNext(name, callArgs);
+			}`),
+		}))
+	check(err)
+
+	user := security.Principal{Object: gen.New(), Domain: "customer"}
+	words := []string{"hello", "world", "peace", "love"}
+	fmt.Println("balance: 3 invocations prepaid")
+	for _, w := range words {
+		v, err := rented.Invoke(user, "translate", value.NewString(w))
+		switch {
+		case err == nil:
+			fmt.Printf("translate(%s) = %s\n", w, v)
+		case errors.Is(err, core.ErrPreconditionFailed):
+			fmt.Printf("translate(%s) = REFUSED: account exhausted\n", w)
+		default:
+			check(err)
+		}
+	}
+
+	// Top up and retry: the rented object works again.
+	_, err = charger.Invoke(user, "topUp", value.NewInt(2))
+	check(err)
+	fmt.Println("\ntopped up 2 more invocations")
+	v, err := rented.Invoke(user, "translate", value.NewString("love"))
+	check(err)
+	fmt.Println("translate(love) =", v)
+
+	bal, err := charger.Get(user, "balance")
+	check(err)
+	fmt.Println("remaining balance:", bal)
+}
+
+// mapResolver is a minimal core.Resolver over a fixed object map.
+type mapResolver struct {
+	site    string
+	objects map[string]*core.Object
+}
+
+func (r *mapResolver) SiteName() string { return r.site }
+
+func (r *mapResolver) ResolveObject(name string) (*core.Object, error) {
+	if o, ok := r.objects[name]; ok {
+		return o, nil
+	}
+	return nil, fmt.Errorf("unresolved object %q", name)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

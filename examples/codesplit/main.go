@@ -1,0 +1,113 @@
+// codesplit demonstrates the paper's §1 motivation: "the decision as to
+// how to split the functionality of an application between components …
+// can be deferred and made on-the-fly."
+//
+// A stock-quote APO at the origin site starts fully remote: its Ambassador
+// at the edge site relays every call. When the edge observes that lookups
+// dominate, the origin migrates the lookup method AND the quote table into
+// the deployed Ambassador — afterwards lookups are answered locally at the
+// edge without touching the wire, while order placement stays at the
+// origin. The split changed at runtime, with no rebuild and no restart.
+//
+// Run with: go run ./examples/codesplit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hadas"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := transport.NewInProcNet()
+	newSite := func(name string) *hadas.Site {
+		s, err := hadas.NewSite(hadas.Config{
+			Name: name,
+			Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+		})
+		check(err)
+		check(s.ServeInProc(net))
+		return s
+	}
+	origin := newSite("exchange")
+	edge := newSite("edge")
+	defer origin.Close()
+	defer edge.Close()
+
+	// The quote service APO.
+	b := origin.NewAPOBuilder("QuoteService")
+	b.FixedData("quotes", value.NewMap(map[string]value.Value{
+		"ACME": value.NewInt(142), "GLOBEX": value.NewInt(87), "INITECH": value.NewInt(23),
+	}))
+	b.ExtData("orders", value.NewList(nil))
+	b.FixedScriptMethod("quote", `fn(sym) {
+		let q = self.quotes;
+		if !has(q, sym) { return -1; }
+		return q[sym];
+	}`)
+	b.FixedScriptMethod("placeOrder", `fn(sym, qty) {
+		self.orders = push(self.orders, [sym, qty]);
+		return "order #" + len(self.orders) + " accepted";
+	}`)
+	check(origin.AddAPO("quotes", b.MustBuild()))
+
+	// Link, import: the default split relays everything.
+	_, err := edge.Link("exchange")
+	check(err)
+	_, err = edge.Import("exchange", "quotes")
+	check(err)
+	amb, err := edge.ResolveObject("quotes@exchange")
+	check(err)
+	client := security.Principal{Object: edge.Generator().New(), Domain: edge.Domain()}
+
+	call := func(method string, args ...value.Value) value.Value {
+		v, err := amb.Invoke(client, method, args...)
+		check(err)
+		return v
+	}
+
+	fmt.Println("== phase 1: everything relayed to the exchange ==")
+	fmt.Println("quote(ACME)  =", call("quote", value.NewString("ACME")))
+	fmt.Println("placeOrder   =", call("placeOrder", value.NewString("ACME"), value.NewInt(10)))
+
+	fmt.Println("\n== phase 2: origin migrates quote lookups into the ambassador ==")
+	apo, err := origin.APO("quotes")
+	check(err)
+	quotes, err := apo.Get(apo.Principal(), "quotes")
+	check(err)
+	// Ship the data…
+	_, err = origin.UpdateAmbassadors("quotes", "addDataItem",
+		value.NewString("quotes"), quotes)
+	check(err)
+	// …then swap the relayed method for a local (mobile, MScript) body.
+	_, err = origin.UpdateAmbassadors("quotes", "setMethod",
+		value.NewString("quote"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(sym) {
+				let q = self.quotes;
+				if !has(q, sym) { return -1; }
+				return q[sym];
+			}`),
+		}))
+	check(err)
+	fmt.Println("migrated quote() and the quote table to the edge")
+
+	// Prove the split: cut the wire; lookups still answer, orders fail.
+	check(edge.SetPeerConn("exchange", &transport.FaultConn{FailEvery: 1}))
+	fmt.Println("\n== phase 3: wire cut — locality check ==")
+	fmt.Println("quote(GLOBEX) =", call("quote", value.NewString("GLOBEX")), " (answered locally)")
+	if _, err := amb.Invoke(client, "placeOrder", value.NewString("GLOBEX"), value.NewInt(5)); err != nil {
+		fmt.Println("placeOrder    = fails as expected, still origin-bound:", err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

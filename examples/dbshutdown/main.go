@@ -1,0 +1,109 @@
+// dbshutdown reproduces the paper's §5 example: a database APO whose
+// administrator, before taking the database down for maintenance, updates
+// the invocation mechanism of every deployed Ambassador so remote users
+// get "instant meaningful results for their queries, instead of long
+// waiting and misunderstood error messages" — preserving the autonomy of
+// both the database and its remote clients.
+//
+// Topology: site "hq" owns the employees database; "branch-a" and
+// "branch-b" import its Ambassador and query through it.
+//
+// Run with: go run ./examples/dbshutdown
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hadas"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := transport.NewInProcNet()
+	newSite := func(name string) *hadas.Site {
+		s, err := hadas.NewSite(hadas.Config{
+			Name:   name,
+			Dial:   func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+			Output: func(line string) { fmt.Printf("  [%s] %s\n", name, line) },
+		})
+		check(err)
+		check(s.ServeInProc(net))
+		return s
+	}
+
+	hq := newSite("hq")
+	branchA := newSite("branch-a")
+	branchB := newSite("branch-b")
+	defer hq.Close()
+	defer branchA.Close()
+	defer branchB.Close()
+
+	// The employees database, as an APO in hq's Home.
+	b := hq.NewAPOBuilder("EmployeeDB")
+	b.FixedData("records", value.NewMap(map[string]value.Value{
+		"alice": value.NewMap(map[string]value.Value{"salary": value.NewInt(12500), "dept": value.NewString("ee")}),
+		"bob":   value.NewMap(map[string]value.Value{"salary": value.NewInt(9000), "dept": value.NewString("cs")}),
+		"carol": value.NewMap(map[string]value.Value{"salary": value.NewInt(15000), "dept": value.NewString("me")}),
+	}))
+	b.FixedScriptMethod("query", `fn(name) {
+		let recs = self.records;
+		if !has(recs, name) { return "no such employee"; }
+		return recs[name];
+	}`)
+	check(hq.AddAPO("employees", b.MustBuild()))
+
+	// Branches link to hq and import the database's Ambassador.
+	for _, branch := range []*hadas.Site{branchA, branchB} {
+		_, err := branch.Link("hq")
+		check(err)
+		_, err = branch.Import("hq", "employees")
+		check(err)
+	}
+
+	query := func(branch *hadas.Site, who string) string {
+		amb, err := branch.ResolveObject("employees@hq")
+		check(err)
+		client := security.Principal{Object: branch.Generator().New(), Domain: branch.Domain()}
+		v, err := amb.Invoke(client, "query", value.NewString(who))
+		check(err)
+		return v.String()
+	}
+
+	fmt.Println("== normal operation ==")
+	fmt.Println("branch-a:", query(branchA, "alice"))
+	fmt.Println("branch-b:", query(branchB, "carol"))
+
+	fmt.Println("\n== administrator flips all ambassadors to maintenance mode ==")
+	updated, err := hq.UpdateAmbassadors("employees", "setMethod",
+		value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, callArgs) {
+				if name == "deleteMethod" || name == "setMethod" {
+					return self.invokeNext(name, callArgs);
+				}
+				return "the employees database is down for maintenance until 06:00";
+			}`),
+		}))
+	check(err)
+	fmt.Printf("updated %d deployed ambassadors\n", updated)
+
+	fmt.Println("branch-a:", query(branchA, "alice"))
+	fmt.Println("branch-b:", query(branchB, "bob"))
+
+	fmt.Println("\n== maintenance over: restore the invocation mechanism ==")
+	updated, err = hq.UpdateAmbassadors("employees", "deleteMethod", value.NewString("invoke"))
+	check(err)
+	fmt.Printf("restored %d ambassadors\n", updated)
+	fmt.Println("branch-a:", query(branchA, "alice"))
+	fmt.Println("branch-b:", query(branchB, "bob"))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// interop demonstrates HADAS's four interoperability levels (§5) working
+// together, culminating in Coordination: an interoperability program —
+// itself mobile MScript installed in an IOO's Interop container — that
+// spans three sites' components.
+//
+// Scenario: a company has an inventory service in "warehouse", a pricing
+// service in "finance", and runs a coordination program at "storefront"
+// that builds a quote by combining both, through imported Ambassadors.
+//
+// Run with: go run ./examples/interop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hadas"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := transport.NewInProcNet()
+	newSite := func(name string) *hadas.Site {
+		s, err := hadas.NewSite(hadas.Config{
+			Name: name,
+			Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+		})
+		check(err)
+		check(s.ServeInProc(net))
+		return s
+	}
+	warehouse := newSite("warehouse")
+	finance := newSite("finance")
+	storefront := newSite("storefront")
+	defer warehouse.Close()
+	defer finance.Close()
+	defer storefront.Close()
+
+	// Integration level: pre-existing components become APOs.
+	wb := warehouse.NewAPOBuilder("Inventory")
+	wb.FixedData("stock", value.NewMap(map[string]value.Value{
+		"widget": value.NewInt(120), "gadget": value.NewInt(3), "doohickey": value.NewInt(0),
+	}))
+	wb.FixedScriptMethod("available", `fn(item, qty) {
+		let s = self.stock;
+		if !has(s, item) { return false; }
+		return s[item] >= qty;
+	}`)
+	check(warehouse.AddAPO("inventory", wb.MustBuild()))
+
+	fb := finance.NewAPOBuilder("Pricing")
+	fb.FixedData("prices", value.NewMap(map[string]value.Value{
+		"widget": value.NewFloat(2.5), "gadget": value.NewFloat(17.0), "doohickey": value.NewFloat(99.0),
+	}))
+	fb.FixedScriptMethod("priceOf", `fn(item, qty) {
+		let p = self.prices;
+		if !has(p, item) { return -1.0; }
+		let total = p[item] * qty;
+		if qty >= 100 { total = total * 0.9; }
+		return total;
+	}`)
+	check(finance.AddAPO("pricing", fb.MustBuild()))
+
+	// Communication + Configuration levels: link and import.
+	for _, peer := range []string{"warehouse", "finance"} {
+		_, err := storefront.Link(peer)
+		check(err)
+	}
+	_, err := storefront.Import("warehouse", "inventory")
+	check(err)
+	_, err = storefront.Import("finance", "pricing")
+	check(err)
+	fmt.Println("storefront vicinity:   ", storefront.PeerNames())
+	fmt.Println("storefront ambassadors:", storefront.Ambassadors())
+
+	// Coordination level: a program specifying control- and data-flow
+	// between the integrated, interconnected, configured components.
+	check(storefront.AddProgram("makeQuote", `fn(item, qty) {
+		let inv = ctx.lookup("inventory@warehouse");
+		let price = ctx.lookup("pricing@finance");
+		if !inv.available(item, qty) {
+			return {ok: false, reason: "insufficient stock for " + item};
+		}
+		let total = price.priceOf(item, qty);
+		if total < 0 {
+			return {ok: false, reason: "no price for " + item};
+		}
+		return {ok: true, item: item, qty: qty, total: total};
+	}`))
+
+	for _, order := range []struct {
+		item string
+		qty  int64
+	}{
+		{"widget", 100},
+		{"gadget", 2},
+		{"gadget", 10},
+		{"mystery", 1},
+	} {
+		v, err := storefront.RunProgram("makeQuote",
+			value.NewString(order.item), value.NewInt(order.qty))
+		check(err)
+		fmt.Printf("quote(%s x%d) = %s\n", order.item, order.qty, v)
+	}
+
+	// The program itself is a mobile method of the IOO: another site can
+	// run it remotely through the Vicinity ambassador.
+	_, err = warehouse.Link("storefront")
+	check(err)
+	remote, err := warehouse.ResolveObject("ioo@storefront")
+	check(err)
+	v, err := remote.Invoke(warehouse.IOO().Principal(), "runProgram",
+		value.NewString("makeQuote"), value.NewString("widget"), value.NewInt(4))
+	check(err)
+	fmt.Println("\nwarehouse invoking storefront's program remotely:")
+	fmt.Println("quote(widget x4) =", v)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

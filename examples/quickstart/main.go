@@ -1,0 +1,99 @@
+// Quickstart: the MROM essentials in one file.
+//
+// It walks the paper's three core requirements on a single object:
+// self-representation (interrogate a newcomer), mutability (reshape its
+// extensible section through the meta-methods), and meta-mutability
+// (replace the invocation mechanism itself, then restore it).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	gen := naming.NewGenerator("quickstart")
+	policy := security.NewPolicy()
+	policy.SetDefault(security.Untrusted, security.Allow) // open world for the demo
+
+	// 1. Build an object: fixed section = guaranteed core, extensible
+	//    section = what may be adjusted on the fly.
+	b := core.NewBuilder(gen, "Greeter", core.WithPolicy(policy))
+	b.FixedData("language", value.NewString("en"))
+	b.ExtData("greetCount", value.NewInt(0), core.WithDynKind(value.KindInt))
+	b.FixedScriptMethod("greet", `fn(name) {
+		self.greetCount = self.greetCount + 1;
+		return "hello, " + name + "!";
+	}`)
+	obj := b.MustBuild()
+	fmt.Println("object id:", obj.ID())
+
+	// 2. Self-representation: a host that has never seen this object asks
+	//    it what it is.
+	caller := security.Principal{Object: gen.New(), Domain: "visitor"}
+	desc, err := obj.Invoke(caller, "describe")
+	check(err)
+	fmt.Println("describe:", desc)
+
+	// 3. Ordinary invocation (Lookup → Match → Apply).
+	out, err := obj.Invoke(caller, "greet", value.NewString("world"))
+	check(err)
+	fmt.Println("greet:", out)
+
+	// 4. Mutability: add behavior at runtime, through the object's own
+	//    meta-methods. The new method is MScript — it could have arrived
+	//    over the network as data.
+	_, err = obj.Invoke(caller, "addMethod",
+		value.NewString("greetLoudly"),
+		value.NewString(`fn(name) { return upper(self.greet(name)); }`))
+	check(err)
+	out, err = obj.Invoke(caller, "greetLoudly", value.NewString("world"))
+	check(err)
+	fmt.Println("greetLoudly:", out)
+
+	// 5. Item properties via handles: getDataItem returns a description
+	//    and a handle usable with setDataItem.
+	descItem, err := obj.Invoke(caller, "getDataItem", value.NewString("greetCount"))
+	check(err)
+	fmt.Println("greetCount item:", descItem)
+
+	// 6. Meta-mutability: install a level-1 invoke that traces every
+	//    invocation, with level 0 as the stopping condition (Figure 1).
+	_, err = obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, callArgs) {
+				ctx.log("meta-invoke level", ctx.level(), "->", name);
+				return self.invokeNext(name, callArgs);
+			}`),
+		}))
+	check(err)
+	obj.SetOutput(func(s string) { fmt.Println("  [trace]", s) })
+
+	out, err = obj.Invoke(caller, "greet", value.NewString("again"))
+	check(err)
+	fmt.Println("traced greet:", out)
+	fmt.Println("invoke levels installed:", obj.InvokeLevelCount())
+
+	// 7. Restore the base mechanism.
+	_, err = obj.InvokeSelf("deleteMethod", value.NewString("invoke"))
+	check(err)
+	fmt.Println("invoke levels after restore:", obj.InvokeLevelCount())
+
+	count, err := obj.Get(caller, "greetCount")
+	check(err)
+	fmt.Println("total greetings:", count)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// atomicTestObject has a method that performs several mutations and then
+// optionally fails, so partial effects are observable without atomicity.
+func atomicTestObject(t *testing.T) *Object {
+	t.Helper()
+	b := NewBuilder(gen, "Txn", WithPolicy(allowAllPolicy()))
+	b.ExtData("balance", value.NewInt(100), WithDynKind(value.KindInt))
+	b.FixedScriptMethod("transfer", `fn(amount, shouldFail) {
+		self.balance = self.balance - amount;
+		self.addDataItem("pendingAmount", amount);
+		self.addMethod("undoHint", fn() { return "added mid-transfer"; });
+		if shouldFail { error("ledger write failed"); }
+		self.deleteDataItem("pendingAmount");
+		self.deleteMethod("undoHint");
+		return self.balance;
+	}`)
+	return b.MustBuild()
+}
+
+func TestInvokeAtomicCommits(t *testing.T) {
+	obj := atomicTestObject(t)
+	v, err := obj.InvokeAtomic(stranger(), "transfer", value.NewInt(30), value.False)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 70 {
+		t.Errorf("balance = %v", v)
+	}
+	// No transient state left behind on success either.
+	if _, err := obj.Get(obj.Principal(), "pendingAmount"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("pendingAmount survived: %v", err)
+	}
+}
+
+func TestInvokeAtomicRollsBack(t *testing.T) {
+	obj := atomicTestObject(t)
+	_, err := obj.InvokeAtomic(stranger(), "transfer", value.NewInt(30), value.True)
+	if err == nil || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("atomic failure = %v", err)
+	}
+	// All three mutations undone: balance, data item, method.
+	v, err := obj.Get(obj.Principal(), "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 100 {
+		t.Errorf("balance after rollback = %v", v)
+	}
+	if _, err := obj.Get(obj.Principal(), "pendingAmount"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("pendingAmount after rollback: %v", err)
+	}
+	if _, err := obj.InvokeSelf("undoHint"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("undoHint after rollback: %v", err)
+	}
+}
+
+func TestNonAtomicLeavesPartialState(t *testing.T) {
+	// Contrast: the same failing method without atomicity leaves debris —
+	// demonstrating what the feature buys.
+	obj := atomicTestObject(t)
+	if _, err := obj.Invoke(stranger(), "transfer", value.NewInt(30), value.True); err == nil {
+		t.Fatal("failing transfer succeeded")
+	}
+	v, _ := obj.Get(obj.Principal(), "balance")
+	if i, _ := v.Int(); i != 70 {
+		t.Errorf("partial balance = %v, want 70 (debited, not restored)", v)
+	}
+	if _, err := obj.Get(obj.Principal(), "pendingAmount"); err != nil {
+		t.Errorf("pendingAmount missing in non-atomic failure: %v", err)
+	}
+}
+
+func TestAtomicMetaMethod(t *testing.T) {
+	obj := atomicTestObject(t)
+	// atomic("transfer", [30, true]) through the model.
+	_, err := obj.Invoke(stranger(), "atomic",
+		value.NewString("transfer"),
+		value.NewListOf(value.NewInt(30), value.True))
+	if err == nil {
+		t.Fatal("atomic meta-method swallowed the failure")
+	}
+	v, _ := obj.Get(obj.Principal(), "balance")
+	if i, _ := v.Int(); i != 100 {
+		t.Errorf("balance after meta rollback = %v", v)
+	}
+	// Success path.
+	v, err = obj.Invoke(stranger(), "atomic",
+		value.NewString("transfer"),
+		value.NewListOf(value.NewInt(10), value.False))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 90 {
+		t.Errorf("balance after meta commit = %v", v)
+	}
+	// Arity error.
+	if _, err := obj.Invoke(stranger(), "atomic"); !errors.Is(err, ErrArity) {
+		t.Errorf("missing name: %v", err)
+	}
+}
+
+func TestAtomicRollsBackInvokeLevels(t *testing.T) {
+	obj := atomicTestObject(t)
+	// A failing method that installs a meta-invoke level first.
+	if _, err := obj.InvokeSelf("addMethod", value.NewString("sabotage"),
+		value.NewString(`fn() {
+			self.setMethod("invoke", {body: fn(name, callArgs) { return "hijacked"; }});
+			error("fail after hijack");
+		}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.InvokeAtomic(obj.Principal(), "sabotage"); err == nil {
+		t.Fatal("sabotage succeeded")
+	}
+	if obj.InvokeLevelCount() != 0 {
+		t.Errorf("invoke levels after rollback = %d", obj.InvokeLevelCount())
+	}
+	// Invocations still reach real bodies.
+	v, err := obj.Get(obj.Principal(), "balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 100 {
+		t.Errorf("balance = %v", v)
+	}
+}
+
+func TestAtomicFromScript(t *testing.T) {
+	// Mobile code can use atomicity reflectively: self.atomic(...).
+	obj := atomicTestObject(t)
+	if _, err := obj.InvokeSelf("addMethod", value.NewString("safeTransfer"),
+		value.NewString(`fn(amount) {
+			return self.atomic("transfer", [amount, true]);
+		}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.InvokeSelf("safeTransfer", value.NewInt(50)); err == nil {
+		t.Fatal("safeTransfer swallowed failure")
+	}
+	v, _ := obj.Get(obj.Principal(), "balance")
+	if i, _ := v.Int(); i != 100 {
+		t.Errorf("balance after scripted atomic = %v", v)
+	}
+	// But note: the failed atomic also rolled back safeTransfer itself
+	// (it lives in the extensible section and was added before the
+	// checkpoint — so it survives; only post-checkpoint changes vanish).
+	if _, err := obj.InvokeSelf("getMethod", value.NewString("safeTransfer")); err != nil {
+		t.Errorf("safeTransfer rolled back unexpectedly: %v", err)
+	}
+}

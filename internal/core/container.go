@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+)
+
+// container is an insertion-ordered name→item map — the paper's "item
+// container": "a set of name-and-value pairs, where the value is either one
+// of the object's data-items or one of its methods". Each MROM object holds
+// four: fixed/extensible × data/methods. Fixed containers reject mutation
+// once the object is sealed.
+//
+// container is not safe for concurrent use; the owning Object serializes
+// access.
+type container[T any] struct {
+	names []string
+	items map[string]T
+	fixed bool
+}
+
+func newContainer[T any](fixed bool) *container[T] {
+	return &container[T]{items: make(map[string]T), fixed: fixed}
+}
+
+// get returns the item by name.
+func (c *container[T]) get(name string) (T, bool) {
+	it, ok := c.items[name]
+	return it, ok
+}
+
+// add inserts a new name. A fixed container accepts adds only until the
+// owning object is sealed; the sealed check lives in Object.
+func (c *container[T]) add(name string, item T) error {
+	if _, ok := c.items[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	c.items[name] = item
+	c.names = append(c.names, name)
+	return nil
+}
+
+// remove deletes a name.
+func (c *container[T]) remove(name string) error {
+	if _, ok := c.items[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(c.items, name)
+	for i, n := range c.names {
+		if n == name {
+			c.names = append(c.names[:i], c.names[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// each visits items in insertion order.
+func (c *container[T]) each(f func(name string, item T)) {
+	for _, n := range c.names {
+		f(n, c.items[n])
+	}
+}

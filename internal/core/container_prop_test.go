@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+// TestPropMetaOpsAgainstModel drives random sequences of data meta-methods
+// (add/delete/rename/set) against both an MROM object and a plain Go map
+// model, then checks they agree and the structural invariants hold:
+// extensible names unique, never colliding with fixed or reserved names,
+// listing order = insertion order of survivors.
+func TestPropMetaOpsAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		obj := testObject(t, WithPolicy(allowAllPolicy()))
+		self := obj.Principal()
+
+		model := map[string]int64{} // extensible items only
+		var order []string          // insertion order of survivors
+		names := []string{"a", "b", "c", "d", "e"}
+
+		for step := 0; step < 60; step++ {
+			name := names[r.Intn(len(names))]
+			switch r.Intn(4) {
+			case 0: // add
+				_, err := obj.Invoke(self, "addDataItem",
+					value.NewString(name), value.NewInt(int64(step)))
+				_, exists := model[name]
+				if exists != (err != nil) {
+					t.Logf("seed %d step %d: add %q exists=%v err=%v", seed, step, name, exists, err)
+					return false
+				}
+				if err == nil {
+					model[name] = int64(step)
+					order = append(order, name)
+				}
+			case 1: // delete
+				_, err := obj.Invoke(self, "deleteDataItem", value.NewString(name))
+				_, exists := model[name]
+				if exists != (err == nil) {
+					t.Logf("seed %d step %d: delete %q exists=%v err=%v", seed, step, name, exists, err)
+					return false
+				}
+				if err == nil {
+					delete(model, name)
+					for i, n := range order {
+						if n == name {
+							order = append(order[:i], order[i+1:]...)
+							break
+						}
+					}
+				}
+			case 2: // set value
+				newV := int64(r.Intn(1000))
+				err := obj.Set(self, name, value.NewInt(newV))
+				_, exists := model[name]
+				if !exists {
+					if err == nil {
+						t.Logf("seed %d step %d: set missing %q succeeded", seed, step, name)
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					t.Logf("seed %d step %d: set %q failed: %v", seed, step, name, err)
+					return false
+				}
+				model[name] = newV
+			case 3: // rename
+				to := names[r.Intn(len(names))]
+				_, err := obj.Invoke(self, "setDataItem", value.NewString(name),
+					value.NewMap(map[string]value.Value{"rename": value.NewString(to)}))
+				_, fromExists := model[name]
+				_, toExists := model[to]
+				shouldWork := fromExists && (!toExists || to == name)
+				if shouldWork != (err == nil) {
+					t.Logf("seed %d step %d: rename %q→%q from=%v to=%v err=%v",
+						seed, step, name, to, fromExists, toExists, err)
+					return false
+				}
+				if err == nil && to != name {
+					model[to] = model[name]
+					delete(model, name)
+					for i, n := range order {
+						if n == name {
+							// Rename re-inserts at the tail (remove+add).
+							order = append(order[:i], order[i+1:]...)
+							order = append(order, to)
+							break
+						}
+					}
+				}
+			}
+		}
+
+		// Final agreement: every model entry readable with the right value…
+		for name, want := range model {
+			v, err := obj.Get(self, name)
+			if err != nil {
+				t.Logf("seed %d: final get %q: %v", seed, name, err)
+				return false
+			}
+			if i, _ := v.Int(); i != want {
+				t.Logf("seed %d: final %q = %v, want %d", seed, name, v, want)
+				return false
+			}
+		}
+		// …and the listing matches insertion order after the fixed items.
+		listed := obj.DataItemNames(self)
+		// testObject declares 2 items (1 fixed + 1 ext) before ours; the
+		// extensible survivors come after them in insertion order.
+		ext := listed[2:]
+		if len(ext) != len(order) {
+			t.Logf("seed %d: listed %v, want order %v", seed, ext, order)
+			return false
+		}
+		for i := range order {
+			if ext[i] != order[i] {
+				t.Logf("seed %d: listed %v, want order %v", seed, ext, order)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSnapshotAlwaysMaterializes: any object produced by random meta
+// mutations snapshots and materializes back to an equivalent object.
+func TestPropSnapshotAlwaysMaterializes(t *testing.T) {
+	reg := NewBehaviorRegistry()
+	reg.Register("prop.noop", func(_ *Invocation, args []value.Value) (value.Value, error) {
+		return argAt(args, 0), nil
+	})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBuilder(gen, "PropObj", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+		b.FixedData("name", value.NewString("prop"))
+		noop, err := reg.Lookup("prop.noop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.FixedMethod("noop", noop)
+		obj := b.MustBuild()
+		self := obj.Principal()
+		for i := 0; i < 20; i++ {
+			name := fmt.Sprintf("item%d", r.Intn(6))
+			switch r.Intn(3) {
+			case 0:
+				_, _ = obj.Invoke(self, "addDataItem", value.NewString(name),
+					value.NewInt(r.Int63n(100)))
+			case 1:
+				_, _ = obj.Invoke(self, "deleteDataItem", value.NewString(name))
+			case 2:
+				_, _ = obj.Invoke(self, "addMethod", value.NewString("m"+name),
+					value.NewString(`fn(x) { return x; }`))
+			}
+		}
+		img, err := obj.Snapshot()
+		if err != nil {
+			t.Logf("seed %d: snapshot: %v", seed, err)
+			return false
+		}
+		re, err := FromImage(img, reg, HostPolicy(allowAllPolicy()))
+		if err != nil {
+			t.Logf("seed %d: materialize: %v", seed, err)
+			return false
+		}
+		// Data items agree.
+		for _, n := range obj.DataItemNames(self) {
+			a, errA := obj.Get(self, n)
+			b, errB := re.Get(re.Principal(), n)
+			if (errA == nil) != (errB == nil) || (errA == nil && !a.Equal(b)) {
+				t.Logf("seed %d: item %q: %v/%v %v/%v", seed, n, a, errA, b, errB)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

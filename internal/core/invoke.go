@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mscript"
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+// maxReentry bounds nested invocations (self-calls and meta levels) so a
+// mis-programmed meta-invoke that restarts the chain cannot loop forever.
+const maxReentry = 128
+
+// Invocation is the context of one method execution: who called, on which
+// object, at which meta level. Bodies receive it to re-enter the model
+// (self-calls, descending the invoke chain, reaching other objects).
+type Invocation struct {
+	self   *Object
+	caller security.Principal
+	method string
+	level  int
+	depth  int
+}
+
+// Caller returns the requesting principal.
+func (inv *Invocation) Caller() security.Principal { return inv.caller }
+
+// Self returns the object being invoked.
+func (inv *Invocation) Self() *Object { return inv.self }
+
+// Method returns the name of the executing method.
+func (inv *Invocation) Method() string { return inv.method }
+
+// Level returns the meta-invocation level of the executing body: 0 for an
+// ordinary method, k for the body of the level-k meta-invoke.
+func (inv *Invocation) Level() int { return inv.level }
+
+// Depth returns the re-entry depth (for diagnostics).
+func (inv *Invocation) Depth() int { return inv.depth }
+
+func (inv *Invocation) budget() mscript.Budget { return inv.self.budget }
+
+func (inv *Invocation) output() func(string) {
+	if inv.self.output == nil {
+		return nil
+	}
+	return inv.self.output
+}
+
+func (inv *Invocation) selfHandle() mscript.HostObject {
+	return &objectHandle{obj: inv.self, caller: inv.self.Principal(), inv: inv}
+}
+
+func (inv *Invocation) ctxHandle() mscript.HostObject {
+	return &ctxHandle{inv: inv}
+}
+
+// Invoke re-enters the full invocation mechanism (from the top of the
+// meta-invoke chain) as the executing object. Bodies use it for self-calls.
+func (inv *Invocation) Invoke(name string, args ...value.Value) (value.Value, error) {
+	child := &Invocation{
+		self:   inv.self,
+		caller: inv.self.Principal(),
+		depth:  inv.depth + 1,
+	}
+	return inv.self.invokeFrom(child, name, args)
+}
+
+// InvokeNext descends one meta level: from the body of the level-k
+// meta-invoke it runs level k-1 on the (possibly rewritten) target. At
+// level 1 this reaches the primitive level-0 mechanism — the stopping
+// condition of the recursion.
+func (inv *Invocation) InvokeNext(name string, args ...value.Value) (value.Value, error) {
+	if inv.level <= 0 {
+		return value.Null, fmt.Errorf("%w: invokeNext outside a meta-invoke body", ErrArity)
+	}
+	child := &Invocation{
+		self:   inv.self,
+		caller: inv.caller, // the original requester flows through the chain
+		depth:  inv.depth + 1,
+	}
+	return inv.self.runLevel(child, inv.level-1, name, args)
+}
+
+// InvokeOn invokes a method on another object as the executing object
+// (used by bodies that hold references to peers).
+func (inv *Invocation) InvokeOn(target *Object, name string, args ...value.Value) (value.Value, error) {
+	child := &Invocation{
+		self:   target,
+		caller: inv.self.Principal(),
+		depth:  inv.depth + 1,
+	}
+	return target.invokeFrom(child, name, args)
+}
+
+// Invoke is the public entry of the invocation mechanism. If meta-invoke
+// levels are installed the call enters the highest level; otherwise it goes
+// straight to level 0 (Lookup → Match → Apply).
+func (o *Object) Invoke(caller security.Principal, name string, args ...value.Value) (value.Value, error) {
+	inv := &Invocation{self: o, caller: caller}
+	return o.invokeFrom(inv, name, args)
+}
+
+// InvokeSelf invokes as the object itself (owner-side convenience).
+func (o *Object) InvokeSelf(name string, args ...value.Value) (value.Value, error) {
+	return o.Invoke(o.Principal(), name, args...)
+}
+
+// Get reads a data item as caller (sugar for invoking `get`).
+func (o *Object) Get(caller security.Principal, name string) (value.Value, error) {
+	return o.Invoke(caller, "get", value.NewString(name))
+}
+
+// Set writes a data item as caller (sugar for invoking `set`).
+func (o *Object) Set(caller security.Principal, name string, v value.Value) error {
+	_, err := o.Invoke(caller, "set", value.NewString(name), v)
+	return err
+}
+
+func (o *Object) invokeFrom(inv *Invocation, name string, args []value.Value) (value.Value, error) {
+	if inv.depth > maxReentry {
+		return value.Null, fmt.Errorf("%w (depth %d invoking %q)", ErrReentry, inv.depth, name)
+	}
+	release := o.admit(inv)
+	defer release()
+	o.mu.Lock()
+	top := len(o.invokeLevels)
+	o.mu.Unlock()
+	return o.runLevel(inv, top, name, args)
+}
+
+// runLevel executes level k of the invocation mechanism for target method
+// name. Level 0 is the primitive dispatch; level k>0 applies the k-th
+// meta-invoke method, whose body receives (name, args-as-list) — exactly
+// the argument passing of the paper's Figure 1, where Mfoo is sent as a
+// parameter to meta_invoke.
+func (o *Object) runLevel(inv *Invocation, k int, name string, args []value.Value) (value.Value, error) {
+	if inv.depth > maxReentry {
+		return value.Null, fmt.Errorf("%w (depth %d at level %d)", ErrReentry, inv.depth, k)
+	}
+	if k == 0 {
+		return o.dispatchBase(inv, name, args)
+	}
+	o.mu.Lock()
+	if k > len(o.invokeLevels) {
+		k = len(o.invokeLevels)
+		if k == 0 {
+			o.mu.Unlock()
+			return o.dispatchBase(inv, name, args)
+		}
+	}
+	meta := o.invokeLevels[k-1]
+	pol, aud := o.policy, o.auditor
+	o.mu.Unlock()
+
+	// The meta-invoke is itself a method: Match applies to it, with the
+	// original requester as the checked principal.
+	if err := o.match(inv.caller, meta.acl, meta.visible, pol, aud, security.ActionInvoke, meta.name); err != nil {
+		return value.Null, err
+	}
+
+	metaArgs := []value.Value{value.NewString(name), value.NewList(args)}
+	metaInv := &Invocation{
+		self:   o,
+		caller: inv.caller,
+		method: meta.name,
+		level:  k,
+		depth:  inv.depth + 1,
+	}
+	return applyMethod(metaInv, meta, metaArgs)
+}
+
+// dispatchBase is the non-reflective level-0 invocation mechanism:
+//
+//  1. Lookup — locate and fetch the method.
+//  2. Match  — match security information (ACL, policy, encapsulation).
+//  3. Apply  — pre-proc, body, post-proc.
+func (o *Object) dispatchBase(inv *Invocation, name string, args []value.Value) (value.Value, error) {
+	// Phase 1: Lookup.
+	o.mu.Lock()
+	m, ok := o.lookupMethod(name)
+	if !ok {
+		o.mu.Unlock()
+		return value.Null, fmt.Errorf("%w: method %q", ErrNotFound, name)
+	}
+	pol, aud := o.policy, o.auditor
+	o.mu.Unlock()
+
+	// Phase 2: Match.
+	if err := o.match(inv.caller, m.acl, m.visible, pol, aud, security.ActionInvoke, name); err != nil {
+		return value.Null, err
+	}
+
+	// Phase 3: Apply.
+	bodyInv := &Invocation{
+		self:   o,
+		caller: inv.caller,
+		method: name,
+		level:  0,
+		depth:  inv.depth + 1,
+	}
+	return applyMethod(bodyInv, m, args)
+}
+
+// applyMethod runs the Apply phase: pre-proc (false prevents the body),
+// body, post-proc (false raises ErrPostconditionFailed). The post-procedure
+// receives the method arguments plus the body's result appended, enabling
+// result assertions.
+func applyMethod(inv *Invocation, m *Method, args []value.Value) (value.Value, error) {
+	if m.pre != nil {
+		ok, err := runGuard(inv, m.pre, args)
+		if err != nil {
+			return value.Null, fmt.Errorf("pre-procedure of %q: %w", m.name, err)
+		}
+		if !ok {
+			return value.Null, fmt.Errorf("%w: method %q", ErrPreconditionFailed, m.name)
+		}
+	}
+	result, err := m.body.Invoke(inv, args)
+	if err != nil {
+		return value.Null, fmt.Errorf("method %q: %w", m.name, err)
+	}
+	if m.post != nil {
+		postArgs := make([]value.Value, 0, len(args)+1)
+		postArgs = append(postArgs, args...)
+		postArgs = append(postArgs, result)
+		ok, err := runGuard(inv, m.post, postArgs)
+		if err != nil {
+			return value.Null, fmt.Errorf("post-procedure of %q: %w", m.name, err)
+		}
+		if !ok {
+			return value.Null, fmt.Errorf("%w: method %q", ErrPostconditionFailed, m.name)
+		}
+	}
+	return result, nil
+}
+
+// runGuard executes a pre- or post-procedure, coercing its result to bool
+// ("both operations always return a boolean value").
+func runGuard(inv *Invocation, guard Body, args []value.Value) (bool, error) {
+	v, err := guard.Invoke(inv, args)
+	if err != nil {
+		return false, err
+	}
+	b, err := value.Coerce(v, value.KindBool)
+	if err != nil {
+		return false, err
+	}
+	ok, _ := b.Bool()
+	return ok, nil
+}

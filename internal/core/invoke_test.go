@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+func TestLevel0Phases(t *testing.T) {
+	obj := testObject(t, WithPolicy(allowAllPolicy()))
+	v, err := obj.Invoke(stranger(), "double", value.NewInt(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 42 {
+		t.Errorf("double(21) = %v", v)
+	}
+	// Lookup failure.
+	if _, err := obj.Invoke(stranger(), "nosuch"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup failure: %v", err)
+	}
+}
+
+func TestPrePostProcedures(t *testing.T) {
+	var order []string
+	body := NewNativeBody("t.body", func(_ *Invocation, args []value.Value) (value.Value, error) {
+		order = append(order, "body")
+		return value.NewString("result"), nil
+	})
+	pre := NewNativeBody("t.pre", func(_ *Invocation, args []value.Value) (value.Value, error) {
+		order = append(order, "pre")
+		// Precondition: first argument must be positive.
+		n, err := value.Coerce(argAt(args, 0), value.KindInt)
+		if err != nil {
+			return value.False, nil
+		}
+		i, _ := n.Int()
+		return value.NewBool(i > 0), nil
+	})
+	post := NewNativeBody("t.post", func(_ *Invocation, args []value.Value) (value.Value, error) {
+		order = append(order, "post")
+		// Post receives args + result appended.
+		last := args[len(args)-1]
+		return value.NewBool(last.String() == "result"), nil
+	})
+
+	b := NewBuilder(gen, "Wrapped", WithPolicy(allowAllPolicy()))
+	b.FixedMethod("m", body, WithPre(pre), WithPost(post))
+	obj := b.MustBuild()
+
+	v, err := obj.Invoke(stranger(), "m", value.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "result" {
+		t.Errorf("result = %v", v)
+	}
+	if len(order) != 3 || order[0] != "pre" || order[1] != "body" || order[2] != "post" {
+		t.Errorf("phase order = %v", order)
+	}
+
+	// False pre prevents the body.
+	order = nil
+	_, err = obj.Invoke(stranger(), "m", value.NewInt(-1))
+	if !errors.Is(err, ErrPreconditionFailed) {
+		t.Fatalf("pre failure: %v", err)
+	}
+	if len(order) != 1 || order[0] != "pre" {
+		t.Errorf("after failed pre, order = %v", order)
+	}
+}
+
+func TestPostFailureRaises(t *testing.T) {
+	b := NewBuilder(gen, "BadPost", WithPolicy(allowAllPolicy()))
+	b.FixedMethod("m",
+		NewNativeBody("t.b", func(*Invocation, []value.Value) (value.Value, error) {
+			return value.NewInt(1), nil
+		}),
+		WithPost(NewNativeBody("t.p", func(*Invocation, []value.Value) (value.Value, error) {
+			return value.False, nil
+		})))
+	obj := b.MustBuild()
+	if _, err := obj.Invoke(stranger(), "m"); !errors.Is(err, ErrPostconditionFailed) {
+		t.Errorf("post failure: %v", err)
+	}
+}
+
+func TestGuardErrorPropagates(t *testing.T) {
+	b := NewBuilder(gen, "ErrPre", WithPolicy(allowAllPolicy()))
+	b.FixedMethod("m",
+		NewNativeBody("t.b", func(*Invocation, []value.Value) (value.Value, error) {
+			return value.NewInt(1), nil
+		}),
+		WithPre(NewNativeBody("t.p", func(*Invocation, []value.Value) (value.Value, error) {
+			return value.Null, errors.New("guard exploded")
+		})))
+	obj := b.MustBuild()
+	_, err := obj.Invoke(stranger(), "m")
+	if err == nil || !contains(err.Error(), "guard exploded") {
+		t.Errorf("guard error: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFig1TwoLevelInvocation reproduces Figure 1: a two-level invocation of
+// method Mfoo on object Obar through an installed meta_invoke whose
+// pre-procedure and the base mechanism both fire, in the figure's order.
+func TestFig1TwoLevelInvocation(t *testing.T) {
+	var trace []string
+	obj := buildWithTraceMethods(t, &trace)
+
+	// Install the level-1 meta_invoke: its body records itself, then
+	// descends to level 0 for the real dispatch.
+	_, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "trace.metainvoke"}),
+			"pre":  DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "trace.metapre"}),
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.InvokeLevelCount() != 1 {
+		t.Fatalf("levels = %d", obj.InvokeLevelCount())
+	}
+
+	v, err := obj.Invoke(stranger(), "Mfoo", value.NewInt(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 21 {
+		t.Errorf("Mfoo(20) = %v", v)
+	}
+	want := []string{"meta.pre(Mfoo)", "meta.invoke(Mfoo)", "Mfoo.body"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("trace[%d] = %q, want %q", i, trace[i], want[i])
+		}
+	}
+
+	// Removing the level restores pure level-0 dispatch. Note the
+	// deleteMethod call itself routes through the still-installed chain —
+	// meta-methods are ordinary methods — so the trace resets afterwards.
+	if _, err := obj.InvokeSelf("deleteMethod", value.NewString("invoke")); err != nil {
+		t.Fatal(err)
+	}
+	trace = trace[:0]
+	if obj.InvokeLevelCount() != 0 {
+		t.Errorf("levels after delete = %d", obj.InvokeLevelCount())
+	}
+	if _, err := obj.Invoke(stranger(), "Mfoo", value.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1 || trace[0] != "Mfoo.body" {
+		t.Errorf("trace after pop = %v", trace)
+	}
+}
+
+// buildWithTraceMethods constructs Obar with a traced Mfoo and a registry
+// carrying the meta-invoke behaviors.
+func buildWithTraceMethods(t *testing.T, trace *[]string) *Object {
+	t.Helper()
+	reg := traceRegistry(trace)
+	b := NewBuilder(gen, "Obar", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	mfoo, err := reg.Lookup("trace.mfoo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.FixedMethod("Mfoo", mfoo)
+	return b.MustBuild()
+}
+
+// traceRegistry registers the Figure 1 behaviors: Mfoo increments its
+// argument; meta_invoke forwards through invokeNext; meta_pre records and
+// approves.
+func traceRegistry(trace *[]string) *BehaviorRegistry {
+	reg := NewBehaviorRegistry()
+	reg.Register("trace.mfoo", func(_ *Invocation, args []value.Value) (value.Value, error) {
+		*trace = append(*trace, "Mfoo.body")
+		n, err := value.Coerce(argAt(args, 0), value.KindInt)
+		if err != nil {
+			return value.Null, err
+		}
+		i, _ := n.Int()
+		return value.NewInt(i + 1), nil
+	})
+	reg.Register("trace.metainvoke", func(inv *Invocation, args []value.Value) (value.Value, error) {
+		name := argAt(args, 0).String()
+		*trace = append(*trace, "meta.invoke("+name+")")
+		return inv.InvokeNext(name, argList(args, 1)...)
+	})
+	reg.Register("trace.metapre", func(_ *Invocation, args []value.Value) (value.Value, error) {
+		*trace = append(*trace, "meta.pre("+argAt(args, 0).String()+")")
+		return value.True, nil
+	})
+	return reg
+}
+
+// TestArbitraryInvocationLevels stacks three meta levels and verifies the
+// chain executes outermost-first, then reaches the base mechanism — "nothing
+// in the model prevents the creation of arbitrary levels of invocation".
+func TestArbitraryInvocationLevels(t *testing.T) {
+	var hits []int
+	reg := NewBehaviorRegistry()
+	reg.Register("lvl.pass", func(inv *Invocation, args []value.Value) (value.Value, error) {
+		hits = append(hits, inv.Level())
+		return inv.InvokeNext(argAt(args, 0).String(), argList(args, 1)...)
+	})
+	b := NewBuilder(gen, "Deep", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	b.FixedMethod("m", NewNativeBody("t", func(*Invocation, []value.Value) (value.Value, error) {
+		hits = append(hits, 0)
+		return value.NewString("done"), nil
+	}))
+	obj := b.MustBuild()
+
+	for i := 0; i < 3; i++ {
+		if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+			value.NewMap(map[string]value.Value{
+				"body": DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "lvl.pass"}),
+			})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obj.InvokeLevelCount() != 3 {
+		t.Fatalf("levels = %d", obj.InvokeLevelCount())
+	}
+	// The install calls themselves traversed the partially-built chain;
+	// only the final invocation's traversal is under test.
+	hits = hits[:0]
+	v, err := obj.Invoke(stranger(), "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "done" {
+		t.Errorf("result = %v", v)
+	}
+	want := []int{3, 2, 1, 0}
+	if len(hits) != 4 {
+		t.Fatalf("hits = %v", hits)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("hits[%d] = %d, want %d", i, hits[i], want[i])
+		}
+	}
+}
+
+// TestChargingMetaInvoke reproduces the §3 "code renting" use: a level-1
+// invoke whose pre-procedure debits a charge counter on every invocation of
+// any method; an exhausted account blocks the body.
+func TestChargingMetaInvoke(t *testing.T) {
+	var balance atomic.Int64
+	balance.Store(2)
+	reg := NewBehaviorRegistry()
+	reg.Register("charge.pass", func(inv *Invocation, args []value.Value) (value.Value, error) {
+		return inv.InvokeNext(argAt(args, 0).String(), argList(args, 1)...)
+	})
+	reg.Register("charge.pre", func(*Invocation, []value.Value) (value.Value, error) {
+		if balance.Add(-1) < 0 {
+			return value.False, nil
+		}
+		return value.True, nil
+	})
+	b := NewBuilder(gen, "Rented", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	b.FixedMethod("work", NewNativeBody("t", func(*Invocation, []value.Value) (value.Value, error) {
+		return value.NewString("ok"), nil
+	}))
+	obj := b.MustBuild()
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "charge.pass"}),
+			"pre":  DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "charge.pre"}),
+		})); err != nil {
+		t.Fatal(err)
+	}
+
+	caller := stranger()
+	for i := 0; i < 2; i++ {
+		if _, err := obj.Invoke(caller, "work"); err != nil {
+			t.Fatalf("paid call %d: %v", i, err)
+		}
+	}
+	if _, err := obj.Invoke(caller, "work"); !errors.Is(err, ErrPreconditionFailed) {
+		t.Errorf("exhausted account: %v", err)
+	}
+}
+
+func TestMetaInvokeMethodReflectively(t *testing.T) {
+	obj := testObject(t, WithPolicy(allowAllPolicy()))
+	// invoke("double", [5]) through the invoke meta-method; per the paper,
+	// invoke can invoke any method, including meta-methods.
+	v, err := obj.Invoke(stranger(), "invoke",
+		value.NewString("double"), value.NewListOf(value.NewInt(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 10 {
+		t.Errorf("invoke(double,[5]) = %v", v)
+	}
+	// Meta-method through invoke: describe.
+	v, err = obj.Invoke(stranger(), "invoke", value.NewString("describe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.Map(); !ok {
+		t.Errorf("invoke(describe) = %v", v)
+	}
+}
+
+func TestInvokeNextOutsideMetaFails(t *testing.T) {
+	obj := testObject(t, WithPolicy(allowAllPolicy()))
+	inv := &Invocation{self: obj, caller: stranger(), level: 0}
+	if _, err := inv.InvokeNext("double"); !errors.Is(err, ErrArity) {
+		t.Errorf("InvokeNext at level 0: %v", err)
+	}
+}
+
+func TestReentryGuard(t *testing.T) {
+	// A meta level that restarts the chain from the top loops; the guard
+	// must stop it.
+	reg := NewBehaviorRegistry()
+	reg.Register("loop.restart", func(inv *Invocation, args []value.Value) (value.Value, error) {
+		return inv.Invoke(argAt(args, 0).String(), argList(args, 1)...)
+	})
+	b := NewBuilder(gen, "Loopy", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	b.FixedMethod("m", NewNativeBody("t", func(*Invocation, []value.Value) (value.Value, error) {
+		return value.Null, nil
+	}))
+	obj := b.MustBuild()
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "loop.restart"}),
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Invoke(stranger(), "m"); !errors.Is(err, ErrReentry) {
+		t.Errorf("runaway chain: %v", err)
+	}
+}
+
+func TestMetaLevelACL(t *testing.T) {
+	// The meta-invoke itself is matched: a level whose ACL denies the
+	// caller blocks everything.
+	reg := NewBehaviorRegistry()
+	reg.Register("pass", func(inv *Invocation, args []value.Value) (value.Value, error) {
+		return inv.InvokeNext(argAt(args, 0).String(), argList(args, 1)...)
+	})
+	b := NewBuilder(gen, "Gated", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	b.FixedMethod("m", NewNativeBody("t", func(*Invocation, []value.Value) (value.Value, error) {
+		return value.NewInt(1), nil
+	}))
+	obj := b.MustBuild()
+	blocked := stranger()
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body":    DescriptorToValue(BodyDescriptor{Kind: BodyNative, Name: "pass"}),
+			"aclDeny": value.NewString("object:" + blocked.Object.String()),
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Invoke(blocked, "m"); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("denied caller through meta level: %v", err)
+	}
+	if _, err := obj.Invoke(stranger(), "m"); err != nil {
+		t.Errorf("other caller through meta level: %v", err)
+	}
+}
+
+func TestScriptMetaInvokeLevel(t *testing.T) {
+	// A mobile (script) meta-invoke: rewrites every result by wrapping the
+	// level-0 result. This is how the database-shutdown ambassador of §5
+	// works.
+	b := NewBuilder(gen, "Scripted", WithPolicy(allowAllPolicy()))
+	b.FixedScriptMethod("greet", `fn(name) { return "hello " + name; }`)
+	obj := b.MustBuild()
+
+	_, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, callArgs) {
+				let out = self.invokeNext(name, callArgs);
+				return "[" + out + "]";
+			}`),
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := obj.Invoke(stranger(), "greet", value.NewString("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "[hello world]" {
+		t.Errorf("wrapped greet = %v", v)
+	}
+}
+
+func TestInvokeOn(t *testing.T) {
+	a := testObject(t, WithPolicy(allowAllPolicy()))
+	bObj := testObject(t, WithPolicy(allowAllPolicy()))
+	reg := NewBehaviorRegistry()
+	// a.callPeer invokes double on the peer passed via closure.
+	b := NewBuilder(gen, "Caller", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	b.FixedMethod("callPeer", NewNativeBody("t", func(inv *Invocation, args []value.Value) (value.Value, error) {
+		return inv.InvokeOn(bObj, "double", argAt(args, 0))
+	}))
+	caller := b.MustBuild()
+	_ = a
+	v, err := caller.InvokeSelf("callPeer", value.NewInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 8 {
+		t.Errorf("callPeer = %v", v)
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mscript"
+	"repro/internal/naming"
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+// Resolver lets method bodies reach other objects by name (the ctx.lookup
+// facility of script bodies). The HADAS layer supplies one per site.
+type Resolver interface {
+	// ResolveObject maps a name (human name or ID string) to a live object.
+	ResolveObject(name string) (*Object, error)
+	// SiteName identifies the hosting site.
+	SiteName() string
+}
+
+// Object is an MROM object: four item containers (fixed/extensible ×
+// data/methods), bundled meta-methods, and a meta-invoke chain. All
+// operations are safe for concurrent use; user bodies run outside the
+// structural lock so methods may re-enter their object.
+type Object struct {
+	mu sync.Mutex
+
+	id     naming.ID
+	class  string
+	domain string
+
+	fixedData *container[*DataItem]
+	extData   *container[*DataItem]
+	fixedMeth *container[*Method]
+	extMeth   *container[*Method]
+
+	// invokeLevels is the meta-mutable invocation chain: element 0 is
+	// level 1, element k-1 is level k. Empty means pure level-0 dispatch.
+	invokeLevels []*Method
+
+	sealed bool
+
+	policy   *security.Policy
+	auditor  *security.Auditor
+	registry *BehaviorRegistry
+	resolver Resolver
+	output   func(string)
+	budget   mscript.Budget
+
+	metaACL    security.ACL
+	metaHidden bool
+
+	// admission, when non-nil, serializes external invocations (see
+	// Serialized in serialize.go).
+	admission chan struct{}
+
+	handles   map[string]any // handle token → *DataItem or *Method
+	handleSeq int
+}
+
+// ID returns the object's decentralized identity.
+func (o *Object) ID() naming.ID { return o.id }
+
+// Class returns the class name the object was constructed from.
+func (o *Object) Class() string { return o.class }
+
+// Domain returns the trust domain the object belongs to.
+func (o *Object) Domain() string { return o.domain }
+
+// Principal returns the principal the object acts as.
+func (o *Object) Principal() security.Principal {
+	return security.Principal{Object: o.id, Domain: o.domain}
+}
+
+// SetResolver wires the object to a site resolver (done by the host on
+// installation; part of the "installation context" of §5).
+func (o *Object) SetResolver(r Resolver) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.resolver = r
+}
+
+// Resolver returns the site resolver the object is wired to (nil when
+// unhosted). Native behaviors use it to reach their hosting site's
+// services.
+func (o *Object) Resolver() Resolver {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.resolver
+}
+
+// SetPolicy attaches the host's security policy (Match-phase default).
+func (o *Object) SetPolicy(p *security.Policy) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.policy = p
+}
+
+// SetAuditor attaches an audit sink for Match decisions.
+func (o *Object) SetAuditor(a *security.Auditor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.auditor = a
+}
+
+// SetOutput directs script print() and ctx.log output.
+func (o *Object) SetOutput(sink func(string)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.output = sink
+}
+
+// Registry returns the behavior registry the object reconstructs native
+// bodies from.
+func (o *Object) Registry() *BehaviorRegistry {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.registry
+}
+
+// lookupMethod finds a method by name, fixed section first (the fixed
+// section is the guaranteed interface; the extensible section cannot
+// shadow it). Callers hold o.mu.
+func (o *Object) lookupMethod(name string) (*Method, bool) {
+	if m, ok := o.fixedMeth.get(name); ok {
+		return m, true
+	}
+	if m, ok := o.extMeth.get(name); ok {
+		return m, true
+	}
+	return nil, false
+}
+
+// lookupData finds a data item by name, fixed section first. Callers hold o.mu.
+func (o *Object) lookupData(name string) (*DataItem, bool) {
+	if d, ok := o.fixedData.get(name); ok {
+		return d, true
+	}
+	if d, ok := o.extData.get(name); ok {
+		return d, true
+	}
+	return nil, false
+}
+
+// getData implements the ordinary `get` operation with its Match check.
+func (o *Object) getData(caller security.Principal, name string) (value.Value, error) {
+	o.mu.Lock()
+	d, ok := o.lookupData(name)
+	if !ok {
+		o.mu.Unlock()
+		return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
+	}
+	pol, aud := o.policy, o.auditor
+	visible, acl := d.visible, d.acl
+	o.mu.Unlock()
+
+	if err := o.match(caller, acl, visible, pol, aud, security.ActionGet, name); err != nil {
+		return value.Null, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// Re-read under lock; the item may have changed (not vanished: deletion
+	// would surface as ErrNotFound on the next access, which is fine).
+	if d2, ok := o.lookupData(name); ok {
+		return d2.val, nil
+	}
+	return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
+}
+
+// setData implements the ordinary `set` operation with its Match check.
+func (o *Object) setData(caller security.Principal, name string, v value.Value) error {
+	o.mu.Lock()
+	d, ok := o.lookupData(name)
+	if !ok {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: data item %q", ErrNotFound, name)
+	}
+	pol, aud := o.policy, o.auditor
+	visible, acl := d.visible, d.acl
+	o.mu.Unlock()
+
+	if err := o.match(caller, acl, visible, pol, aud, security.ActionSet, name); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d2, ok := o.lookupData(name)
+	if !ok {
+		return fmt.Errorf("%w: data item %q", ErrNotFound, name)
+	}
+	return d2.setValue(v)
+}
+
+// match is the Match phase shared by invocation and data access: hidden
+// items appear nonexistent to everyone but the object itself; otherwise the
+// item ACL decides, falling back to the host policy.
+func (o *Object) match(caller security.Principal, acl security.ACL, visible bool,
+	pol *security.Policy, aud *security.Auditor, action security.Action, item string) error {
+	if caller.Object == o.id {
+		// Self-containment: an object always controls itself.
+		return nil
+	}
+	if !visible {
+		// Encapsulation: a hidden item appears nonexistent — except to a
+		// principal its ACL explicitly grants (an Ambassador's origin keeps
+		// access to the hidden meta-methods; the host does not). The policy
+		// default never opens a hidden item.
+		if effect, matched := acl.Decide(caller, action); matched && effect == security.Allow {
+			if aud != nil {
+				aud.Record(caller, action, item, true)
+			}
+			return nil
+		}
+		if aud != nil {
+			aud.Record(caller, action, item, false)
+		}
+		return fmt.Errorf("%w: %s %q", ErrNotFound, actionNoun(action), item)
+	}
+	err := security.Check(acl, pol, caller, action, item)
+	if aud != nil {
+		aud.Record(caller, action, item, err == nil)
+	}
+	return err
+}
+
+func actionNoun(a security.Action) string {
+	switch a {
+	case security.ActionGet, security.ActionSet:
+		return "data item"
+	default:
+		return "method"
+	}
+}
+
+// DataItemNames lists data item names visible to caller, fixed section
+// first, each section in insertion order.
+func (o *Object) DataItemNames(caller security.Principal) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	self := caller.Object == o.id
+	var out []string
+	collect := func(c *container[*DataItem]) {
+		c.each(func(name string, d *DataItem) {
+			if self || d.visible {
+				out = append(out, name)
+			}
+		})
+	}
+	collect(o.fixedData)
+	collect(o.extData)
+	return out
+}
+
+// MethodNames lists method names visible to caller, fixed section first.
+func (o *Object) MethodNames(caller security.Principal) []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	self := caller.Object == o.id
+	var out []string
+	collect := func(c *container[*Method]) {
+		c.each(func(name string, m *Method) {
+			if self || m.visible {
+				out = append(out, name)
+			}
+		})
+	}
+	collect(o.fixedMeth)
+	collect(o.extMeth)
+	return out
+}
+
+// Describe renders the object's self-representation as seen by caller:
+// identity, class, domain, item and method listings, and the number of
+// installed meta-invoke levels. This is the paper's basic reflective
+// property — a host "must be able to interrogate the newcomer object".
+func (o *Object) Describe(caller security.Principal) value.Value {
+	dataNames := o.DataItemNames(caller)
+	methNames := o.MethodNames(caller)
+	o.mu.Lock()
+	levels := len(o.invokeLevels)
+	id, class, domain := o.id, o.class, o.domain
+	o.mu.Unlock()
+
+	dl := make([]value.Value, len(dataNames))
+	for i, n := range dataNames {
+		dl[i] = value.NewString(n)
+	}
+	ml := make([]value.Value, len(methNames))
+	for i, n := range methNames {
+		ml[i] = value.NewString(n)
+	}
+	return value.NewMap(map[string]value.Value{
+		"id":           value.NewString(id.String()),
+		"class":        value.NewString(class),
+		"domain":       value.NewString(domain),
+		"dataItems":    value.NewList(dl),
+		"methods":      value.NewList(ml),
+		"invokeLevels": value.NewInt(int64(levels)),
+	})
+}
+
+// InvokeLevelCount reports the installed meta-invoke chain depth.
+func (o *Object) InvokeLevelCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.invokeLevels)
+}
+
+// newHandle registers an item pointer and returns its token. Callers hold o.mu.
+func (o *Object) newHandle(item any) string {
+	o.handleSeq++
+	tok := fmt.Sprintf("h%d", o.handleSeq)
+	o.handles[tok] = item
+	return tok
+}
+
+// dropHandles removes all handles pointing at item. Callers hold o.mu.
+func (o *Object) dropHandles(item any) {
+	for tok, it := range o.handles {
+		if it == item {
+			delete(o.handles, tok)
+		}
+	}
+}
+
+// Builder constructs an Object. Fixed items can only be declared before
+// Build; Build seals the fixed containers and installs the meta-methods.
+type Builder struct {
+	obj  *Object
+	errs []error
+}
+
+// BuildOption configures object-wide properties.
+type BuildOption func(*Object)
+
+// InDomain sets the object's trust domain.
+func InDomain(domain string) BuildOption {
+	return func(o *Object) { o.domain = domain }
+}
+
+// WithPolicy sets the host security policy consulted when an item ACL has
+// no matching entry.
+func WithPolicy(p *security.Policy) BuildOption {
+	return func(o *Object) { o.policy = p }
+}
+
+// WithAuditor attaches an audit sink.
+func WithAuditor(a *security.Auditor) BuildOption {
+	return func(o *Object) { o.auditor = a }
+}
+
+// WithRegistry sets the behavior registry used to rebuild native bodies.
+func WithRegistry(r *BehaviorRegistry) BuildOption {
+	return func(o *Object) { o.registry = r }
+}
+
+// WithResolver wires the site resolver at construction time.
+func WithResolver(r Resolver) BuildOption {
+	return func(o *Object) { o.resolver = r }
+}
+
+// WithOutput directs script output.
+func WithOutput(sink func(string)) BuildOption {
+	return func(o *Object) { o.output = sink }
+}
+
+// WithBudget bounds script bodies run by this object.
+func WithBudget(b mscript.Budget) BuildOption {
+	return func(o *Object) { o.budget = b }
+}
+
+// NewBuilder starts construction of an object of the named class. The
+// generator mints the object's decentralized identity.
+func NewBuilder(gen *naming.Generator, class string, opts ...BuildOption) *Builder {
+	o := &Object{
+		id:        gen.New(),
+		class:     class,
+		domain:    "local",
+		fixedData: newContainer[*DataItem](true),
+		extData:   newContainer[*DataItem](false),
+		fixedMeth: newContainer[*Method](true),
+		extMeth:   newContainer[*Method](false),
+		handles:   make(map[string]any),
+		budget:    mscript.DefaultBudget,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return &Builder{obj: o}
+}
+
+func (b *Builder) fail(err error) {
+	b.errs = append(b.errs, err)
+}
+
+func (b *Builder) addData(c *container[*DataItem], fixed bool, name string, v value.Value, opts ...ItemOption) {
+	cfg := newItemConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	d := &DataItem{name: name, acl: cfg.acl, visible: cfg.visible, dynKind: cfg.dynKind, fixed: fixed}
+	if err := d.setValue(v); err != nil {
+		b.fail(err)
+		return
+	}
+	if isReservedName(name) {
+		b.fail(fmt.Errorf("%w: %q is reserved", ErrExists, name))
+		return
+	}
+	if _, dup := b.obj.lookupData(name); dup {
+		b.fail(fmt.Errorf("%w: data item %q", ErrExists, name))
+		return
+	}
+	if err := c.add(name, d); err != nil {
+		b.fail(err)
+	}
+}
+
+// FixedData declares a fixed-section data item.
+func (b *Builder) FixedData(name string, v value.Value, opts ...ItemOption) *Builder {
+	b.addData(b.obj.fixedData, true, name, v, opts...)
+	return b
+}
+
+// ExtData declares an extensible-section data item.
+func (b *Builder) ExtData(name string, v value.Value, opts ...ItemOption) *Builder {
+	b.addData(b.obj.extData, false, name, v, opts...)
+	return b
+}
+
+func (b *Builder) addMethod(c *container[*Method], fixed bool, name string, body Body, opts ...ItemOption) {
+	cfg := newItemConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if body == nil {
+		b.fail(fmt.Errorf("%w: method %q has no body", ErrArity, name))
+		return
+	}
+	m := &Method{name: name, body: body, pre: cfg.pre, post: cfg.post,
+		acl: cfg.acl, visible: cfg.visible, fixed: fixed}
+	if isReservedName(name) {
+		b.fail(fmt.Errorf("%w: %q is reserved", ErrExists, name))
+		return
+	}
+	if _, dup := b.obj.lookupMethod(name); dup {
+		b.fail(fmt.Errorf("%w: method %q", ErrExists, name))
+		return
+	}
+	if err := c.add(name, m); err != nil {
+		b.fail(err)
+	}
+}
+
+// FixedMethod declares a fixed-section method.
+func (b *Builder) FixedMethod(name string, body Body, opts ...ItemOption) *Builder {
+	b.addMethod(b.obj.fixedMeth, true, name, body, opts...)
+	return b
+}
+
+// ExtMethod declares an extensible-section method.
+func (b *Builder) ExtMethod(name string, body Body, opts ...ItemOption) *Builder {
+	b.addMethod(b.obj.extMeth, false, name, body, opts...)
+	return b
+}
+
+// FixedScriptMethod declares a fixed method with an MScript body.
+func (b *Builder) FixedScriptMethod(name, src string, opts ...ItemOption) *Builder {
+	body, err := NewScriptBody(src)
+	if err != nil {
+		b.fail(fmt.Errorf("method %q: %w", name, err))
+		return b
+	}
+	return b.FixedMethod(name, body, opts...)
+}
+
+// ExtScriptMethod declares an extensible method with an MScript body.
+func (b *Builder) ExtScriptMethod(name, src string, opts ...ItemOption) *Builder {
+	body, err := NewScriptBody(src)
+	if err != nil {
+		b.fail(fmt.Errorf("method %q: %w", name, err))
+		return b
+	}
+	return b.ExtMethod(name, body, opts...)
+}
+
+// Build seals the object: the fixed containers become immutable, the
+// meta-methods are installed, and the object is ready for invocation.
+func (b *Builder) Build() (*Object, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("building object %q: %w", b.obj.class, b.errs[0])
+	}
+	installMetaMethods(b.obj)
+	b.obj.sealed = true
+	return b.obj, nil
+}
+
+// MustBuild is Build for static construction known to be valid; it panics
+// on builder errors (use in tests and examples, not on untrusted input).
+func (b *Builder) MustBuild() *Object {
+	o, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// sortedHandleTokens is a test hook: the current live handle tokens, sorted.
+func (o *Object) sortedHandleTokens() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.handles))
+	for tok := range o.handles {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}

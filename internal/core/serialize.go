@@ -1,0 +1,32 @@
+package core
+
+// This file implements the "advanced features … synchronization mechanisms
+// to allow implementation of concurrent programming models" requirement
+// (§1). An object built with Serialized() processes external invocations
+// one at a time, actor-style: the object's methods can then mutate its
+// state without further coordination, which is the concurrency model most
+// mobile-object programs assume.
+//
+// Re-entrancy is preserved: self-calls, meta-invoke levels, and calls that
+// arrive back at the object through another object (A→B→A) all run inside
+// the admission already granted to the outermost invocation — only fresh
+// entries (depth 0) queue. Structural operations remain guarded by the
+// object's internal lock regardless, so Serialized() is about *method
+// bodies*, not about memory safety (which holds either way).
+
+// Serialized makes the object admit one external invocation at a time.
+func Serialized() BuildOption {
+	return func(o *Object) {
+		o.admission = make(chan struct{}, 1)
+	}
+}
+
+// admit acquires the admission slot for a fresh entry; it returns a
+// release function (no-op for non-serialized objects and re-entries).
+func (o *Object) admit(inv *Invocation) func() {
+	if o.admission == nil || inv.depth != 0 {
+		return func() {}
+	}
+	o.admission <- struct{}{}
+	return func() { <-o.admission }
+}

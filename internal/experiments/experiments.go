@@ -1,0 +1,689 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hadas"
+	"repro/internal/persist"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// All runs the full suite in order.
+func All() ([]Table, error) {
+	runs := []func() (Table, error){
+		E1InvocationLevels,
+		E2Topology,
+		E3InvocationCost,
+		E4MutabilityLookupCost,
+		E5ACLCost,
+		E6WrappingCost,
+		E7MigrationCost,
+		E8DynamicUpdateAvailability,
+		E9CoercionCost,
+		E10PersistenceCost,
+		E11AgentJourney,
+	}
+	out := make([]Table, 0, len(runs))
+	for _, run := range runs {
+		t, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ByID returns one experiment runner by its id ("e1".."e10").
+func ByID(id string) (func() (Table, error), bool) {
+	m := map[string]func() (Table, error){
+		"e1": E1InvocationLevels, "e2": E2Topology, "e3": E3InvocationCost,
+		"e4": E4MutabilityLookupCost, "e5": E5ACLCost, "e6": E6WrappingCost,
+		"e7": E7MigrationCost, "e8": E8DynamicUpdateAvailability,
+		"e9": E9CoercionCost, "e10": E10PersistenceCost,
+		"e11": E11AgentJourney,
+	}
+	f, ok := m[id]
+	return f, ok
+}
+
+// E1InvocationLevels reproduces Figure 1 as a measurement: the cost of an
+// invocation as meta-invoke levels stack up, with level 0 as the base.
+func E1InvocationLevels() (Table, error) {
+	t := Table{
+		ID:    "E1/Fig1",
+		Title: "meta-invocation levels (two-level invocation of Mfoo on Obar, generalized)",
+		Comment: "each level is a pass-through meta-invoke installed with setMethod(\"invoke\");\n" +
+			"level 0 is the non-reflective base mechanism (Lookup-Match-Apply).",
+		Columns: []string{"levels", "ns/op", "vs level 0"},
+	}
+	caller := Stranger()
+	arg := value.NewInt(7)
+	var base time.Duration
+	for levels := 0; levels <= 3; levels++ {
+		obj := BenchObject(4, 4)
+		if err := AddInvokeLevels(obj, levels); err != nil {
+			return t, err
+		}
+		// Correctness first: the call must still reach the body.
+		v, err := obj.Invoke(caller, "work", arg)
+		if err != nil {
+			return t, err
+		}
+		if i, _ := v.Int(); i != 7 {
+			return t, fmt.Errorf("E1: levels=%d returned %v", levels, v)
+		}
+		d := measure(func() {
+			_, _ = obj.Invoke(caller, "work", arg)
+		})
+		if levels == 0 {
+			base = d
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", levels), ns(d), ratio(base, d),
+		})
+	}
+	return t, nil
+}
+
+// E2Topology reproduces Figure 2 as an executable scenario: linked sites
+// hosting each other's ambassadors, with the ownership invariants checked
+// and the relayed-invocation cost measured.
+func E2Topology() (Table, error) {
+	t := Table{
+		ID:      "E2/Fig2",
+		Title:   "HADAS external view: IOOs, Home, Vicinity, APO ambassadors",
+		Columns: []string{"measure", "value"},
+	}
+	host, origin, cleanup, err := TwoSites()
+	if err != nil {
+		return t, err
+	}
+	defer cleanup()
+	if _, err := host.Import("bench-origin", "payroll"); err != nil {
+		return t, err
+	}
+	amb, err := host.ResolveObject("payroll@bench-origin")
+	if err != nil {
+		return t, err
+	}
+	client := security.Principal{Object: host.Generator().New(), Domain: host.Domain()}
+	v, err := amb.Invoke(client, "salaryOf", value.NewString("alice"))
+	if err != nil {
+		return t, err
+	}
+	if i, _ := v.Int(); i != 12500 {
+		return t, fmt.Errorf("E2: relayed salaryOf = %v", v)
+	}
+
+	apo, err := origin.APO("payroll")
+	if err != nil {
+		return t, err
+	}
+	direct := measure(func() {
+		_, _ = apo.Invoke(client, "salaryOf", value.NewString("alice"))
+	})
+	relayed := measure(func() {
+		_, _ = amb.Invoke(client, "salaryOf", value.NewString("alice"))
+	})
+
+	t.Rows = append(t.Rows,
+		[]string{"host peers (Vicinity)", fmt.Sprintf("%v", host.PeerNames())},
+		[]string{"host ambassadors", fmt.Sprintf("%v", host.Ambassadors())},
+		[]string{"origin Home (APOs)", fmt.Sprintf("%v", origin.APONames())},
+		[]string{"origin deployments of payroll", fmt.Sprintf("%v", origin.Deployments("payroll"))},
+		[]string{"direct APO invocation", ns(direct)},
+		[]string{"relayed via ambassador (in-proc wire)", ns(relayed)},
+		[]string{"relay overhead (in-proc)", ratio(direct, relayed)},
+	)
+
+	// The same relay over real sockets.
+	tcpAmb, tcpClient, tcpCleanup, err := tcpPair()
+	if err != nil {
+		return t, err
+	}
+	defer tcpCleanup()
+	// Correctness first.
+	v, err = tcpAmb.Invoke(tcpClient, "salaryOf", value.NewString("alice"))
+	if err != nil {
+		return t, err
+	}
+	if i, _ := v.Int(); i != 12500 {
+		return t, fmt.Errorf("E2: TCP relayed salaryOf = %v", v)
+	}
+	tcpRelayed := measure(func() {
+		_, _ = tcpAmb.Invoke(tcpClient, "salaryOf", value.NewString("alice"))
+	})
+	t.Rows = append(t.Rows,
+		[]string{"relayed via ambassador (TCP loopback)", ns(tcpRelayed)},
+		[]string{"relay overhead (TCP)", ratio(direct, tcpRelayed)},
+	)
+	return t, nil
+}
+
+// tcpPair builds a linked host/origin pair over TCP loopback, with the
+// payroll ambassador imported, returning the ambassador at the host and a
+// client principal local to that host.
+func tcpPair() (*core.Object, security.Principal, func(), error) {
+	none := security.Principal{}
+	origin, err := hadas.NewSite(hadas.Config{Name: "tcp-bench-origin"})
+	if err != nil {
+		return nil, none, nil, err
+	}
+	originAddr, err := origin.Serve("127.0.0.1:0")
+	if err != nil {
+		origin.Close()
+		return nil, none, nil, err
+	}
+	host, err := hadas.NewSite(hadas.Config{Name: "tcp-bench-host"})
+	if err != nil {
+		origin.Close()
+		return nil, none, nil, err
+	}
+	cleanup := func() {
+		host.Close()
+		origin.Close()
+	}
+	if _, err := host.Serve("127.0.0.1:0"); err != nil {
+		cleanup()
+		return nil, none, nil, err
+	}
+	if err := InstallEmployeeDB(origin); err != nil {
+		cleanup()
+		return nil, none, nil, err
+	}
+	if _, err := host.Link(originAddr); err != nil {
+		cleanup()
+		return nil, none, nil, err
+	}
+	if _, err := host.Import("tcp-bench-origin", "payroll"); err != nil {
+		cleanup()
+		return nil, none, nil, err
+	}
+	amb, err := host.ResolveObject("payroll@tcp-bench-origin")
+	if err != nil {
+		cleanup()
+		return nil, none, nil, err
+	}
+	client := security.Principal{Object: host.Generator().New(), Domain: host.Domain()}
+	return amb, client, cleanup, nil
+}
+
+// E3InvocationCost measures the reflective-model overhead the paper's §6
+// says was under evaluation: MROM invocation against native baselines.
+func E3InvocationCost() (Table, error) {
+	t := Table{
+		ID:    "E3",
+		Title: "invocation cost: native baselines vs MROM level-0",
+		Comment: "\"structural mutability bears some price on performance\" (§3);\n" +
+			"the price is the Lookup+Match machinery below.",
+		Columns: []string{"mechanism", "ns/op", "vs direct"},
+	}
+	caller := Stranger()
+	arg := value.NewInt(1)
+	args := []value.Value{arg}
+
+	directFn := func(a []value.Value) value.Value { return a[0] }
+	direct := measure(func() { _ = directFn(args) })
+
+	md := NewMapDispatch()
+	mapDisp := measure(func() { _ = md.Call("work", args) })
+
+	obj := BenchObject(4, 4)
+	fixed := measure(func() { _, _ = obj.Invoke(caller, "work", arg) })
+	ext := measure(func() { _, _ = obj.Invoke(caller, "workExt", arg) })
+	meta := measure(func() {
+		_, _ = obj.Invoke(caller, "invoke", value.NewString("work"), value.NewListOf(arg))
+	})
+
+	selfCall := measure(func() { _, _ = obj.InvokeSelf("work", arg) })
+
+	t.Rows = append(t.Rows,
+		[]string{"direct Go call", ns(direct), "1.0x"},
+		[]string{"map dispatch (no security)", ns(mapDisp), ratio(direct, mapDisp)},
+		[]string{"MROM level-0, fixed method", ns(fixed), ratio(direct, fixed)},
+		[]string{"MROM level-0, extensible method", ns(ext), ratio(direct, ext)},
+		[]string{"MROM self-invocation (Match bypassed)", ns(selfCall), ratio(direct, selfCall)},
+		[]string{"MROM via invoke meta-method", ns(meta), ratio(direct, meta)},
+	)
+	return t, nil
+}
+
+// E4MutabilityLookupCost quantifies §3's fixed-offset argument: static
+// struct access vs MROM name lookup, across container sizes.
+func E4MutabilityLookupCost() (Table, error) {
+	t := Table{
+		ID:    "E4",
+		Title: "data access: fixed offset vs name lookup (get), by container size",
+		Comment: "\"in static structures the location is determined at compile time\n" +
+			"as a fixed offset\" — the Go struct row is that baseline.",
+		Columns: []string{"access", "items", "ns/op"},
+	}
+	caller := Stranger()
+
+	gs := &GoStruct{F0: 1, F1: 2, F2: 3, F3: 4}
+	sink := int64(0)
+	structRead := measure(func() { sink += gs.F2 })
+	_ = sink
+	t.Rows = append(t.Rows, []string{"Go struct field (fixed offset)", "4", ns(structRead)})
+
+	for _, n := range []int{4, 64, 1024} {
+		obj := BenchObject(n, n)
+		fixedName := value.NewString(fmt.Sprintf("f%04d", n/2))
+		extName := value.NewString(fmt.Sprintf("e%04d", n/2))
+		fGet := measure(func() { _, _ = obj.Invoke(caller, "get", fixedName) })
+		eGet := measure(func() { _, _ = obj.Invoke(caller, "get", extName) })
+		t.Rows = append(t.Rows,
+			[]string{"MROM get, fixed section", fmt.Sprintf("%d", n), ns(fGet)},
+			[]string{"MROM get, extensible section", fmt.Sprintf("%d", n), ns(eGet)},
+		)
+	}
+	// And a set on the extensible section for the write path.
+	obj := BenchObject(64, 64)
+	name := value.NewString("e0001")
+	v := value.NewInt(9)
+	set := measure(func() { _, _ = obj.Invoke(caller, "set", name, v) })
+	t.Rows = append(t.Rows, []string{"MROM set, extensible section", "64", ns(set)})
+	return t, nil
+}
+
+// E5ACLCost measures the Match phase: ACL evaluation by list size and
+// decision kind.
+func E5ACLCost() (Table, error) {
+	t := Table{
+		ID:      "E5",
+		Title:   "Match phase: ACL evaluation cost by size and decision path",
+		Columns: []string{"acl", "entries", "ns/op"},
+	}
+	caller := Stranger()
+	arg := value.NewInt(1)
+
+	for _, n := range []int{0, 16, 256, 1024} {
+		allowObj := ACLObject(n, security.AllowObject(caller.Object))
+		d := measure(func() { _, _ = allowObj.Invoke(caller, "work", arg) })
+		t.Rows = append(t.Rows, []string{"scan to allow-object entry", fmt.Sprintf("%d", n+1), ns(d)})
+	}
+	domainObj := ACLObject(0, security.AllowDomain("bench.*"))
+	d := measure(func() { _, _ = domainObj.Invoke(caller, "work", arg) })
+	t.Rows = append(t.Rows, []string{"domain glob entry", "1", ns(d)})
+
+	policyObj := BenchObject(1, 1) // empty ACL → policy default decides
+	d = measure(func() { _, _ = policyObj.Invoke(caller, "work", arg) })
+	t.Rows = append(t.Rows, []string{"empty ACL, policy default", "0", ns(d)})
+
+	// Denial path (error construction included).
+	denyObj := ACLObject(0, security.DenyAll())
+	d = measure(func() { _, _ = denyObj.Invoke(caller, "work", arg) })
+	t.Rows = append(t.Rows, []string{"deny-all entry (call refused)", "1", ns(d)})
+	return t, nil
+}
+
+// E6WrappingCost measures §3.1's pre/post wrapping and the charging
+// scenario built from it.
+func E6WrappingCost() (Table, error) {
+	t := Table{
+		ID:      "E6",
+		Title:   "Apply phase: pre/post wrapping overhead",
+		Columns: []string{"wrapping", "ns/op", "vs bare"},
+	}
+	caller := Stranger()
+	arg := value.NewInt(1)
+
+	var base time.Duration
+	for _, cfg := range []struct {
+		name      string
+		pre, post bool
+	}{
+		{"bare body", false, false},
+		{"pre only", true, false},
+		{"post only", false, true},
+		{"pre + post", true, true},
+	} {
+		obj := WrappedObject(cfg.pre, cfg.post)
+		d := measure(func() { _, _ = obj.Invoke(caller, "work", arg) })
+		if !cfg.pre && !cfg.post {
+			base = d
+		}
+		t.Rows = append(t.Rows, []string{cfg.name, ns(d), ratio(base, d)})
+	}
+
+	// The charging pattern: a level-1 invoke whose native pre fires on
+	// every invocation of every method.
+	obj := BenchObject(4, 4)
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": core.DescriptorToValue(core.BodyDescriptor{Kind: core.BodyNative, Name: "bench.pass"}),
+			"pre":  core.DescriptorToValue(core.BodyDescriptor{Kind: core.BodyNative, Name: "bench.true"}),
+		})); err != nil {
+		return t, err
+	}
+	d := measure(func() { _, _ = obj.Invoke(caller, "work", arg) })
+	t.Rows = append(t.Rows, []string{"charging meta-level (pre on invoke itself)", ns(d), ratio(base, d)})
+	return t, nil
+}
+
+// E7MigrationCost measures the ambassador pipeline: snapshot → encode →
+// decode → materialize, by object size, plus a full Import over the
+// in-process wire.
+func E7MigrationCost() (Table, error) {
+	t := Table{
+		ID:      "E7",
+		Title:   "migration cost: snapshot/encode/decode/materialize by object size",
+		Columns: []string{"object (items, script methods)", "image bytes", "snapshot", "encode", "decode", "materialize"},
+	}
+	for _, size := range []struct{ items, scripts int }{
+		{8, 2}, {64, 4}, {512, 8},
+	} {
+		obj := MigrationObject(size.items, size.scripts, 8)
+		img, err := obj.Snapshot()
+		if err != nil {
+			return t, err
+		}
+		enc := wire.EncodeImage(img)
+		dSnap := measure(func() { _, _ = obj.Snapshot() })
+		dEnc := measure(func() { _ = wire.EncodeImage(img) })
+		dDec := measure(func() { _, _ = wire.DecodeImage(enc) })
+		img2, err := wire.DecodeImage(enc)
+		if err != nil {
+			return t, err
+		}
+		dMat := measure(func() { _, _ = core.FromImage(img2, nil, core.HostPolicy(OpenPolicy())) })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("(%d, %d)", size.items, size.scripts),
+			fmt.Sprintf("%d", len(enc)),
+			ns(dSnap), ns(dEnc), ns(dDec), ns(dMat),
+		})
+	}
+
+	// Full Import (export + ship + unpack + install) over the in-proc wire.
+	host, _, cleanup, err := TwoSites()
+	if err != nil {
+		return t, err
+	}
+	defer cleanup()
+	n := 0
+	dImp := measure(func() {
+		// Each import installs under a unique name by re-importing the
+		// same APO; HADAS replaces the binding, so measure end-to-end.
+		n++
+		_, _ = host.Import("bench-origin", "payroll")
+	})
+	t.Rows = append(t.Rows, []string{"full Import of payroll (in-proc wire)", "-", "-", "-", "-", ns(dImp)})
+	return t, nil
+}
+
+// E8DynamicUpdateAvailability reproduces the §5 claim: clients keep
+// receiving meaningful responses while the origin dynamically rewrites its
+// deployed ambassadors' invocation mechanism. Zero hard failures expected.
+func E8DynamicUpdateAvailability() (Table, error) {
+	t := Table{
+		ID:    "E8",
+		Title: "availability during dynamic ambassador update (database-shutdown scenario)",
+		Comment: "clients query throughout; the origin flips maintenance mode on and off.\n" +
+			"\"applications that uses query results can continue to work since\n" +
+			"meaningful responses are being returned.\"",
+		Columns: []string{"phase", "queries", "data answers", "notices", "hard failures"},
+	}
+	host, origin, cleanup, err := TwoSites()
+	if err != nil {
+		return t, err
+	}
+	defer cleanup()
+	if _, err := host.Import("bench-origin", "payroll"); err != nil {
+		return t, err
+	}
+	amb, err := host.ResolveObject("payroll@bench-origin")
+	if err != nil {
+		return t, err
+	}
+	client := security.Principal{Object: host.Generator().New(), Domain: host.Domain()}
+
+	const notice = "database is down for maintenance"
+	const perPhase = 200
+	runPhase := func(name string) ([]string, error) {
+		var data, notices, failures int
+		for i := 0; i < perPhase; i++ {
+			v, err := amb.Invoke(client, "salaryOf", value.NewString("alice"))
+			switch {
+			case err != nil:
+				failures++
+			case v.Kind() == value.KindInt:
+				data++
+			case v.String() == notice:
+				notices++
+			default:
+				failures++
+			}
+		}
+		return []string{name, fmt.Sprintf("%d", perPhase),
+			fmt.Sprintf("%d", data), fmt.Sprintf("%d", notices), fmt.Sprintf("%d", failures)}, nil
+	}
+
+	row, err := runPhase("normal")
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, row)
+
+	if _, err := origin.UpdateAmbassadors("payroll", "setMethod",
+		value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, callArgs) {
+				if name == "deleteMethod" || name == "setMethod" {
+					return self.invokeNext(name, callArgs);
+				}
+				return "` + notice + `";
+			}`),
+		})); err != nil {
+		return t, err
+	}
+	row, err = runPhase("maintenance")
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, row)
+
+	if _, err := origin.UpdateAmbassadors("payroll", "deleteMethod", value.NewString("invoke")); err != nil {
+		return t, err
+	}
+	row, err = runPhase("restored")
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+// E9CoercionCost measures the weak-typing substrate, including the paper's
+// HTML-text-to-integer example.
+func E9CoercionCost() (Table, error) {
+	t := Table{
+		ID:      "E9",
+		Title:   "generic coercion cost (weak typing, §1/§4)",
+		Columns: []string{"coercion", "ns/op"},
+	}
+	cases := []struct {
+		name string
+		in   value.Value
+		to   value.Kind
+	}{
+		{"int→int (identity)", value.NewInt(5), value.KindInt},
+		{"float→int (truncate)", value.NewFloat(3.9), value.KindInt},
+		{"string→int (strict parse)", value.NewString("12345"), value.KindInt},
+		{"HTML→int (markup extraction)", value.NewString("<td><b>Salary:</b> $12,500</td>"), value.KindInt},
+		{"int→string", value.NewInt(12345), value.KindString},
+		{"string→float", value.NewString("2.5"), value.KindFloat},
+		{"list→string (render)", value.NewListOf(value.NewInt(1), value.NewString("a")), value.KindString},
+	}
+	for _, c := range cases {
+		if _, err := value.Coerce(c.in, c.to); err != nil {
+			return t, fmt.Errorf("E9 %s: %w", c.name, err)
+		}
+		d := measure(func() { _, _ = value.Coerce(c.in, c.to) })
+		t.Rows = append(t.Rows, []string{c.name, ns(d)})
+	}
+	// Arithmetic with a markup operand — the coercion used in anger.
+	html := value.NewString("<td>10</td>")
+	five := value.NewInt(5)
+	d := measure(func() { _, _ = value.Add(html, five) })
+	t.Rows = append(t.Rows, []string{"Add(HTML, int)", ns(d)})
+	return t, nil
+}
+
+// E10PersistenceCost measures self-contained persistence: write-self /
+// bootstrap round trips by object size, against both stores.
+func E10PersistenceCost() (Table, error) {
+	t := Table{
+		ID:      "E10",
+		Title:   "self-contained persistence: save and bootstrap by object size",
+		Columns: []string{"object (items, scripts)", "store", "save", "bootstrap"},
+	}
+	for _, size := range []struct{ items, scripts int }{
+		{8, 2}, {64, 4}, {512, 8},
+	} {
+		obj := MigrationObject(size.items, size.scripts, 8)
+		mem := persist.NewMemStore()
+		if err := persist.SaveObject(mem, obj); err != nil {
+			return t, err
+		}
+		slot := obj.ID().String()
+		dSave := measure(func() { _ = persist.SaveObject(mem, obj) })
+		dLoad := measure(func() {
+			_, _ = persist.LoadObject(mem, slot, nil, core.HostPolicy(OpenPolicy()))
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("(%d, %d)", size.items, size.scripts), "mem", ns(dSave), ns(dLoad),
+		})
+	}
+	return t, nil
+}
+
+// E11AgentJourney measures itinerant-agent migration (the §1 "agents"
+// family): synchronous round-trip time of a survey agent by itinerary
+// length, over the in-process wire.
+func E11AgentJourney() (Table, error) {
+	t := Table{
+		ID:    "E11",
+		Title: "itinerant agent: journey round-trip by itinerary length",
+		Comment: "the agent's whole state+code migrates at every hop and it\n" +
+			"returns home; cost is per-hop image shipping + onArrival.",
+		Columns: []string{"hops", "round trip", "per hop"},
+	}
+	for _, hops := range []int{2, 4, 8} {
+		rt, err := agentJourney(hops)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", hops), ns(rt), ns(rt / time.Duration(hops)),
+		})
+	}
+	return t, nil
+}
+
+// agentJourney builds a ring of sites and measures one full journey of
+// `hops` migrations ending back home.
+func agentJourney(hops int) (time.Duration, error) {
+	net := transport.NewInProcNet()
+	names := make([]string, hops)
+	sites := make(map[string]*hadas.Site, hops)
+	for i := range names {
+		names[i] = fmt.Sprintf("ring%d", i)
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	for _, n := range names {
+		s, err := hadas.NewSite(hadas.Config{
+			Name: n,
+			Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := s.ServeInProc(net); err != nil {
+			s.Close()
+			return 0, err
+		}
+		sites[n] = s
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if _, err := sites[a].Link(b); err != nil {
+				return 0, err
+			}
+		}
+	}
+	home := sites[names[0]]
+
+	// The journey: home → names[1] (the launch dispatch) → names[2:] →
+	// home. The itinerary holds the stops *after* the first one.
+	makeItinerary := func() []value.Value {
+		itinerary := make([]value.Value, 0, hops)
+		for _, n := range names[2:] {
+			itinerary = append(itinerary, value.NewString(n))
+		}
+		return append(itinerary, value.NewString(names[0]))
+	}
+	buildAgent := func() error {
+		itinerary := makeItinerary()
+		b := home.NewAPOBuilder("RingAgent")
+		b.ExtData("itinerary", value.NewList(itinerary))
+		b.ExtData("count", value.NewInt(0))
+		b.FixedScriptMethod("onArrival", `fn(hop) {
+			self.count = self.count + 1;
+			let it = self.itinerary;
+			if len(it) == 0 { return self.count; }
+			let next = it[0];
+			self.itinerary = slice(it, 1, len(it));
+			return ctx.lookup("ioo").dispatchAgent(hop["agent"], next);
+		}`)
+		agent, err := b.Build()
+		if err != nil {
+			return err
+		}
+		return home.AddAPO("ring-agent", agent)
+	}
+
+	if err := buildAgent(); err != nil {
+		return 0, err
+	}
+	// Warm-up journey, then measured journeys. Each journey ends with the
+	// agent back home carrying a fresh itinerary (reset between runs).
+	first := names[1]
+	runOnce := func() error {
+		v, err := home.DispatchAgent("ring-agent", first)
+		if err != nil {
+			return err
+		}
+		if c, _ := v.Int(); c != int64(hops) {
+			return fmt.Errorf("agent counted %v hops, want %d", v, hops)
+		}
+		// Reset for the next journey.
+		agent, err := home.ResolveObject("ring-agent")
+		if err != nil {
+			return err
+		}
+		if err := agent.Set(agent.Principal(), "itinerary", value.NewList(makeItinerary())); err != nil {
+			return err
+		}
+		return agent.Set(agent.Principal(), "count", value.NewInt(0))
+	}
+	if err := runOnce(); err != nil {
+		return 0, err
+	}
+	var journeyErr error
+	d := measure(func() {
+		if err := runOnce(); err != nil && journeyErr == nil {
+			journeyErr = err
+		}
+	})
+	return d, journeyErr
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The suite's correctness (trace orders, availability counts, topology
+// invariants) is asserted in the core and hadas test suites; here we make
+// sure every experiment runs end to end and produces a well-formed table.
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is measurement-heavy; skipped with -short")
+	}
+	ids := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, ok := ByID(id)
+			if !ok {
+				t.Fatalf("ByID(%q) not found", id)
+			}
+			table, err := run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.ID == "" || table.Title == "" {
+				t.Error("table missing header")
+			}
+			if len(table.Columns) == 0 || len(table.Rows) == 0 {
+				t.Errorf("table empty: %+v", table)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Errorf("row width %d != %d columns: %v", len(row), len(table.Columns), row)
+				}
+			}
+			if table.Render() == "" {
+				t.Error("render empty")
+			}
+		})
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+// E8's availability invariant is important enough to assert here too, on
+// the real experiment output: zero hard failures in every phase.
+func TestE8ZeroHardFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement-heavy; skipped with -short")
+	}
+	table, err := E8DynamicUpdateAvailability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "0" {
+			t.Errorf("phase %q had hard failures: %v", row[0], row)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package experiments implements the paper-reproduction experiment suite
+// E1–E10 (see DESIGN.md §2 and EXPERIMENTS.md). Each experiment builds its
+// scenario from the library's public API, measures it, and returns a Table
+// the harness prints. The same scenario constructors back the testing.B
+// benchmarks in the repository root.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result: a figure/table-shaped grid.
+type Table struct {
+	ID      string
+	Title   string
+	Comment string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Comment != "" {
+		for _, line := range strings.Split(t.Comment, "\n") {
+			fmt.Fprintf(&sb, "   %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// measure times fn with adaptive iteration: it runs fn repeatedly until at
+// least minDuration has elapsed (and at least minIters runs), returning the
+// mean time per operation.
+func measure(fn func()) time.Duration {
+	const (
+		minDuration = 20 * time.Millisecond
+		minIters    = 16
+	)
+	// Warm up.
+	fn()
+	iters := minIters
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDuration {
+			return elapsed / time.Duration(iters)
+		}
+		// Scale the iteration count toward the target duration.
+		factor := int64(minDuration) / max64(int64(elapsed), 1)
+		iters *= int(min64(max64(factor, 2), 100))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ns renders a duration as nanoseconds-per-op.
+func ns(d time.Duration) string {
+	switch {
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%d ns", d.Nanoseconds())
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.1f µs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.2f ms", float64(d.Nanoseconds())/1e6)
+	}
+}
+
+// ratio renders b/a as a multiplier.
+func ratio(base, d time.Duration) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(d)/float64(base))
+}

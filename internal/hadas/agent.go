@@ -1,0 +1,162 @@
+package hadas
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// This file implements itinerant agents — the third family of mobile code
+// the paper motivates (§1): "execution of computational objects known as
+// 'agents', which exhibit some level of autonomy and/or intelligence in
+// the form of goals, plans, itinerary". Where an Ambassador is a stationary
+// representative owned by its origin, an agent *moves*: Dispatch ships the
+// whole object (state, script methods, ACLs, meta-invoke chain) to a peer,
+// removes it locally — the object exists in exactly one place — and the
+// receiving site installs it and invokes its onArrival method. An agent
+// continues its journey by invoking dispatchAgent on the hosting IOO.
+
+const verbDispatch = "hadas.dispatch"
+
+// onArrival is the method a dispatched agent is invoked with on arrival
+// (if it has one): onArrival(hopContext).
+const onArrivalMethod = "onArrival"
+
+// DispatchAgent migrates a hosted object to a linked peer. The object is
+// snapshotted, shipped, and deregistered locally on success (migration, not
+// replication: "each Ambassador has exactly one origin" generalizes to the
+// agent existing at exactly one host). It returns the value produced by
+// the agent's onArrival at the destination, which — since arrivals can
+// chain further dispatches — is the result of the rest of the journey.
+func (s *Site) DispatchAgent(name, peerName string) (value.Value, error) {
+	obj, err := s.ResolveObject(name)
+	if err != nil {
+		return value.Null, fmt.Errorf("dispatch %q: %w", name, err)
+	}
+	img, err := obj.Snapshot()
+	if err != nil {
+		return value.Null, fmt.Errorf("dispatch %q: %w", name, err)
+	}
+
+	// The agent leaves when it is shipped: retire it *before* the call.
+	// The journey is synchronous and may legally end back at this site
+	// (the itinerary loops home), in which case the arrival handler
+	// re-registers it here — retiring afterwards would erase the returned
+	// incarnation.
+	wasAPO := s.retireAgent(name, obj.ID())
+	resp, err := s.callPeer(peerName, verbDispatch, value.NewMap(map[string]value.Value{
+		"site":  value.NewString(s.cfg.Name),
+		"name":  value.NewString(name),
+		"agent": value.NewBytes(wire.EncodeImage(img)),
+	}))
+	if err != nil {
+		// The agent never left; restore it.
+		s.reinstateAgent(name, obj, wasAPO)
+		return value.Null, fmt.Errorf("dispatch %q to %q: %w", name, peerName, err)
+	}
+	s.log("dispatched agent %s to %s", name, peerName)
+	m, ok := resp.Map()
+	if !ok {
+		return value.Null, nil
+	}
+	return m["result"], nil
+}
+
+// retireAgent removes a moved object from the local registries; it reports
+// whether the object was a Home member (for reinstatement on failure).
+func (s *Site) retireAgent(name string, id naming.ID) (wasAPO bool) {
+	s.mu.Lock()
+	_, wasAPO = s.apos[name]
+	delete(s.apos, name)
+	delete(s.ambassadors, name)
+	s.mu.Unlock()
+	s.objects.Deregister(id)
+	s.objects.Unbind(name)
+	s.refreshIOOViews()
+	return wasAPO
+}
+
+// reinstateAgent restores an object whose dispatch failed.
+func (s *Site) reinstateAgent(name string, obj *core.Object, wasAPO bool) {
+	s.mu.Lock()
+	if wasAPO {
+		s.apos[name] = obj
+	} else {
+		s.ambassadors[name] = obj
+	}
+	s.mu.Unlock()
+	s.objects.Register(obj.ID(), obj)
+	_ = s.objects.Bind(name, obj.ID())
+	s.refreshIOOViews()
+}
+
+// handleDispatch receives a migrating agent: materialize under this host's
+// policy and budget, register it, and invoke its onArrival with a hop
+// context. The response carries onArrival's result (the journey's tail).
+func (s *Site) handleDispatch(m map[string]value.Value) (value.Value, error) {
+	fromSite := field(m, "site")
+	if _, err := s.peerByName(fromSite); err != nil {
+		return value.Null, err // agents only arrive over cooperation agreements
+	}
+	name := field(m, "name")
+	if name == "" {
+		return value.Null, fmt.Errorf("%w: agent needs a name", core.ErrArity)
+	}
+	raw, _ := m["agent"].Bytes()
+	img, err := wire.DecodeImage(raw)
+	if err != nil {
+		return value.Null, fmt.Errorf("arriving agent: %w", err)
+	}
+	agent, err := core.FromImage(img, s.behaviors,
+		core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
+		core.HostResolver(s), core.HostBudget(s.cfg.Budget))
+	if err != nil {
+		return value.Null, fmt.Errorf("arriving agent: %w", err)
+	}
+	if s.cfg.Output != nil {
+		agent.SetOutput(s.cfg.Output)
+	}
+
+	s.mu.Lock()
+	if prev, taken := s.apos[name]; taken && prev.ID() != agent.ID() {
+		s.mu.Unlock()
+		return value.Null, fmt.Errorf("%w: agent name %q", core.ErrExists, name)
+	}
+	s.apos[name] = agent
+	s.mu.Unlock()
+	s.objects.Register(agent.ID(), agent)
+	s.objects.Unbind(name) // replace a stale binding from a previous visit
+	if err := s.objects.Bind(name, agent.ID()); err != nil {
+		return value.Null, err
+	}
+	s.refreshIOOViews()
+	s.log("agent %s arrived from %s", name, fromSite)
+
+	hop := value.NewMap(map[string]value.Value{
+		"hostSite": value.NewString(s.cfg.Name),
+		"fromSite": value.NewString(fromSite),
+		"agent":    value.NewString(name),
+	})
+	result := value.Null
+	if hasMethod(agent, onArrivalMethod) {
+		result, err = agent.Invoke(s.ioo.Principal(), onArrivalMethod, hop)
+		if err != nil {
+			return value.Null, fmt.Errorf("agent %q onArrival: %w", name, err)
+		}
+	}
+	return value.NewMap(map[string]value.Value{"result": result}), nil
+}
+
+// hasMethod reports whether the object lists a method under name for its
+// own principal (agents always see their own methods).
+func hasMethod(obj *core.Object, name string) bool {
+	for _, m := range obj.MethodNames(obj.Principal()) {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package hadas
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// surveyAgent builds an itinerant agent that visits every site on its
+// itinerary, records what each hosts, and reports at the last stop.
+func surveyAgent(t *testing.T, s *Site, itinerary ...string) *core.Object {
+	t.Helper()
+	hops := make([]value.Value, len(itinerary))
+	for i, h := range itinerary {
+		hops[i] = value.NewString(h)
+	}
+	b := s.NewAPOBuilder("SurveyAgent")
+	b.ExtData("itinerary", value.NewList(hops))
+	b.ExtData("visited", value.NewList(nil))
+	b.ExtData("collected", value.NewMap(nil))
+	b.FixedScriptMethod("onArrival", `fn(hop) {
+		let host = hop["hostSite"];
+		self.visited = push(self.visited, host);
+		let ioo = ctx.lookup("ioo");
+		let data = self.collected;
+		data[host] = join(ioo.apos(), ",");
+		self.collected = data;
+		let it = self.itinerary;
+		if len(it) == 0 {
+			return "done at " + host + " after " + len(self.visited) + " hops";
+		}
+		let next = it[0];
+		self.itinerary = slice(it, 1, len(it));
+		return ioo.dispatchAgent(hop["agent"], next);
+	}`)
+	agent := b.MustBuild()
+	if err := s.AddAPO("scout", agent); err != nil {
+		t.Fatal(err)
+	}
+	return agent
+}
+
+// fullMesh builds n named sites, all serving and fully linked.
+func fullMesh(t *testing.T, names ...string) map[string]*Site {
+	t.Helper()
+	net := transport.NewInProcNet()
+	sites := make(map[string]*Site, len(names))
+	for _, n := range names {
+		sites[n] = newTestSite(t, net, n)
+	}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if _, err := sites[a].Link(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sites
+}
+
+func TestAgentItinerary(t *testing.T) {
+	sites := fullMesh(t, "home", "mars", "venus")
+	// Give the waypoints something to observe.
+	for _, n := range []string{"mars", "venus"} {
+		b := sites[n].NewAPOBuilder("Obs")
+		b.FixedScriptMethod("ping", `fn() { return "pong"; }`)
+		if err := sites[n].AddAPO("obs-"+n, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agent := surveyAgent(t, sites["home"], "venus", "home")
+
+	// Launch: home → mars → venus → home.
+	result, err := sites["home"].DispatchAgent("scout", "mars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(result.String(), "done at home after 3 hops") {
+		t.Errorf("journey result = %v", result)
+	}
+
+	// The agent now lives at home again (same identity, migrated state).
+	back, err := sites["home"].ResolveObject("scout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != agent.ID() {
+		t.Error("agent identity changed in transit")
+	}
+	// It is gone from the waypoints.
+	if _, err := sites["mars"].ResolveObject("scout"); err == nil {
+		t.Error("agent still registered at mars")
+	}
+	if _, err := sites["venus"].ResolveObject("scout"); err == nil {
+		t.Error("agent still registered at venus")
+	}
+	// Its collected state carries the whole journey.
+	visited, err := back.Get(back.Principal(), "visited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited.String() != `["mars", "venus", "home"]` {
+		t.Errorf("visited = %v", visited)
+	}
+	collected, err := back.Get(back.Principal(), "collected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := collected.Map()
+	if !strings.Contains(cm["mars"].String(), "obs-mars") {
+		t.Errorf("collected[mars] = %v", cm["mars"])
+	}
+	if !strings.Contains(cm["venus"].String(), "obs-venus") {
+		t.Errorf("collected[venus] = %v", cm["venus"])
+	}
+	// Home had the agent itself registered when surveyed; its own record
+	// includes scout.
+	if !strings.Contains(cm["home"].String(), "scout") {
+		t.Errorf("collected[home] = %v", cm["home"])
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	sites := fullMesh(t, "a", "b")
+	// Unknown agent.
+	if _, err := sites["a"].DispatchAgent("ghost", "b"); err == nil {
+		t.Error("dispatch of unknown agent succeeded")
+	}
+	// Unlinked destination.
+	surveyAgent(t, sites["a"])
+	if _, err := sites["a"].DispatchAgent("scout", "nowhere"); !errors.Is(err, ErrNotLinked) {
+		t.Errorf("dispatch to unlinked = %v", err)
+	}
+	// Failed dispatch leaves the agent at the origin.
+	if _, err := sites["a"].ResolveObject("scout"); err != nil {
+		t.Errorf("agent lost after failed dispatch: %v", err)
+	}
+	// Name collision at the destination.
+	b := sites["b"].NewAPOBuilder("Squatter")
+	b.FixedScriptMethod("x", `fn() { return 0; }`)
+	if err := sites["b"].AddAPO("scout", b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sites["a"].DispatchAgent("scout", "b"); err == nil {
+		t.Error("dispatch onto occupied name succeeded")
+	}
+	if _, err := sites["a"].ResolveObject("scout"); err != nil {
+		t.Errorf("agent lost after rejected dispatch: %v", err)
+	}
+	// Dispatch from an unlinked sender is refused by the receiver.
+	net2 := transport.NewInProcNet()
+	c := newTestSite(t, net2, "c")
+	d := newTestSite(t, net2, "d")
+	_ = d
+	surveyAgent(t, c)
+	if _, err := c.DispatchAgent("scout", "d"); !errors.Is(err, ErrNotLinked) {
+		t.Errorf("dispatch without link = %v", err)
+	}
+}
+
+func TestAgentWithoutOnArrival(t *testing.T) {
+	sites := fullMesh(t, "p", "q")
+	b := sites["p"].NewAPOBuilder("Inert")
+	b.ExtData("payload", value.NewString("cargo"))
+	if err := sites["p"].AddAPO("box", b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	result, err := sites["p"].DispatchAgent("box", "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.IsNull() {
+		t.Errorf("inert dispatch result = %v", result)
+	}
+	moved, err := sites["q"].ResolveObject("box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := moved.Get(moved.Principal(), "payload")
+	if err != nil || v.String() != "cargo" {
+		t.Errorf("payload = %v, %v", v, err)
+	}
+	if _, err := sites["p"].ResolveObject("box"); err == nil {
+		t.Error("box still at origin")
+	}
+}

@@ -1,0 +1,143 @@
+package hadas
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/security"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// buildIOO constructs the site's InterOperability Object (Figure 2): its
+// state reflects the Home, Vicinity and Interop containers, its fixed
+// methods expose the cooperation operations (Link, Import) to local
+// callers and a small query interface (apos, peers, runProgram) that also
+// forms the relayed interface of the IOO's own ambassadors.
+func buildIOO(s *Site) (*core.Object, error) {
+	// Link and Import change the site's topology: local administrators only.
+	adminACL := security.NewACL(
+		security.AllowDomain(s.cfg.Domain),
+		security.DenyAll(),
+	)
+
+	opts := []core.BuildOption{
+		core.InDomain(s.cfg.Domain),
+		core.WithPolicy(s.policy),
+		core.WithAuditor(s.auditor),
+		core.WithRegistry(s.behaviors),
+		core.WithResolver(s),
+		core.WithBudget(s.cfg.Budget),
+	}
+	if s.cfg.Output != nil {
+		opts = append(opts, core.WithOutput(s.cfg.Output))
+	}
+	b := core.NewBuilder(s.gen, "IOO", opts...)
+	b.FixedData("kind", value.NewString("ioo"))
+	b.FixedData("site", value.NewString(s.cfg.Name))
+	b.ExtData("home", value.NewList(nil))
+	b.ExtData("vicinity", value.NewList(nil))
+	b.ExtData("interop", value.NewList(nil))
+
+	lookup := func(name string) core.Body {
+		body, err := s.behaviors.Lookup(name)
+		if err != nil {
+			panic("hadas: behavior " + name + " not registered") // registerBehaviors precedes buildIOO
+		}
+		return body
+	}
+	b.FixedMethod("apos", lookup(behaviorAPOs))
+	b.FixedMethod("peers", lookup(behaviorPeers))
+	b.FixedMethod("runProgram", lookup(behaviorRunProgram))
+	b.FixedMethod("link", lookup(behaviorLink), core.WithACL(adminACL))
+	b.FixedMethod("importAPO", lookup(behaviorImport), core.WithACL(adminACL))
+	// dispatchAgent is open beyond admins: a visiting agent continues its
+	// journey by asking its host's IOO to dispatch it onward. The policy
+	// still gates it (the agent's domain must be trusted here).
+	b.FixedMethod("dispatchAgent", lookup(behaviorDispatchAgent))
+
+	ioo, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("build IOO: %w", err)
+	}
+	return ioo, nil
+}
+
+// refreshIOOViews mirrors the site's containers into the IOO's data items
+// so self-representation ("describe", "home", "vicinity") reflects reality.
+func (s *Site) refreshIOOViews() {
+	self := s.ioo.Principal()
+	_ = s.ioo.Set(self, "home", stringList(s.APONames()))
+	_ = s.ioo.Set(self, "vicinity", stringList(s.PeerNames()))
+	_ = s.ioo.Set(self, "interop", stringList(s.ProgramNames()))
+}
+
+// iooAmbassadorImage instantiates an Ambassador of this site's IOO for a
+// peer's Vicinity: it relays the query interface (apos, peers, runProgram)
+// back to this site.
+func (s *Site) iooAmbassadorImage() ([]byte, error) {
+	spec := AmbassadorSpec{Relay: []string{"apos", "peers", "runProgram"}}
+
+	s.mu.Lock()
+	if s.ambassadorSpecs == nil {
+		s.ambassadorSpecs = make(map[string]AmbassadorSpec)
+	}
+	s.ambassadorSpecs["ioo"] = spec
+	s.mu.Unlock()
+
+	img, err := s.instantiateAmbassador(s.ioo, "ioo")
+	if err != nil {
+		return nil, err
+	}
+	return wire.EncodeImage(img), nil
+}
+
+// ---- Interop programs (the Coordination level of §5) ----
+
+// AddProgram installs a coordination-level program as a method of the IOO
+// ("Interop: a (methods) container whose methods are coordination-level
+// programs"). The program is MScript, so it can travel, and runs with the
+// IOO's authority: ctx.lookup reaches Home members, Vicinity ambassadors
+// and hosted APO ambassadors by name.
+func (s *Site) AddProgram(name, src string) error {
+	if _, err := s.ioo.InvokeSelf("addMethod",
+		value.NewString(name), value.NewString(src)); err != nil {
+		return fmt.Errorf("add program %q: %w", name, err)
+	}
+	s.mu.Lock()
+	s.programs = append(s.programs, name)
+	s.mu.Unlock()
+	s.refreshIOOViews()
+	return nil
+}
+
+// RemoveProgram deletes a coordination program.
+func (s *Site) RemoveProgram(name string) error {
+	if _, err := s.ioo.InvokeSelf("deleteMethod", value.NewString(name)); err != nil {
+		return fmt.Errorf("remove program %q: %w", name, err)
+	}
+	s.mu.Lock()
+	for i, p := range s.programs {
+		if p == name {
+			s.programs = append(s.programs[:i], s.programs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.refreshIOOViews()
+	return nil
+}
+
+// ProgramNames lists installed coordination programs in install order.
+func (s *Site) ProgramNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.programs))
+	copy(out, s.programs)
+	return out
+}
+
+// RunProgram executes a coordination program locally.
+func (s *Site) RunProgram(name string, args ...value.Value) (value.Value, error) {
+	return s.ioo.InvokeSelf(name, args...)
+}

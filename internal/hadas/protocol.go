@@ -1,0 +1,485 @@
+package hadas
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Protocol verbs of the site-to-site agreement (§5's communication level).
+const (
+	verbLink   = "hadas.link"
+	verbExport = "hadas.export"
+	verbInvoke = "hadas.invoke"
+)
+
+func encodeReq(v value.Value) []byte { return wire.EncodeValue(v) }
+
+func decodeReq(b []byte) (value.Value, error) {
+	v, err := wire.DecodeValue(b)
+	if err != nil {
+		return value.Null, fmt.Errorf("protocol payload: %w", err)
+	}
+	return v, nil
+}
+
+// field extracts a string field; absent or null fields read as empty (a
+// missing value must not alias the literal string "null").
+func field(m map[string]value.Value, key string) string {
+	v, ok := m[key]
+	if !ok || v.IsNull() {
+		return ""
+	}
+	return v.String()
+}
+
+// handle is the site's protocol endpoint.
+func (s *Site) handle(_ context.Context, verb string, payload []byte) ([]byte, error) {
+	req, err := decodeReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := req.Map()
+	if !ok {
+		return nil, fmt.Errorf("%w: request is not a map", core.ErrArity)
+	}
+	var resp value.Value
+	switch verb {
+	case verbLink:
+		resp, err = s.handleLink(m)
+	case verbExport:
+		resp, err = s.handleExport(m)
+	case verbInvoke:
+		resp, err = s.handleInvoke(m)
+	case verbDispatch:
+		resp, err = s.handleDispatch(m)
+	default:
+		return nil, fmt.Errorf("%w: unknown verb %q", core.ErrNotFound, verb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return encodeReq(resp), nil
+}
+
+// ---- Link ----
+
+// Link establishes a cooperation agreement with the site at addr: a
+// handshake exchanges site identities and IOO-ambassador images, and each
+// side installs the other's ambassador in its Vicinity. "This operation is
+// a prerequisite for any further cooperation between the two IOOs."
+// It returns the peer's site name.
+func (s *Site) Link(addr string) (string, error) {
+	conn, err := s.cfg.Dial(addr)
+	if err != nil {
+		return "", fmt.Errorf("link %s: %w", addr, err)
+	}
+	myAmb, err := s.iooAmbassadorImage()
+	if err != nil {
+		conn.Close()
+		return "", err
+	}
+	resp, err := callConn(conn, verbLink, value.NewMap(map[string]value.Value{
+		"site":   value.NewString(s.cfg.Name),
+		"domain": value.NewString(s.cfg.Domain),
+		"addr":   value.NewString(s.advertisedAddr()),
+		"ioo":    value.NewBytes(myAmb),
+	}))
+	if err != nil {
+		conn.Close()
+		return "", fmt.Errorf("link %s: %w", addr, err)
+	}
+	m, ok := resp.Map()
+	if !ok {
+		conn.Close()
+		return "", fmt.Errorf("link %s: malformed response", addr)
+	}
+	peerName := field(m, "site")
+	peerDomain := field(m, "domain")
+	ambBytes, _ := m["ioo"].Bytes()
+	if err := s.installPeer(peerName, peerDomain, addr, conn, ambBytes); err != nil {
+		conn.Close()
+		return "", err
+	}
+	s.log("linked to %s (domain %s)", peerName, peerDomain)
+	return peerName, nil
+}
+
+// advertisedAddr is the address peers can dial back on.
+func (s *Site) advertisedAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return s.listener.Addr()
+	}
+	return s.cfg.Name
+}
+
+// handleLink is the receiving half: install the requester's IOO ambassador
+// and answer with our own identity and ambassador.
+func (s *Site) handleLink(m map[string]value.Value) (value.Value, error) {
+	peerName := field(m, "site")
+	peerDomain := field(m, "domain")
+	peerAddr := field(m, "addr")
+	ambBytes, _ := m["ioo"].Bytes()
+	if err := s.installPeer(peerName, peerDomain, peerAddr, nil, ambBytes); err != nil {
+		return value.Null, err
+	}
+	myAmb, err := s.iooAmbassadorImage()
+	if err != nil {
+		return value.Null, err
+	}
+	s.log("accepted link from %s (domain %s)", peerName, peerDomain)
+	return value.NewMap(map[string]value.Value{
+		"site":   value.NewString(s.cfg.Name),
+		"domain": value.NewString(s.cfg.Domain),
+		"ioo":    value.NewBytes(myAmb),
+	}), nil
+}
+
+// installPeer records the Vicinity entry, grades the peer's domain in the
+// policy, and materializes the remote IOO's ambassador under "ioo@<peer>".
+func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBytes []byte) error {
+	if name == "" || name == s.cfg.Name {
+		return fmt.Errorf("%w: bad peer name %q", core.ErrArity, name)
+	}
+	var amb *core.Object
+	if len(ambBytes) > 0 {
+		img, err := wire.DecodeImage(ambBytes)
+		if err != nil {
+			return fmt.Errorf("peer IOO ambassador: %w", err)
+		}
+		amb, err = core.FromImage(img, s.behaviors,
+			core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
+			core.HostResolver(s), core.HostBudget(s.cfg.Budget))
+		if err != nil {
+			return fmt.Errorf("peer IOO ambassador: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	p, existed := s.peers[name]
+	if !existed {
+		p = &peer{name: name}
+		s.peers[name] = p
+	}
+	p.domain = domain
+	if addr != "" {
+		p.addr = addr
+	}
+	if conn != nil {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.conn = conn
+	}
+	old := p.ambassador
+	if amb != nil {
+		p.ambassador = amb
+	}
+	s.mu.Unlock()
+
+	// The cooperation agreement grades the peer's domain.
+	s.policy.GradeDomain(domain, s.cfg.PeerTrust)
+
+	if amb != nil {
+		s.objects.Register(amb.ID(), amb)
+		ambName := "ioo@" + name
+		if old != nil {
+			s.objects.Deregister(old.ID())
+			s.objects.Unbind(ambName)
+		}
+		if err := s.objects.Bind(ambName, amb.ID()); err != nil {
+			return err
+		}
+	}
+	s.refreshIOOViews()
+	return nil
+}
+
+// connTo returns (dialing lazily if needed) the connection to a peer.
+func (s *Site) connTo(peerName string) (transport.Conn, error) {
+	s.mu.Lock()
+	p, ok := s.peers[peerName]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotLinked, peerName)
+	}
+	if p.conn != nil {
+		conn := p.conn
+		s.mu.Unlock()
+		return conn, nil
+	}
+	addr := p.addr
+	s.mu.Unlock()
+	if addr == "" {
+		addr = peerName
+	}
+	conn, err := s.cfg.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial peer %q: %w", peerName, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.conn == nil {
+		p.conn = conn
+		return conn, nil
+	}
+	// Lost the race; use the established connection.
+	conn.Close()
+	return p.conn, nil
+}
+
+// Unlink dissolves the cooperation agreement with a peer: the connection
+// closes, the Vicinity entry and the peer's IOO ambassador are retired,
+// and the peer's hosted APO ambassadors become unreachable relays (their
+// next invocation fails with ErrNotLinked). The inverse of Link; the
+// remote side keeps its own half until it unlinks too — sites are
+// autonomous and neither can force the other's bookkeeping.
+func (s *Site) Unlink(peerName string) error {
+	s.mu.Lock()
+	p, ok := s.peers[peerName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotLinked, peerName)
+	}
+	delete(s.peers, peerName)
+	conn := p.conn
+	amb := p.ambassador
+	s.mu.Unlock()
+
+	if conn != nil {
+		conn.Close()
+	}
+	if amb != nil {
+		s.objects.Deregister(amb.ID())
+		s.objects.Unbind("ioo@" + peerName)
+	}
+	s.refreshIOOViews()
+	s.log("unlinked from %s", peerName)
+	return nil
+}
+
+// SetPeerConn replaces a peer's connection (tests inject FaultConns here).
+func (s *Site) SetPeerConn(peerName string, conn transport.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.peers[peerName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotLinked, peerName)
+	}
+	p.conn = conn
+	return nil
+}
+
+// ---- Export / Import ----
+
+// Import requests an APO's Ambassador from a linked site and installs it
+// here: "An Import operation at the requesting IOO is handled by an Export
+// operation at the receiving IOO. … When the Ambassador arrives (as data)
+// the importing IOO unpacks it, passes to it an installation context and
+// invokes the Ambassador, which in turn installs itself."
+// It returns the local name of the installed ambassador ("<apo>@<site>").
+func (s *Site) Import(peerName, apoName string) (string, error) {
+	resp, err := s.callPeer(peerName, verbExport, value.NewMap(map[string]value.Value{
+		"site":   value.NewString(s.cfg.Name),
+		"domain": value.NewString(s.cfg.Domain),
+		"apo":    value.NewString(apoName),
+		"ioo":    value.NewString(s.ioo.ID().String()),
+	}))
+	if err != nil {
+		return "", fmt.Errorf("import %q from %q: %w", apoName, peerName, err)
+	}
+	m, ok := resp.Map()
+	if !ok {
+		return "", fmt.Errorf("import %q: malformed export response", apoName)
+	}
+	ambBytes, _ := m["ambassador"].Bytes()
+	img, err := wire.DecodeImage(ambBytes)
+	if err != nil {
+		return "", fmt.Errorf("import %q: %w", apoName, err)
+	}
+
+	// Unpack: materialize under this host's policy and budget. The
+	// ambassador keeps its origin identity and domain (it is owned and
+	// maintained by its origin) but runs under host-imposed limits.
+	amb, err := core.FromImage(img, s.behaviors,
+		core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
+		core.HostResolver(s), core.HostBudget(s.cfg.Budget))
+	if err != nil {
+		return "", fmt.Errorf("import %q: %w", apoName, err)
+	}
+	if s.cfg.Output != nil {
+		amb.SetOutput(s.cfg.Output)
+	}
+
+	localName := apoName + "@" + peerName
+	s.mu.Lock()
+	old := s.ambassadors[localName]
+	s.ambassadors[localName] = amb
+	s.mu.Unlock()
+	if old != nil {
+		// Re-import refreshes: the previous ambassador is retired.
+		s.objects.Deregister(old.ID())
+		s.objects.Unbind(localName)
+	}
+	s.objects.Register(amb.ID(), amb)
+	if err := s.objects.Bind(localName, amb.ID()); err != nil {
+		return "", err
+	}
+
+	// Installation context, then self-installation.
+	installCtx := value.NewMap(map[string]value.Value{
+		"hostSite":   value.NewString(s.cfg.Name),
+		"hostDomain": value.NewString(s.cfg.Domain),
+		"localName":  value.NewString(localName),
+	})
+	if _, err := amb.Invoke(s.ioo.Principal(), "install", installCtx); err != nil {
+		return "", fmt.Errorf("import %q: install: %w", apoName, err)
+	}
+	s.refreshIOOViews()
+	s.log("imported %s from %s", apoName, peerName)
+	return localName, nil
+}
+
+// handleExport is the origin half of Import: verify the requester may
+// import, instantiate the Ambassador, and ship it as data.
+func (s *Site) handleExport(m map[string]value.Value) (value.Value, error) {
+	requesterSite := field(m, "site")
+	requesterDomain := field(m, "domain")
+	apoName := field(m, "apo")
+	requesterIOO, err := naming.ParseID(field(m, "ioo"))
+	if err != nil {
+		return value.Null, fmt.Errorf("%w: requester ioo id: %v", core.ErrArity, err)
+	}
+
+	if _, err := s.peerByName(requesterSite); err != nil {
+		return value.Null, err // export only to linked sites
+	}
+	apo, err := s.APO(apoName)
+	if err != nil {
+		return value.Null, err
+	}
+
+	// "Export verifies that the requested APO is accessible to the
+	// requesting IOO."
+	s.mu.Lock()
+	acl, hasACL := s.exportACL[apoName]
+	s.mu.Unlock()
+	if hasACL {
+		pr := security.Principal{Object: requesterIOO, Domain: requesterDomain}
+		if effect, matched := acl.Decide(pr, security.ActionAny); !matched || effect != security.Allow {
+			return value.Null, fmt.Errorf("%w: %q to %s", ErrNotExportable, apoName, requesterSite)
+		}
+	}
+
+	img, err := s.instantiateAmbassador(apo, apoName)
+	if err != nil {
+		return value.Null, err
+	}
+
+	s.mu.Lock()
+	s.deployments = append(s.deployments, deployment{
+		apoName:      apoName,
+		ambassadorID: img.ID,
+		hostSite:     requesterSite,
+	})
+	s.mu.Unlock()
+	s.log("exported %s to %s", apoName, requesterSite)
+	return value.NewMap(map[string]value.Value{
+		"ambassador": value.NewBytes(wire.EncodeImage(img)),
+	}), nil
+}
+
+// ---- Remote invocation ----
+
+// InvokeRemote invokes a method on an object hosted at a linked site, as
+// the given caller. The target is a registry name or ID string at the
+// remote site.
+func (s *Site) InvokeRemote(peerName string, caller security.Principal,
+	target, method string, args ...value.Value) (value.Value, error) {
+	resp, err := s.callPeer(peerName, verbInvoke, value.NewMap(map[string]value.Value{
+		"site":   value.NewString(s.cfg.Name),
+		"caller": value.NewString(caller.Object.String()),
+		"target": value.NewString(target),
+		"method": value.NewString(method),
+		"args":   value.NewList(args),
+	}))
+	if err != nil {
+		return value.Null, err
+	}
+	m, ok := resp.Map()
+	if !ok {
+		return value.Null, fmt.Errorf("invoke %s!%s.%s: malformed response", peerName, target, method)
+	}
+	return m["result"], nil
+}
+
+// handleInvoke dispatches a remote invocation. The caller's claimed object
+// identity is kept, but its trust domain is assigned by this host from the
+// link agreement — a remote caller cannot claim a better domain than its
+// site has (the paper's mutual-security stance; full authentication is the
+// subject of the companion papers [16], [17]).
+func (s *Site) handleInvoke(m map[string]value.Value) (value.Value, error) {
+	fromSite := field(m, "site")
+	p, err := s.peerByName(fromSite)
+	if err != nil {
+		return value.Null, err
+	}
+	callerID, err := naming.ParseID(field(m, "caller"))
+	if err != nil {
+		return value.Null, fmt.Errorf("%w: caller id: %v", core.ErrArity, err)
+	}
+	target, err := s.ResolveObject(field(m, "target"))
+	if err != nil {
+		return value.Null, err
+	}
+	args, _ := m["args"].List()
+	caller := security.Principal{Object: callerID, Domain: p.domain}
+	result, err := target.Invoke(caller, field(m, "method"), args...)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.NewMap(map[string]value.Value{"result": result}), nil
+}
+
+// UpdateAmbassadors invokes a method (typically a meta-method such as
+// setMethod or addMethod) on every deployed ambassador of an APO, acting
+// as the APO itself — the §5 dynamic-update mechanism ("updates in APO's
+// functionality can be done dynamically … by adding methods and data items
+// to the APO and its Ambassador on the fly"). It returns the number of
+// ambassadors updated; the error, if any, is the first failure.
+func (s *Site) UpdateAmbassadors(apoName, method string, args ...value.Value) (int, error) {
+	apo, err := s.APO(apoName)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	targets := make([]deployment, 0, len(s.deployments))
+	for _, d := range s.deployments {
+		if d.apoName == apoName {
+			targets = append(targets, d)
+		}
+	}
+	s.mu.Unlock()
+
+	updated := 0
+	var firstErr error
+	for _, d := range targets {
+		_, err := s.InvokeRemote(d.hostSite, apo.Principal(), d.ambassadorID.String(), method, args...)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("update ambassador at %s: %w", d.hostSite, err)
+			}
+			continue
+		}
+		updated++
+	}
+	return updated, firstErr
+}

@@ -1,0 +1,113 @@
+package hadas
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// TestProtocolRejectsGarbage drives the site endpoint with hostile inputs:
+// non-value payloads, non-map requests, unknown verbs, bad ids. Every case
+// must fail cleanly as a remote error — never crash the site.
+func TestProtocolRejectsGarbage(t *testing.T) {
+	net := transport.NewInProcNet()
+	s := newTestSite(t, net, "fortress")
+	addEmployeeDB(t, s)
+	conn, err := net.Dial("fortress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		name    string
+		verb    string
+		payload []byte
+	}{
+		{"binary garbage", verbInvoke, []byte{0xFF, 0xFE, 0xFD}},
+		{"empty payload", verbInvoke, nil},
+		{"non-map request", verbInvoke, wire.EncodeValue(value.NewInt(7))},
+		{"unknown verb", "hadas.selfdestruct", wire.EncodeValue(value.NewMap(nil))},
+		{"invoke without fields", verbInvoke, wire.EncodeValue(value.NewMap(nil))},
+		{"invoke bad caller id", verbInvoke, wire.EncodeValue(value.NewMap(map[string]value.Value{
+			"site":   value.NewString("fortress2"),
+			"caller": value.NewString("not-an-id"),
+			"target": value.NewString("payroll"),
+			"method": value.NewString("query"),
+		}))},
+		{"export without link", verbExport, wire.EncodeValue(value.NewMap(map[string]value.Value{
+			"site": value.NewString("unlinked"),
+			"apo":  value.NewString("payroll"),
+			"ioo":  value.NewString("also-not-an-id"),
+		}))},
+		{"link with own name", verbLink, wire.EncodeValue(value.NewMap(map[string]value.Value{
+			"site": value.NewString("fortress"),
+		}))},
+		{"link with empty name", verbLink, wire.EncodeValue(value.NewMap(nil))},
+		{"dispatch without link", verbDispatch, wire.EncodeValue(value.NewMap(map[string]value.Value{
+			"site": value.NewString("unlinked"),
+			"name": value.NewString("x"),
+		}))},
+		{"link with garbage ambassador", verbLink, wire.EncodeValue(value.NewMap(map[string]value.Value{
+			"site": value.NewString("mallory"),
+			"ioo":  value.NewBytes([]byte("not an image")),
+		}))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := conn.Call(ctx, tc.verb, tc.payload)
+			var re *transport.RemoteError
+			if !errors.As(err, &re) {
+				t.Errorf("got %v, want RemoteError", err)
+			}
+		})
+	}
+	// The site is still healthy after the abuse.
+	apo, err := s.APO("payroll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := apo.Invoke(s.IOO().Principal(), "salaryOf", value.NewString("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.Int(); i != 12500 {
+		t.Errorf("site degraded after garbage: %v", v)
+	}
+}
+
+// TestInvokeVerbEnforcesPeerDomain: the handler assigns the caller's trust
+// domain from the link agreement, not from anything the payload claims —
+// a remote caller cannot self-grade.
+func TestInvokeVerbEnforcesPeerDomain(t *testing.T) {
+	net := transport.NewInProcNet()
+	origin := newTestSite(t, net, "guarded")
+	peer := newTestSite(t, net, "lowtrust")
+	addEmployeeDB(t, origin)
+	if _, err := peer.Link("guarded"); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade the peer's domain after linking.
+	origin.Policy().GradeDomain("lowtrust", 0) // security.Untrusted
+
+	// A direct protocol call claiming a caller id: the handler maps the
+	// domain from the peer table, so the policy denies it.
+	conn, err := net.Dial("guarded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := wire.EncodeValue(value.NewMap(map[string]value.Value{
+		"site":   value.NewString("lowtrust"),
+		"caller": value.NewString(peer.IOO().ID().String()),
+		"target": value.NewString("payroll"),
+		"method": value.NewString("query"),
+		"args":   value.NewListOf(value.NewString("alice")),
+	}))
+	if _, err := conn.Call(context.Background(), verbInvoke, payload); err == nil {
+		t.Error("downgraded peer invoked through the wire")
+	}
+}

@@ -1,0 +1,486 @@
+// Package hadas implements HADAS — the Heterogeneous, Autonomous,
+// Distributed Abstraction System of §5 — on top of MROM. Each logical site
+// is represented by an InterOperability Object (IOO) holding three
+// containers: Home (APplication Objects), Vicinity (IOO Ambassadors of
+// linked sites) and Interop (coordination-level programs). Cooperation is
+// established with Link; APO Ambassadors move between sites with
+// Import/Export, arriving as data, unpacking, receiving an installation
+// context and installing themselves.
+package hadas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mscript"
+	"repro/internal/naming"
+	"repro/internal/persist"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Errors of the framework layer.
+var (
+	// ErrNotLinked reports an operation against a site with no cooperation
+	// agreement.
+	ErrNotLinked = errors.New("site not linked")
+	// ErrNoAPO reports an unknown application object.
+	ErrNoAPO = errors.New("no such APO")
+	// ErrNotExportable reports an Import refused by the origin's export rules.
+	ErrNotExportable = errors.New("APO not exportable to requester")
+)
+
+// DialFunc connects to a remote site address.
+type DialFunc func(addr string) (transport.Conn, error)
+
+// Config configures a Site.
+type Config struct {
+	// Name is the site's unique name (also its in-process address).
+	Name string
+	// Domain is the trust domain the site's objects act in. Defaults to Name.
+	Domain string
+	// Dial connects to peers. Defaults to TCP.
+	Dial DialFunc
+	// PeerTrust is the trust level granted to a linked peer's domain.
+	// Defaults to security.Trusted (a cooperation agreement implies trust;
+	// grade down for partially-trusted federations).
+	PeerTrust security.TrustLevel
+	// Budget bounds arriving mobile code. Zero value uses the default.
+	Budget mscript.Budget
+	// Output receives script prints and site logs (nil discards).
+	Output func(string)
+	// Store, when set, enables PersistAll/BootstrapAll.
+	Store persist.Store
+}
+
+// peer is one Vicinity entry: a linked remote site.
+type peer struct {
+	name       string
+	domain     string
+	addr       string
+	conn       transport.Conn
+	ambassador *core.Object // the remote IOO's ambassador hosted here
+}
+
+// deployment records one exported ambassador (origin side).
+type deployment struct {
+	apoName      string
+	ambassadorID naming.ID
+	hostSite     string
+}
+
+// Site is a HADAS site: the runtime behind one IOO.
+type Site struct {
+	cfg       Config
+	gen       *naming.Generator
+	objects   *naming.Registry
+	behaviors *core.BehaviorRegistry
+	policy    *security.Policy
+	auditor   *security.Auditor
+	ioo       *core.Object
+
+	mu              sync.Mutex
+	peers           map[string]*peer // by site name
+	apos            map[string]*core.Object
+	exportACL       map[string]security.ACL   // apoName → who may import
+	ambassadorSpecs map[string]AmbassadorSpec // apoName → split
+	ambassadors     map[string]*core.Object   // hosted ambassadors, by registry name
+	deployments     []deployment
+	programs        []string // interop program names, install order
+	listener        transport.Listener
+	closed          bool
+}
+
+// NewSite constructs a site, its behavior registry and its IOO.
+func NewSite(cfg Config) (*Site, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: site needs a name", core.ErrArity)
+	}
+	if cfg.Domain == "" {
+		cfg.Domain = cfg.Name
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (transport.Conn, error) { return transport.DialTCP(addr) }
+	}
+	if cfg.PeerTrust == 0 {
+		cfg.PeerTrust = security.Trusted
+	}
+	if cfg.Budget == (mscript.Budget{}) {
+		cfg.Budget = mscript.DefaultBudget
+	}
+
+	s := &Site{
+		cfg:         cfg,
+		gen:         naming.NewGenerator(cfg.Name),
+		objects:     naming.NewRegistry(),
+		behaviors:   core.NewBehaviorRegistry(),
+		policy:      security.NewPolicy(),
+		auditor:     security.NewAuditor(256),
+		peers:       make(map[string]*peer),
+		apos:        make(map[string]*core.Object),
+		exportACL:   make(map[string]security.ACL),
+		ambassadors: make(map[string]*core.Object),
+	}
+	s.policy.GradeDomain(cfg.Domain, security.Local)
+	registerBehaviors(s.behaviors)
+
+	ioo, err := buildIOO(s)
+	if err != nil {
+		return nil, err
+	}
+	s.ioo = ioo
+	s.objects.Register(ioo.ID(), ioo)
+	if err := s.objects.Bind("ioo", ioo.ID()); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// Domain returns the site's trust domain.
+func (s *Site) Domain() string { return s.cfg.Domain }
+
+// IOO returns the site's InterOperability Object.
+func (s *Site) IOO() *core.Object { return s.ioo }
+
+// Policy returns the site's security policy (hosts tune trust here).
+func (s *Site) Policy() *security.Policy { return s.policy }
+
+// Auditor returns the site's security audit log.
+func (s *Site) Auditor() *security.Auditor { return s.auditor }
+
+// Behaviors returns the site's native-behavior registry.
+func (s *Site) Behaviors() *core.BehaviorRegistry { return s.behaviors }
+
+// Generator returns the site's identity generator.
+func (s *Site) Generator() *naming.Generator { return s.gen }
+
+// log emits a site-level message.
+func (s *Site) log(format string, args ...any) {
+	if s.cfg.Output != nil {
+		s.cfg.Output(fmt.Sprintf(format, args...))
+	}
+}
+
+// Serve binds the site's protocol endpoint. With the in-process network
+// use ServeInProc instead.
+func (s *Site) Serve(addr string) (string, error) {
+	lis, err := transport.ListenTCP(addr, s.handle)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = lis
+	s.mu.Unlock()
+	return lis.Addr(), nil
+}
+
+// ServeInProc binds the site on an in-process network under its own name.
+func (s *Site) ServeInProc(net *transport.InProcNet) error {
+	lis, err := net.Listen(s.cfg.Name, s.handle)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.listener = lis
+	s.mu.Unlock()
+	return nil
+}
+
+// Close tears the site down: listener and peer connections.
+func (s *Site) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.listener
+	conns := make([]transport.Conn, 0, len(s.peers))
+	for _, p := range s.peers {
+		if p.conn != nil {
+			conns = append(conns, p.conn)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if lis != nil {
+		return lis.Close()
+	}
+	return nil
+}
+
+// ---- core.Resolver ----
+
+var _ core.Resolver = (*Site)(nil)
+
+// SiteName implements core.Resolver.
+func (s *Site) SiteName() string { return s.cfg.Name }
+
+// ResolveObject implements core.Resolver: it resolves "ioo", APO names,
+// hosted ambassador names ("payroll@tokyo", "ioo@tokyo"), and raw IDs.
+func (s *Site) ResolveObject(name string) (*core.Object, error) {
+	if id, err := naming.ParseID(name); err == nil {
+		obj, err := s.objects.LookupID(id)
+		if err != nil {
+			return nil, err
+		}
+		return asObject(obj)
+	}
+	obj, err := s.objects.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return asObject(obj)
+}
+
+func asObject(v any) (*core.Object, error) {
+	obj, ok := v.(*core.Object)
+	if !ok {
+		return nil, fmt.Errorf("%w: registered entity is not an object", core.ErrNotFound)
+	}
+	return obj, nil
+}
+
+// ---- Home management ----
+
+// host wires an object into this site (policy, auditor, resolver, output,
+// budget) and registers it.
+func (s *Site) host(obj *core.Object) {
+	obj.SetPolicy(s.policy)
+	obj.SetAuditor(s.auditor)
+	obj.SetResolver(s)
+	if s.cfg.Output != nil {
+		obj.SetOutput(s.cfg.Output)
+	}
+	s.objects.Register(obj.ID(), obj)
+}
+
+// NewAPOBuilder starts construction of an APO homed at this site: the
+// builder is pre-wired to the site's policy, registry and resolver.
+func (s *Site) NewAPOBuilder(class string) *core.Builder {
+	opts := []core.BuildOption{
+		core.InDomain(s.cfg.Domain),
+		core.WithPolicy(s.policy),
+		core.WithAuditor(s.auditor),
+		core.WithRegistry(s.behaviors),
+		core.WithResolver(s),
+		core.WithBudget(s.cfg.Budget),
+	}
+	if s.cfg.Output != nil {
+		opts = append(opts, core.WithOutput(s.cfg.Output))
+	}
+	return core.NewBuilder(s.gen, class, opts...)
+}
+
+// AddAPO installs an application object into Home under a name. The APO
+// becomes reachable to interop programs and, when exported, to peers.
+func (s *Site) AddAPO(name string, obj *core.Object) error {
+	s.mu.Lock()
+	if _, dup := s.apos[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: APO %q", core.ErrExists, name)
+	}
+	s.apos[name] = obj
+	s.mu.Unlock()
+
+	s.host(obj)
+	if err := s.objects.Bind(name, obj.ID()); err != nil {
+		return err
+	}
+	s.refreshIOOViews()
+	return nil
+}
+
+// APO returns a Home member by name.
+func (s *Site) APO(name string) (*core.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.apos[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoAPO, name)
+	}
+	return obj, nil
+}
+
+// APONames lists Home members, sorted.
+func (s *Site) APONames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.apos))
+	for n := range s.apos {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetExportACL controls who may import an APO. Without one, any linked
+// peer may import (the cooperation agreement suffices).
+func (s *Site) SetExportACL(apoName string, acl security.ACL) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exportACL[apoName] = acl
+}
+
+// PeerNames lists Vicinity members, sorted.
+func (s *Site) PeerNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.peers))
+	for n := range s.peers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ambassadors lists hosted ambassadors (names), sorted.
+func (s *Site) Ambassadors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.ambassadors))
+	for n := range s.ambassadors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deployments lists where an APO's ambassadors live (origin side).
+func (s *Site) Deployments(apoName string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, d := range s.deployments {
+		if d.apoName == apoName {
+			out = append(out, d.hostSite)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Site) peerByName(name string) (*peer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.peers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotLinked, name)
+	}
+	return p, nil
+}
+
+// callPeer performs one protocol round trip to a linked site, dialing the
+// peer lazily if this side accepted the link without a client connection.
+func (s *Site) callPeer(peerName, verb string, req value.Value) (value.Value, error) {
+	conn, err := s.connTo(peerName)
+	if err != nil {
+		return value.Null, err
+	}
+	return callConn(conn, verb, req)
+}
+
+func callConn(conn transport.Conn, verb string, req value.Value) (value.Value, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := conn.Call(ctx, verb, encodeReq(req))
+	if err != nil {
+		return value.Null, err
+	}
+	return decodeReq(out)
+}
+
+// ---- persistence ----
+
+// homeManifestSlot is the store slot recording the Home name→ID map, so a
+// restarted site can bootstrap itself without external knowledge.
+const homeManifestSlot = "_home-manifest"
+
+// PersistAll writes the IOO's Home members into the site store, along
+// with a manifest mapping APO names to object IDs.
+func (s *Site) PersistAll() error {
+	if s.cfg.Store == nil {
+		return fmt.Errorf("%w: site has no store", core.ErrNotFound)
+	}
+	s.mu.Lock()
+	type entry struct {
+		name string
+		obj  *core.Object
+	}
+	entries := make([]entry, 0, len(s.apos))
+	for name, o := range s.apos {
+		entries = append(entries, entry{name, o})
+	}
+	s.mu.Unlock()
+
+	manifest := make(map[string]value.Value, len(entries))
+	for _, e := range entries {
+		if err := persist.SaveObject(s.cfg.Store, e.obj); err != nil {
+			return err
+		}
+		manifest[e.name] = value.NewString(e.obj.ID().String())
+	}
+	return s.cfg.Store.Put(homeManifestSlot, encodeReq(value.NewMap(manifest)))
+}
+
+// BootstrapHome restores every APO recorded by the last PersistAll. APOs
+// already present under their manifest name are skipped. It returns the
+// names restored.
+func (s *Site) BootstrapHome() ([]string, error) {
+	if s.cfg.Store == nil {
+		return nil, fmt.Errorf("%w: site has no store", core.ErrNotFound)
+	}
+	raw, err := s.cfg.Store.Get(homeManifestSlot)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap home: %w", err)
+	}
+	man, err := decodeReq(raw)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap home: %w", err)
+	}
+	m, ok := man.Map()
+	if !ok {
+		return nil, fmt.Errorf("bootstrap home: manifest is not a map")
+	}
+	var restored []string
+	for name, idV := range m {
+		if _, err := s.APO(name); err == nil {
+			continue // already installed
+		}
+		id, err := naming.ParseID(idV.String())
+		if err != nil {
+			return restored, fmt.Errorf("bootstrap home: APO %q: %w", name, err)
+		}
+		if err := s.BootstrapAPO(name, id); err != nil {
+			return restored, err
+		}
+		restored = append(restored, name)
+	}
+	sort.Strings(restored)
+	return restored, nil
+}
+
+// BootstrapAPO loads one persisted APO back into Home under a name.
+func (s *Site) BootstrapAPO(name string, id naming.ID) error {
+	if s.cfg.Store == nil {
+		return fmt.Errorf("%w: site has no store", core.ErrNotFound)
+	}
+	obj, err := persist.LoadObject(s.cfg.Store, id.String(), s.behaviors,
+		core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
+		core.HostResolver(s), core.HostBudget(s.cfg.Budget))
+	if err != nil {
+		return err
+	}
+	return s.AddAPO(name, obj)
+}

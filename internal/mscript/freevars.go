@@ -1,0 +1,178 @@
+package mscript
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FreeVars computes the free variables of a function literal: identifiers
+// referenced in its body that are neither parameters, locally declared with
+// let, loop variables, nor builtins.
+//
+// This check is how the model enforces self-containment of mobile code:
+// a closure installed as an MROM method serializes as source, so captured
+// environment would be silently lost in transit. CheckMobile rejects such
+// closures up front, except for the well-known bindings the host re-supplies
+// at the destination (the method's standard scope: self, args, ctx).
+func FreeVars(fn *FnLit) []string {
+	s := &scopeStack{}
+	s.push()
+	for _, p := range fn.Params {
+		s.declare(p)
+	}
+	free := map[string]bool{}
+	walkBlock(fn.Body, s, free)
+	s.pop()
+	out := make([]string, 0, len(free))
+	for n := range free {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostBindings are the names the method-invocation machinery defines before
+// running a script body, so they are permitted free variables in mobile code.
+var HostBindings = map[string]bool{
+	"self": true,
+	"args": true,
+	"ctx":  true,
+}
+
+// CheckMobile verifies fn is self-contained enough to travel: every free
+// variable must be a host binding. It returns a descriptive error otherwise.
+func CheckMobile(fn *FnLit) error {
+	var offending []string
+	for _, v := range FreeVars(fn) {
+		if !HostBindings[v] {
+			offending = append(offending, v)
+		}
+	}
+	if len(offending) > 0 {
+		return fmt.Errorf("%w: function captures %v; mobile method bodies must be self-contained (only %v are re-bound at the destination)",
+			ErrRuntime, offending, hostBindingNames())
+	}
+	return nil
+}
+
+func hostBindingNames() []string {
+	out := make([]string, 0, len(HostBindings))
+	for n := range HostBindings {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type scopeStack struct {
+	scopes []map[string]bool
+}
+
+func (s *scopeStack) push() { s.scopes = append(s.scopes, map[string]bool{}) }
+func (s *scopeStack) pop()  { s.scopes = s.scopes[:len(s.scopes)-1] }
+
+func (s *scopeStack) declare(name string) {
+	s.scopes[len(s.scopes)-1][name] = true
+}
+
+func (s *scopeStack) bound(name string) bool {
+	for i := len(s.scopes) - 1; i >= 0; i-- {
+		if s.scopes[i][name] {
+			return true
+		}
+	}
+	return false
+}
+
+func walkBlock(b *Block, s *scopeStack, free map[string]bool) {
+	s.push()
+	for _, st := range b.Stmts {
+		walkStmt(st, s, free)
+	}
+	s.pop()
+}
+
+func walkStmt(st Stmt, s *scopeStack, free map[string]bool) {
+	switch t := st.(type) {
+	case *Let:
+		walkExpr(t.Expr, s, free)
+		s.declare(t.Name)
+	case *Assign:
+		walkExpr(t.Expr, s, free)
+		walkExpr(t.Target, s, free)
+	case *ExprStmt:
+		walkExpr(t.Expr, s, free)
+	case *Return:
+		if t.Expr != nil {
+			walkExpr(t.Expr, s, free)
+		}
+	case *If:
+		walkExpr(t.Cond, s, free)
+		walkBlock(t.Then, s, free)
+		if t.Else != nil {
+			walkStmt(t.Else, s, free)
+		}
+	case *While:
+		walkExpr(t.Cond, s, free)
+		walkBlock(t.Body, s, free)
+	case *ForIn:
+		walkExpr(t.Iter, s, free)
+		s.push()
+		s.declare(t.Var)
+		walkBlock(t.Body, s, free)
+		s.pop()
+	case *Block:
+		walkBlock(t, s, free)
+	case *Break, *Continue:
+		// no identifiers
+	}
+}
+
+func walkExpr(e Expr, s *scopeStack, free map[string]bool) {
+	switch t := e.(type) {
+	case *Ident:
+		if !s.bound(t.Name) && !IsBuiltin(t.Name) {
+			free[t.Name] = true
+		}
+	case *ListLit:
+		for _, el := range t.Elems {
+			walkExpr(el, s, free)
+		}
+	case *MapLit:
+		for _, p := range t.Pairs {
+			walkExpr(p.Value, s, free)
+		}
+	case *FnLit:
+		s.push()
+		for _, p := range t.Params {
+			s.declare(p)
+		}
+		walkBlock(t.Body, s, free)
+		s.pop()
+	case *Unary:
+		walkExpr(t.X, s, free)
+	case *Binary:
+		walkExpr(t.X, s, free)
+		walkExpr(t.Y, s, free)
+	case *Call:
+		// A bare-identifier callee that is a builtin is not free.
+		if id, ok := t.Fn.(*Ident); ok && !s.bound(id.Name) && IsBuiltin(id.Name) {
+			// builtin; skip callee
+		} else {
+			walkExpr(t.Fn, s, free)
+		}
+		for _, a := range t.Args {
+			walkExpr(a, s, free)
+		}
+	case *Index:
+		walkExpr(t.X, s, free)
+		walkExpr(t.Idx, s, free)
+	case *Field:
+		walkExpr(t.X, s, free)
+	case *MethodCall:
+		walkExpr(t.X, s, free)
+		for _, a := range t.Args {
+			walkExpr(a, s, free)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package mscript
+
+import (
+	"reflect"
+	"testing"
+)
+
+func parseFn(t *testing.T, src string) *FnLit {
+	t.Helper()
+	fn, err := ParseFunction(src)
+	if err != nil {
+		t.Fatalf("ParseFunction(%q): %v", src, err)
+	}
+	return fn
+}
+
+func TestFreeVars(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{"closed", `fn(a, b) { return a + b; }`, nil},
+		{"one free", `fn(a) { return a + captured; }`, []string{"captured"}},
+		{"let binds", `fn() { let x = 1; return x; }`, nil},
+		{"let rhs before binding", `fn() { let x = x; return x; }`, []string{"x"}},
+		{"loop var binds", `fn() { for i in 3 { print(i); } return 0; }`, nil},
+		{"loop var scoped to loop", `fn() { for i in 3 { } return i; }`, []string{"i"}},
+		{"block scoping", `fn() { if true { let y = 1; } return y; }`, []string{"y"}},
+		{"builtins not free", `fn(l) { return len(l) + max(1, 2); }`, nil},
+		{"builtin as bare value not free", `fn() { return len; }`, nil},
+		{"nested fn params bind", `fn() { return fn(q) { return q; }; }`, nil},
+		{"nested fn captures outer local", `fn() { let n = 1; return fn() { return n; }; }`, nil},
+		{"nested fn leaks unknown", `fn() { return fn() { return mystery; }; }`, []string{"mystery"}},
+		{"self is free", `fn(args) { return self.get("x"); }`, []string{"self"}},
+		{"assignment target free", `fn() { z = 3; return z; }`, []string{"z"}},
+		{"index and field traversal", `fn(a) { return a[i].f + m.k; }`, []string{"i", "m"}},
+		{"method call receiver", `fn() { return obj.run(arg); }`, []string{"arg", "obj"}},
+		{"map values traversed", `fn() { return {k: freevar}; }`, []string{"freevar"}},
+		{"list elems traversed", `fn() { return [e1, e2]; }`, []string{"e1", "e2"}},
+		{"while cond", `fn() { while flag { } return 0; }`, []string{"flag"}},
+		{"duplicate mention once", `fn() { return dup + dup; }`, []string{"dup"}},
+		{"shadowed builtin is bound", `fn() { let len = 3; return len; }`, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FreeVars(parseFn(t, tt.src))
+			if len(got) == 0 && len(tt.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("FreeVars = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckMobile(t *testing.T) {
+	ok := []string{
+		`fn(a) { return a * 2; }`,
+		`fn(args) { return self.get("n") + len(args); }`,
+		`fn() { return ctx; }`,
+		`fn() { let helper = fn(x) { return x + 1; }; return helper(1); }`,
+	}
+	for _, src := range ok {
+		if err := CheckMobile(parseFn(t, src)); err != nil {
+			t.Errorf("CheckMobile(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		`fn() { return captured; }`,
+		`fn(a) { return a + outer1 + outer2; }`,
+		`fn() { return fn() { return hidden; }; }`,
+	}
+	for _, src := range bad {
+		if err := CheckMobile(parseFn(t, src)); err == nil {
+			t.Errorf("CheckMobile(%q) passed, want error", src)
+		}
+	}
+}
+
+// A closure that passes CheckMobile must evaluate identically after a
+// source round trip (the mobility guarantee).
+func TestMobileClosureRoundTripSemantics(t *testing.T) {
+	src := `fn(a, b) { let t = 0; for i in a { t = t + i + b; } return t; }`
+	fn := parseFn(t, src)
+	if err := CheckMobile(fn); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp()
+	orig := &Closure{Fn: fn, Env: NewEnv()}
+	args := []Val{FromValue(intV(5)), FromValue(intV(2))}
+	v1, err := in.CallClosure(orig, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fn2, err := ParseFunction(orig.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := &Closure{Fn: fn2, Env: NewEnv()}
+	v2, err := NewInterp().CallClosure(shipped, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := v1.Data()
+	d2, _ := v2.Data()
+	if !d1.Equal(d2) {
+		t.Errorf("semantics changed in transit: %v vs %v", d1, d2)
+	}
+}

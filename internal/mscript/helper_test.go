@@ -1,0 +1,5 @@
+package mscript
+
+import "repro/internal/value"
+
+func intV(i int64) value.Value { return value.NewInt(i) }

@@ -1,0 +1,731 @@
+package mscript
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Budget bounds what a script run may consume. Hosts impose budgets on
+// arriving mobile code: a step is one AST node evaluation, depth is the
+// call-stack limit.
+type Budget struct {
+	MaxSteps int
+	MaxDepth int
+}
+
+// DefaultBudget is generous enough for interoperability programs while
+// still terminating runaway loops.
+var DefaultBudget = Budget{MaxSteps: 5_000_000, MaxDepth: 256}
+
+// Interp evaluates MScript programs and closures. An Interp is intended
+// for single-goroutine use; create one per method invocation.
+type Interp struct {
+	budget Budget
+	steps  int
+	depth  int
+	out    func(string) // print sink; nil discards
+}
+
+// Option configures an Interp.
+type Option func(*Interp)
+
+// WithBudget overrides the execution budget.
+func WithBudget(b Budget) Option {
+	return func(i *Interp) { i.budget = b }
+}
+
+// WithOutput directs print() output to sink.
+func WithOutput(sink func(string)) Option {
+	return func(i *Interp) { i.out = sink }
+}
+
+// NewInterp returns an interpreter with the default budget.
+func NewInterp(opts ...Option) *Interp {
+	i := &Interp{budget: DefaultBudget}
+	for _, o := range opts {
+		o(i)
+	}
+	return i
+}
+
+// Steps reports how many evaluation steps the interpreter has consumed.
+func (in *Interp) Steps() int { return in.steps }
+
+// control-flow signals inside the evaluator; they never escape the API.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+func (in *Interp) step(pos Pos) error {
+	in.steps++
+	if in.budget.MaxSteps > 0 && in.steps > in.budget.MaxSteps {
+		return fmt.Errorf("%w (steps > %d at %s)", ErrBudget, in.budget.MaxSteps, pos)
+	}
+	return nil
+}
+
+// Run evaluates a program in env. The value of a trailing `return` (or
+// Null) is returned.
+func (in *Interp) Run(p *Program, env *Env) (Val, error) {
+	v, c, err := in.execStmts(p.Stmts, env)
+	if err != nil {
+		return NullVal, err
+	}
+	if c == ctrlBreak || c == ctrlContinue {
+		return NullVal, fmt.Errorf("%w: break/continue outside loop", ErrRuntime)
+	}
+	return v, nil
+}
+
+// CallClosure applies a closure to arguments. Missing arguments are Null;
+// extra arguments are bound to the trailing variadic-style name "args" if
+// declared, otherwise ignored.
+func (in *Interp) CallClosure(c *Closure, args []Val) (Val, error) {
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.budget.MaxDepth > 0 && in.depth > in.budget.MaxDepth {
+		return NullVal, fmt.Errorf("%w (depth > %d)", ErrBudget, in.budget.MaxDepth)
+	}
+	env := c.Env.Child()
+	for i, p := range c.Fn.Params {
+		if i < len(args) {
+			env.Define(p, args[i])
+		} else {
+			env.Define(p, NullVal)
+		}
+	}
+	v, ctl, err := in.execStmts(c.Fn.Body.Stmts, env)
+	if err != nil {
+		return NullVal, err
+	}
+	if ctl == ctrlBreak || ctl == ctrlContinue {
+		return NullVal, fmt.Errorf("%w: break/continue outside loop", ErrRuntime)
+	}
+	if ctl == ctrlReturn {
+		return v, nil
+	}
+	return NullVal, nil
+}
+
+func (in *Interp) execStmts(stmts []Stmt, env *Env) (Val, ctrl, error) {
+	for _, s := range stmts {
+		v, c, err := in.execStmt(s, env)
+		if err != nil {
+			return NullVal, ctrlNone, err
+		}
+		if c != ctrlNone {
+			return v, c, nil
+		}
+	}
+	return NullVal, ctrlNone, nil
+}
+
+func (in *Interp) execStmt(s Stmt, env *Env) (Val, ctrl, error) {
+	switch st := s.(type) {
+	case *Let:
+		if err := in.step(st.Pos); err != nil {
+			return NullVal, ctrlNone, err
+		}
+		v, err := in.eval(st.Expr, env)
+		if err != nil {
+			return NullVal, ctrlNone, err
+		}
+		env.Define(st.Name, v)
+		return NullVal, ctrlNone, nil
+
+	case *Assign:
+		if err := in.step(st.Pos); err != nil {
+			return NullVal, ctrlNone, err
+		}
+		v, err := in.eval(st.Expr, env)
+		if err != nil {
+			return NullVal, ctrlNone, err
+		}
+		return NullVal, ctrlNone, in.assign(st.Target, v, env)
+
+	case *ExprStmt:
+		if err := in.step(st.Pos); err != nil {
+			return NullVal, ctrlNone, err
+		}
+		_, err := in.eval(st.Expr, env)
+		return NullVal, ctrlNone, err
+
+	case *Return:
+		if err := in.step(st.Pos); err != nil {
+			return NullVal, ctrlNone, err
+		}
+		if st.Expr == nil {
+			return NullVal, ctrlReturn, nil
+		}
+		v, err := in.eval(st.Expr, env)
+		if err != nil {
+			return NullVal, ctrlNone, err
+		}
+		return v, ctrlReturn, nil
+
+	case *If:
+		if err := in.step(st.Pos); err != nil {
+			return NullVal, ctrlNone, err
+		}
+		cond, err := in.eval(st.Cond, env)
+		if err != nil {
+			return NullVal, ctrlNone, err
+		}
+		if cond.Truthy() {
+			return in.execStmts(st.Then.Stmts, env.Child())
+		}
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *Block:
+				return in.execStmts(e.Stmts, env.Child())
+			default:
+				return in.execStmt(st.Else, env)
+			}
+		}
+		return NullVal, ctrlNone, nil
+
+	case *While:
+		for {
+			if err := in.step(st.Pos); err != nil {
+				return NullVal, ctrlNone, err
+			}
+			cond, err := in.eval(st.Cond, env)
+			if err != nil {
+				return NullVal, ctrlNone, err
+			}
+			if !cond.Truthy() {
+				return NullVal, ctrlNone, nil
+			}
+			v, c, err := in.execStmts(st.Body.Stmts, env.Child())
+			if err != nil {
+				return NullVal, ctrlNone, err
+			}
+			switch c {
+			case ctrlReturn:
+				return v, c, nil
+			case ctrlBreak:
+				return NullVal, ctrlNone, nil
+			}
+		}
+
+	case *ForIn:
+		if err := in.step(st.Pos); err != nil {
+			return NullVal, ctrlNone, err
+		}
+		iter, err := in.eval(st.Iter, env)
+		if err != nil {
+			return NullVal, ctrlNone, err
+		}
+		elems, err := iterate(iter)
+		if err != nil {
+			return NullVal, ctrlNone, fmt.Errorf("%s: %w", st.Pos, err)
+		}
+		for _, el := range elems {
+			if err := in.step(st.Pos); err != nil {
+				return NullVal, ctrlNone, err
+			}
+			scope := env.Child()
+			scope.Define(st.Var, el)
+			v, c, err := in.execStmts(st.Body.Stmts, scope)
+			if err != nil {
+				return NullVal, ctrlNone, err
+			}
+			switch c {
+			case ctrlReturn:
+				return v, c, nil
+			case ctrlBreak:
+				return NullVal, ctrlNone, nil
+			}
+		}
+		return NullVal, ctrlNone, nil
+
+	case *Break:
+		return NullVal, ctrlBreak, in.step(st.Pos)
+	case *Continue:
+		return NullVal, ctrlContinue, in.step(st.Pos)
+	case *Block:
+		return in.execStmts(st.Stmts, env.Child())
+	default:
+		return NullVal, ctrlNone, fmt.Errorf("%w: unknown statement %T", ErrRuntime, s)
+	}
+}
+
+// iterate expands an iterable into elements: list elements, map keys
+// (sorted for determinism), string bytes as 1-char strings, or 0..n-1
+// for an Int n.
+func iterate(v Val) ([]Val, error) {
+	if !v.IsData() {
+		return nil, fmt.Errorf("%w: cannot iterate %s", ErrRuntime, v)
+	}
+	d := v.data
+	switch d.Kind() {
+	case value.KindList:
+		l, _ := d.List()
+		out := make([]Val, len(l))
+		for i, e := range l {
+			out[i] = FromValue(e)
+		}
+		return out, nil
+	case value.KindMap:
+		m, _ := d.Map()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]Val, len(keys))
+		for i, k := range keys {
+			out[i] = FromValue(value.NewString(k))
+		}
+		return out, nil
+	case value.KindString:
+		s, _ := d.Str()
+		out := make([]Val, len(s))
+		for i := 0; i < len(s); i++ {
+			out[i] = FromValue(value.NewString(string(s[i])))
+		}
+		return out, nil
+	case value.KindInt:
+		n, _ := d.Int()
+		if n < 0 {
+			return nil, fmt.Errorf("%w: cannot iterate negative range %d", ErrRuntime, n)
+		}
+		const maxRange = 10_000_000
+		if n > maxRange {
+			return nil, fmt.Errorf("%w: range %d too large", ErrRuntime, n)
+		}
+		out := make([]Val, n)
+		for i := int64(0); i < n; i++ {
+			out[i] = FromValue(value.NewInt(i))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot iterate %s", ErrRuntime, d.Kind())
+	}
+}
+
+func (in *Interp) assign(target Expr, v Val, env *Env) error {
+	switch t := target.(type) {
+	case *Ident:
+		if !env.Set(t.Name, v) {
+			return fmt.Errorf("%w: %s: assignment to undeclared variable %q (use let)", ErrRuntime, t.Pos, t.Name)
+		}
+		return nil
+	case *Index:
+		container, err := in.eval(t.X, env)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(t.Idx, env)
+		if err != nil {
+			return err
+		}
+		return storeIndex(container, idx, v, t.Pos)
+	case *Field:
+		container, err := in.eval(t.X, env)
+		if err != nil {
+			return err
+		}
+		if obj, ok := container.Object(); ok {
+			// Field write on a host object is sugar for set(name, value).
+			_, err := obj.Call("set", []Val{FromValue(value.NewString(t.Name)), v})
+			return err
+		}
+		return storeIndex(container, FromValue(value.NewString(t.Name)), v, t.Pos)
+	default:
+		return fmt.Errorf("%w: invalid assignment target %T", ErrRuntime, target)
+	}
+}
+
+func storeIndex(container, idx, v Val, pos Pos) error {
+	if !container.IsData() {
+		return fmt.Errorf("%w: %s: cannot index-assign into %s", ErrRuntime, pos, container)
+	}
+	dv, err := v.Data()
+	if err != nil {
+		return fmt.Errorf("%s: %w", pos, err)
+	}
+	d := container.data
+	switch d.Kind() {
+	case value.KindList:
+		l, _ := d.List()
+		iv, err := idx.Data()
+		if err != nil {
+			return err
+		}
+		ci, err := value.Coerce(iv, value.KindInt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pos, err)
+		}
+		i, _ := ci.Int()
+		if i < 0 || int(i) >= len(l) {
+			return fmt.Errorf("%w: %s: index %d out of range [0,%d)", ErrRuntime, pos, i, len(l))
+		}
+		l[i] = dv // lists are mutable reference values inside a script run
+		return nil
+	case value.KindMap:
+		m, _ := d.Map()
+		kv, err := idx.Data()
+		if err != nil {
+			return err
+		}
+		ks, err := value.Coerce(kv, value.KindString)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pos, err)
+		}
+		m[ks.String()] = dv
+		return nil
+	default:
+		return fmt.Errorf("%w: %s: cannot index-assign into %s", ErrRuntime, pos, d.Kind())
+	}
+}
+
+func (in *Interp) eval(e Expr, env *Env) (Val, error) {
+	if err := in.step(exprPos(e)); err != nil {
+		return NullVal, err
+	}
+	switch ex := e.(type) {
+	case *IntLit:
+		return FromValue(value.NewInt(ex.Value)), nil
+	case *FloatLit:
+		return FromValue(value.NewFloat(ex.Value)), nil
+	case *StringLit:
+		return FromValue(value.NewString(ex.Value)), nil
+	case *BoolLit:
+		return FromValue(value.NewBool(ex.Value)), nil
+	case *NullLit:
+		return NullVal, nil
+
+	case *Ident:
+		v, ok := env.Lookup(ex.Name)
+		if !ok {
+			return NullVal, fmt.Errorf("%w: %s: undefined variable %q", ErrRuntime, ex.Pos, ex.Name)
+		}
+		return v, nil
+
+	case *ListLit:
+		elems := make([]value.Value, len(ex.Elems))
+		for i, el := range ex.Elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return NullVal, err
+			}
+			d, err := v.Data()
+			if err != nil {
+				return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+			}
+			elems[i] = d
+		}
+		return FromValue(value.NewList(elems)), nil
+
+	case *MapLit:
+		m := make(map[string]value.Value, len(ex.Pairs))
+		for _, p := range ex.Pairs {
+			v, err := in.eval(p.Value, env)
+			if err != nil {
+				return NullVal, err
+			}
+			d, err := v.Data()
+			if err != nil {
+				return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+			}
+			m[p.Key] = d
+		}
+		return FromValue(value.NewMap(m)), nil
+
+	case *FnLit:
+		return FromClosure(&Closure{Fn: ex, Env: env}), nil
+
+	case *Unary:
+		x, err := in.eval(ex.X, env)
+		if err != nil {
+			return NullVal, err
+		}
+		switch ex.Op {
+		case TokBang:
+			return FromValue(value.NewBool(!x.Truthy())), nil
+		case TokMinus:
+			d, err := x.Data()
+			if err != nil {
+				return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+			}
+			r, err := value.Neg(d)
+			if err != nil {
+				return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+			}
+			return FromValue(r), nil
+		default:
+			return NullVal, fmt.Errorf("%w: %s: unknown unary %s", ErrRuntime, ex.Pos, ex.Op)
+		}
+
+	case *Binary:
+		return in.evalBinary(ex, env)
+
+	case *Call:
+		// Builtins are bare identifiers resolved only when no variable
+		// shadows them, so scripts can redefine `len` locally if they wish.
+		if id, ok := ex.Fn.(*Ident); ok {
+			if _, shadowed := env.Lookup(id.Name); !shadowed {
+				if fn, ok := builtins[id.Name]; ok {
+					args, err := in.evalArgs(ex.Args, env)
+					if err != nil {
+						return NullVal, err
+					}
+					return fn(in, args)
+				}
+			}
+		}
+		fnv, err := in.eval(ex.Fn, env)
+		if err != nil {
+			return NullVal, err
+		}
+		args, err := in.evalArgs(ex.Args, env)
+		if err != nil {
+			return NullVal, err
+		}
+		return in.apply(fnv, args, ex.Pos)
+
+	case *Index:
+		x, err := in.eval(ex.X, env)
+		if err != nil {
+			return NullVal, err
+		}
+		idx, err := in.eval(ex.Idx, env)
+		if err != nil {
+			return NullVal, err
+		}
+		return loadIndex(x, idx, ex.Pos)
+
+	case *Field:
+		x, err := in.eval(ex.X, env)
+		if err != nil {
+			return NullVal, err
+		}
+		if obj, ok := x.Object(); ok {
+			// Field read on a host object is sugar for get(name).
+			return obj.Call("get", []Val{FromValue(value.NewString(ex.Name))})
+		}
+		return loadIndex(x, FromValue(value.NewString(ex.Name)), ex.Pos)
+
+	case *MethodCall:
+		x, err := in.eval(ex.X, env)
+		if err != nil {
+			return NullVal, err
+		}
+		args, err := in.evalArgs(ex.Args, env)
+		if err != nil {
+			return NullVal, err
+		}
+		if obj, ok := x.Object(); ok {
+			return obj.Call(ex.Name, args)
+		}
+		// Calling a function stored in a map entry.
+		member, err := loadIndex(x, FromValue(value.NewString(ex.Name)), ex.Pos)
+		if err != nil {
+			return NullVal, err
+		}
+		return in.apply(member, args, ex.Pos)
+
+	default:
+		return NullVal, fmt.Errorf("%w: unknown expression %T", ErrRuntime, e)
+	}
+}
+
+func (in *Interp) evalArgs(exprs []Expr, env *Env) ([]Val, error) {
+	args := make([]Val, len(exprs))
+	for i, a := range exprs {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// apply calls a closure value.
+func (in *Interp) apply(fnv Val, args []Val, pos Pos) (Val, error) {
+	if c, ok := fnv.Closure(); ok {
+		return in.CallClosure(c, args)
+	}
+	return NullVal, fmt.Errorf("%w: %s: %s is not callable", ErrRuntime, pos, fnv)
+}
+
+func loadIndex(x, idx Val, pos Pos) (Val, error) {
+	if !x.IsData() {
+		return NullVal, fmt.Errorf("%w: %s: cannot index %s", ErrRuntime, pos, x)
+	}
+	iv, err := idx.Data()
+	if err != nil {
+		return NullVal, fmt.Errorf("%s: %w", pos, err)
+	}
+	d := x.data
+	switch d.Kind() {
+	case value.KindMap:
+		ks, err := value.Coerce(iv, value.KindString)
+		if err != nil {
+			return NullVal, fmt.Errorf("%s: %w", pos, err)
+		}
+		e, _ := d.Get(ks.String())
+		return FromValue(e), nil
+	case value.KindList, value.KindString, value.KindBytes:
+		ci, err := value.Coerce(iv, value.KindInt)
+		if err != nil {
+			return NullVal, fmt.Errorf("%s: %w", pos, err)
+		}
+		i, _ := ci.Int()
+		e, err := d.Index(int(i))
+		if err != nil {
+			return NullVal, fmt.Errorf("%s: %w", pos, err)
+		}
+		return FromValue(e), nil
+	default:
+		return NullVal, fmt.Errorf("%w: %s: cannot index %s", ErrRuntime, pos, d.Kind())
+	}
+}
+
+func (in *Interp) evalBinary(ex *Binary, env *Env) (Val, error) {
+	// Short-circuit logical operators.
+	if ex.Op == TokAnd || ex.Op == TokOr {
+		x, err := in.eval(ex.X, env)
+		if err != nil {
+			return NullVal, err
+		}
+		if ex.Op == TokAnd && !x.Truthy() {
+			return FromValue(value.False), nil
+		}
+		if ex.Op == TokOr && x.Truthy() {
+			return FromValue(value.True), nil
+		}
+		y, err := in.eval(ex.Y, env)
+		if err != nil {
+			return NullVal, err
+		}
+		return FromValue(value.NewBool(y.Truthy())), nil
+	}
+
+	xv, err := in.eval(ex.X, env)
+	if err != nil {
+		return NullVal, err
+	}
+	yv, err := in.eval(ex.Y, env)
+	if err != nil {
+		return NullVal, err
+	}
+
+	// Equality works across all runtime values.
+	if ex.Op == TokEq || ex.Op == TokNe {
+		eq := valEqual(xv, yv)
+		if ex.Op == TokNe {
+			eq = !eq
+		}
+		return FromValue(value.NewBool(eq)), nil
+	}
+
+	x, err := xv.Data()
+	if err != nil {
+		return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+	}
+	y, err := yv.Data()
+	if err != nil {
+		return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+	}
+
+	var r value.Value
+	switch ex.Op {
+	case TokPlus:
+		r, err = value.Add(x, y)
+	case TokMinus:
+		r, err = value.Sub(x, y)
+	case TokStar:
+		r, err = value.Mul(x, y)
+	case TokSlash:
+		r, err = value.Div(x, y)
+	case TokPercent:
+		r, err = value.Mod(x, y)
+	case TokLt, TokLe, TokGt, TokGe:
+		var c int
+		c, err = value.Compare(x, y)
+		if err == nil {
+			var b bool
+			switch ex.Op {
+			case TokLt:
+				b = c < 0
+			case TokLe:
+				b = c <= 0
+			case TokGt:
+				b = c > 0
+			case TokGe:
+				b = c >= 0
+			}
+			r = value.NewBool(b)
+		}
+	default:
+		return NullVal, fmt.Errorf("%w: %s: unknown operator %s", ErrRuntime, ex.Pos, ex.Op)
+	}
+	if err != nil {
+		return NullVal, fmt.Errorf("%s: %w", ex.Pos, err)
+	}
+	return FromValue(r), nil
+}
+
+func valEqual(a, b Val) bool {
+	switch {
+	case a.IsData() && b.IsData():
+		return value.LooseEqual(a.data, b.data)
+	case a.IsClosure() && b.IsClosure():
+		af, _ := a.Closure()
+		bf, _ := b.Closure()
+		return af == bf
+	case a.IsObject() && b.IsObject():
+		ao, _ := a.Object()
+		bo, _ := b.Object()
+		return ao == bo
+	default:
+		return false
+	}
+}
+
+func exprPos(e Expr) Pos {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ex.Pos
+	case *FloatLit:
+		return ex.Pos
+	case *StringLit:
+		return ex.Pos
+	case *BoolLit:
+		return ex.Pos
+	case *NullLit:
+		return ex.Pos
+	case *Ident:
+		return ex.Pos
+	case *ListLit:
+		return ex.Pos
+	case *MapLit:
+		return ex.Pos
+	case *FnLit:
+		return ex.Pos
+	case *Unary:
+		return ex.Pos
+	case *Binary:
+		return ex.Pos
+	case *Call:
+		return ex.Pos
+	case *Index:
+		return ex.Pos
+	case *Field:
+		return ex.Pos
+	case *MethodCall:
+		return ex.Pos
+	default:
+		return Pos{}
+	}
+}

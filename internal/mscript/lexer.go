@@ -1,0 +1,249 @@
+package mscript
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSyntax reports lexical or grammatical errors in MScript source.
+var ErrSyntax = errors.New("mscript syntax error")
+
+// lexer tokenizes MScript source. It is an internal helper of Parse.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrSyntax, pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.off >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.off], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// skipSpace consumes whitespace and // comments.
+func (l *lexer) skipSpace() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	pos := l.pos()
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case isDigit(c):
+		start := l.off
+		isFloat := false
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if isDigit(c) {
+				l.advance()
+				continue
+			}
+			if c == '.' && !isFloat && l.off+1 < len(l.src) && isDigit(l.src[l.off+1]) {
+				isFloat = true
+				l.advance()
+				continue
+			}
+			break
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}, nil
+
+	case c == '"':
+		return l.lexString(pos)
+	}
+
+	l.advance()
+	two := func(nextC byte, twoKind, oneKind TokenKind, oneText string) (Token, error) {
+		if c2, ok := l.peekByte(); ok && c2 == nextC {
+			l.advance()
+			return Token{Kind: twoKind, Text: oneText + string(nextC), Pos: pos}, nil
+		}
+		if oneKind == TokEOF {
+			return Token{}, l.errorf(pos, "unexpected character %q", string(c))
+		}
+		return Token{Kind: oneKind, Text: oneText, Pos: pos}, nil
+	}
+
+	switch c {
+	case '=':
+		return two('=', TokEq, TokAssign, "=")
+	case '!':
+		return two('=', TokNe, TokBang, "!")
+	case '<':
+		return two('=', TokLe, TokLt, "<")
+	case '>':
+		return two('=', TokGe, TokGt, ">")
+	case '&':
+		return two('&', TokAnd, TokEOF, "&")
+	case '|':
+		return two('|', TokOr, TokEOF, "|")
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Text: "%", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Text: ";", Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Text: ".", Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Text: ":", Pos: pos}, nil
+	default:
+		return Token{}, l.errorf(pos, "unexpected character %q", string(c))
+	}
+}
+
+func (l *lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return Token{}, l.errorf(pos, "unterminated string literal")
+		}
+		l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokString, Text: sb.String(), Pos: pos}, nil
+		case '\\':
+			e, ok := l.peekByte()
+			if !ok {
+				return Token{}, l.errorf(pos, "unterminated escape in string literal")
+			}
+			l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return Token{}, l.errorf(pos, "unknown escape \\%s", string(e))
+			}
+		case '\n':
+			return Token{}, l.errorf(pos, "newline in string literal")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// lexAll tokenizes the whole input (testing helper and parser feed).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

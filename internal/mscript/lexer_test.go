@@ -1,0 +1,144 @@
+package mscript
+
+import (
+	"errors"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll(`let x = 41 + 1.5; // comment
+return "hi\n";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokLet, TokIdent, TokAssign, TokInt, TokPlus, TokFloat, TokSemi,
+		TokReturn, TokString, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[8].Text != "hi\n" {
+		t.Errorf("string payload %q", toks[8].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lexAll(`== != < <= > >= && || ! = + - * / % ( ) [ ] { } , ; . :`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokEq, TokNe, TokLt, TokLe, TokGt, TokGe, TokAnd, TokOr, TokBang,
+		TokAssign, TokPlus, TokMinus, TokStar, TokSlash, TokPercent,
+		TokLParen, TokRParen, TokLBracket, TokRBracket, TokLBrace, TokRBrace,
+		TokComma, TokSemi, TokDot, TokColon, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	toks, err := lexAll("let fn return if else while for in break continue true false null notakeyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokLet, TokFn, TokReturn, TokIf, TokElse, TokWhile, TokFor, TokIn,
+		TokBreak, TokContinue, TokTrue, TokFalse, TokNull, TokIdent, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll("0 123 1.5 2.25 7.foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "7.foo" lexes as INT(7) DOT IDENT(foo) — method call syntax wins.
+	want := []TokenKind{TokInt, TokInt, TokFloat, TokFloat, TokInt, TokDot, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lexAll(`"a\tb\\c\"d\r"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\tb\\c\"d\r" {
+		t.Errorf("payload %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		`"newline
+		 in string"`,
+		`@`,
+		`&x`,
+		`|x`,
+		`"trailing backslash \`,
+	}
+	for _, src := range bad {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) succeeded, want error", src)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("lexAll(%q) error %v is not ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "2:3" {
+		t.Errorf("Pos.String = %q", toks[1].Pos.String())
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	if TokLet.String() != "let" || TokEOF.String() != "EOF" {
+		t.Error("TokenKind.String wrong")
+	}
+	if TokenKind(250).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,250 @@
+package mscript
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseStatements(t *testing.T) {
+	p := mustParse(t, `
+let x = 1;
+x = x + 1;
+if x > 1 { return x; } else { return 0; }
+while x < 10 { x = x + 1; }
+for i in [1, 2, 3] { print(i); }
+break;
+continue;
+return;
+`)
+	wantTypes := []string{"*mscript.Let", "*mscript.Assign", "*mscript.If",
+		"*mscript.While", "*mscript.ForIn", "*mscript.Break",
+		"*mscript.Continue", "*mscript.Return"}
+	if len(p.Stmts) != len(wantTypes) {
+		t.Fatalf("parsed %d statements, want %d", len(p.Stmts), len(wantTypes))
+	}
+	for i, s := range p.Stmts {
+		got := typeOf(s)
+		if got != wantTypes[i] {
+			t.Errorf("stmt %d is %s, want %s", i, got, wantTypes[i])
+		}
+	}
+}
+
+func typeOf(v any) string {
+	switch v.(type) {
+	case *Let:
+		return "*mscript.Let"
+	case *Assign:
+		return "*mscript.Assign"
+	case *If:
+		return "*mscript.If"
+	case *While:
+		return "*mscript.While"
+	case *ForIn:
+		return "*mscript.ForIn"
+	case *Break:
+		return "*mscript.Break"
+	case *Continue:
+		return "*mscript.Continue"
+	case *Return:
+		return "*mscript.Return"
+	case *ExprStmt:
+		return "*mscript.ExprStmt"
+	default:
+		return "?"
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "let r = 1 + 2 * 3 == 7 && true;")
+	let := p.Stmts[0].(*Let)
+	// Expect ((1 + (2 * 3)) == 7) && true.
+	var sb strings.Builder
+	let.Expr.render(&sb, 0)
+	want := "(((1 + (2 * 3)) == 7) && true)"
+	if sb.String() != want {
+		t.Errorf("rendered %q, want %q", sb.String(), want)
+	}
+}
+
+func TestParseUnaryChain(t *testing.T) {
+	p := mustParse(t, "let r = --1; let s = !!false;")
+	var sb strings.Builder
+	p.Stmts[0].(*Let).Expr.render(&sb, 0)
+	if sb.String() != "-(-(1))" {
+		t.Errorf("rendered %q", sb.String())
+	}
+}
+
+func TestParsePostfixChain(t *testing.T) {
+	p := mustParse(t, `let r = obj.items[0].name(1, "a").field;`)
+	var sb strings.Builder
+	p.Stmts[0].(*Let).Expr.render(&sb, 0)
+	want := `obj.items[0].name(1, "a").field`
+	if sb.String() != want {
+		t.Errorf("rendered %q, want %q", sb.String(), want)
+	}
+}
+
+func TestParseFnLit(t *testing.T) {
+	p := mustParse(t, `let f = fn(a, b) { return a + b; };`)
+	fl, ok := p.Stmts[0].(*Let).Expr.(*FnLit)
+	if !ok {
+		t.Fatal("not a FnLit")
+	}
+	if len(fl.Params) != 2 || fl.Params[0] != "a" || fl.Params[1] != "b" {
+		t.Errorf("params %v", fl.Params)
+	}
+}
+
+func TestParseMapAndListLiterals(t *testing.T) {
+	p := mustParse(t, `let m = {name: "a", "with space": 2, nested: {x: 1}}; let l = [1, [2], {}];`)
+	ml := p.Stmts[0].(*Let).Expr.(*MapLit)
+	if len(ml.Pairs) != 3 || ml.Pairs[1].Key != "with space" {
+		t.Errorf("map pairs: %+v", ml.Pairs)
+	}
+	ll := p.Stmts[1].(*Let).Expr.(*ListLit)
+	if len(ll.Elems) != 3 {
+		t.Errorf("list elems: %d", len(ll.Elems))
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	p := mustParse(t, `if a { return 1; } else if b { return 2; } else { return 3; }`)
+	ifs := p.Stmts[0].(*If)
+	inner, ok := ifs.Else.(*If)
+	if !ok {
+		t.Fatalf("else-if is %T", ifs.Else)
+	}
+	if _, ok := inner.Else.(*Block); !ok {
+		t.Fatalf("final else is %T", inner.Else)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"let = 3;",
+		"let x 3;",
+		"let x = ;",
+		"let x = 3", // missing semicolon
+		"1 + ;",
+		"if { }",                // missing condition
+		"while true { ",         // unterminated block
+		"for in x { }",          // missing variable
+		"for i x { }",           // missing in
+		"fn(a, a) { };",         // duplicate param
+		"let m = {a: 1, a: 2};", // duplicate key
+		"let m = {1: 2};",       // non-identifier key
+		"3 = x;",                // bad assign target
+		"f(1,, 2);",
+		"return 1 2;",
+		"let x = fn(a { };", // malformed params
+		"x.;",               // missing field name
+		"a[1;",              // unterminated index
+		"(1;",               // unterminated paren
+		"[1;",               // unterminated list
+		"break",             // missing semicolon
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) error %v is not ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	fn, err := ParseFunction(`fn(a) { return a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fn.Params) != 1 {
+		t.Errorf("params %v", fn.Params)
+	}
+	// Trailing semicolon tolerated.
+	if _, err := ParseFunction(`fn() { };`); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+	if _, err := ParseFunction(`fn() { } extra`); err == nil {
+		t.Error("trailing tokens accepted")
+	}
+	if _, err := ParseFunction(`1 + 2`); err == nil {
+		t.Error("non-function accepted")
+	}
+	if _, err := ParseFunction(`fn( { }`); err == nil {
+		t.Error("malformed function accepted")
+	}
+}
+
+// Round-trip: parse → render → parse → render must be a fixed point.
+func TestRenderRoundTrip(t *testing.T) {
+	srcs := []string{
+		`let x = 1;`,
+		`let f = fn(a, b) { if a > b { return a; } return b; };`,
+		`for i in 10 { print(i, i * i); }`,
+		`while !done { done = check(); }`,
+		`let m = {a: [1, 2.5, "s\n"], b: {c: null}};`,
+		`x.items[2] = self.get("n") + 1;`,
+		`if a { b(); } else if c { d(); } else { e(); }`,
+		`let neg = -x + !y;`,
+		`self.invoke("m", [1], {k: true});`,
+		`return f(g(h()));`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		r1 := p1.Source()
+		p2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, r1, err)
+		}
+		r2 := p2.Source()
+		if r1 != r2 {
+			t.Errorf("render not a fixed point:\nfirst:  %q\nsecond: %q", r1, r2)
+		}
+	}
+}
+
+func TestFloatRenderKeepsFloatness(t *testing.T) {
+	p := mustParse(t, "let f = 2.0;")
+	src := p.Source()
+	p2 := mustParse(t, src)
+	if _, ok := p2.Stmts[0].(*Let).Expr.(*FloatLit); !ok {
+		t.Errorf("2.0 rendered as %q, reparsed as non-float", src)
+	}
+}
+
+// Hostile nesting must produce a syntax error, not a stack overflow — the
+// parser runs on code received from untrusted peers.
+func TestParseDepthLimit(t *testing.T) {
+	deepParens := "let x = " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + ";"
+	if _, err := Parse(deepParens); !errors.Is(err, ErrSyntax) {
+		t.Errorf("deep parens: %v", err)
+	}
+	deepBlocks := strings.Repeat("if true { ", 5000) + "x();" + strings.Repeat(" }", 5000)
+	if _, err := Parse(deepBlocks); !errors.Is(err, ErrSyntax) {
+		t.Errorf("deep blocks: %v", err)
+	}
+	deepLists := "let l = " + strings.Repeat("[", 5000) + strings.Repeat("]", 5000) + ";"
+	if _, err := Parse(deepLists); !errors.Is(err, ErrSyntax) {
+		t.Errorf("deep lists: %v", err)
+	}
+	// Realistic nesting still parses.
+	ok := "let x = " + strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50) + ";"
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("50-deep parens rejected: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package mscript implements MScript, the mobile-code substrate of this
+// MROM reproduction. The paper relies on Java's ability to ship compiled
+// classes between sites; Go cannot load code at runtime, so MROM method
+// bodies that must travel are written in MScript — a small dynamically-typed
+// language over the MROM value system — and serialized as source text.
+// Functions parsed from source run under an interpreter with explicit step
+// and depth budgets, which doubles as a security measure for untrusted
+// mobile code (a host can bound what an arriving method may consume).
+//
+// The language: `let`, assignment, `if`/`else`, `while`, `for‑in`, `return`,
+// `break`/`continue`, function literals `fn(a, b) { … }`, list and map
+// literals, indexing, field access, method calls on host objects (`self`
+// and anything resolved through the host), and the usual operators with
+// MROM's weak-typing coercion semantics.
+package mscript
+
+import "fmt"
+
+// TokenKind identifies a lexical token class.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	// Keywords.
+	TokLet
+	TokFn
+	TokReturn
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokIn
+	TokBreak
+	TokContinue
+	TokTrue
+	TokFalse
+	TokNull
+	// Punctuation and operators.
+	TokAssign   // =
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokBang     // !
+	TokAnd      // &&
+	TokOr       // ||
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokComma    // ,
+	TokSemi     // ;
+	TokDot      // .
+	TokColon    // :
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "int literal",
+	TokFloat: "float literal", TokString: "string literal",
+	TokLet: "let", TokFn: "fn", TokReturn: "return", TokIf: "if",
+	TokElse: "else", TokWhile: "while", TokFor: "for", TokIn: "in",
+	TokBreak: "break", TokContinue: "continue", TokTrue: "true",
+	TokFalse: "false", TokNull: "null",
+	TokAssign: "=", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokBang: "!", TokAnd: "&&", TokOr: "||",
+	TokLParen: "(", TokRParen: ")", TokLBracket: "[", TokRBracket: "]",
+	TokLBrace: "{", TokRBrace: "}", TokComma: ",", TokSemi: ";",
+	TokDot: ".", TokColon: ":",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]TokenKind{
+	"let": TokLet, "fn": TokFn, "return": TokReturn, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "for": TokFor, "in": TokIn,
+	"break": TokBreak, "continue": TokContinue, "true": TokTrue,
+	"false": TokFalse, "null": TokNull,
+}
+
+// Pos is a source location (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; for TokString the decoded payload
+	Pos  Pos
+}

@@ -1,0 +1,148 @@
+package mscript
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ErrRuntime reports MScript evaluation failures (bad operands, unknown
+// variables, budget exhaustion, user-raised errors).
+var ErrRuntime = errors.New("mscript runtime error")
+
+// ErrBudget reports that a script exceeded its step or depth budget. It
+// wraps ErrRuntime so both checks work with errors.Is.
+var ErrBudget = fmt.Errorf("%w: execution budget exceeded", ErrRuntime)
+
+// HostObject is the interpreter's view of an MROM object (or any other
+// host entity). Method calls on such a value dispatch through Call — for
+// MROM objects that is the full invocation mechanism, meta-methods
+// included, so mobile code manipulates objects only through the model.
+type HostObject interface {
+	// Call invokes the named method with evaluated arguments.
+	Call(name string, args []Val) (Val, error)
+	// HostName identifies the object for diagnostics.
+	HostName() string
+}
+
+// Val is an MScript runtime value: either an MROM data value, a closure,
+// or a handle on a host object. The zero Val is the data value Null.
+type Val struct {
+	data value.Value
+	fn   *Closure
+	obj  HostObject
+}
+
+// FromValue wraps an MROM value.
+func FromValue(v value.Value) Val { return Val{data: v} }
+
+// FromClosure wraps a closure.
+func FromClosure(c *Closure) Val { return Val{fn: c} }
+
+// FromObject wraps a host object handle.
+func FromObject(o HostObject) Val { return Val{obj: o} }
+
+// NullVal is the null runtime value.
+var NullVal = Val{}
+
+// IsClosure reports whether v holds a closure.
+func (v Val) IsClosure() bool { return v.fn != nil }
+
+// IsObject reports whether v holds a host object.
+func (v Val) IsObject() bool { return v.obj != nil }
+
+// IsData reports whether v holds a plain data value.
+func (v Val) IsData() bool { return v.fn == nil && v.obj == nil }
+
+// Closure returns the closure payload, if any.
+func (v Val) Closure() (*Closure, bool) { return v.fn, v.fn != nil }
+
+// Object returns the host object payload, if any.
+func (v Val) Object() (HostObject, bool) { return v.obj, v.obj != nil }
+
+// Data returns the data payload. For closures and objects it returns an
+// error: those cannot cross into the MROM value plane implicitly.
+func (v Val) Data() (value.Value, error) {
+	switch {
+	case v.fn != nil:
+		return value.Null, fmt.Errorf("%w: a function is not a data value (install it with addMethod/setMethod)", ErrRuntime)
+	case v.obj != nil:
+		return value.Null, fmt.Errorf("%w: object %s is not a data value (pass its name)", ErrRuntime, v.obj.HostName())
+	default:
+		return v.data, nil
+	}
+}
+
+// Truthy reports the boolean interpretation: closures and objects are true.
+func (v Val) Truthy() bool {
+	if v.fn != nil || v.obj != nil {
+		return true
+	}
+	return v.data.Truthy()
+}
+
+// String renders the value for diagnostics and print().
+func (v Val) String() string {
+	switch {
+	case v.fn != nil:
+		return fmt.Sprintf("fn/%d", len(v.fn.Fn.Params))
+	case v.obj != nil:
+		return "object(" + v.obj.HostName() + ")"
+	default:
+		return v.data.String()
+	}
+}
+
+// Closure is a function literal together with its captured environment.
+type Closure struct {
+	Fn  *FnLit
+	Env *Env
+}
+
+// Source renders the closure's canonical source text. This is the mobile
+// representation of code: ship the source, re-parse at the destination.
+// Captured environment does not travel; see FreeVars for the check that a
+// function is self-contained before it is installed as a method.
+func (c *Closure) Source() string {
+	var sb strings.Builder
+	c.Fn.render(&sb, 0)
+	return sb.String()
+}
+
+// Env is a lexically-chained variable environment.
+type Env struct {
+	parent *Env
+	vars   map[string]Val
+}
+
+// NewEnv returns a root environment.
+func NewEnv() *Env { return &Env{vars: make(map[string]Val)} }
+
+// Child returns a nested scope.
+func (e *Env) Child() *Env { return &Env{parent: e, vars: make(map[string]Val)} }
+
+// Define creates name in this scope, shadowing outer scopes.
+func (e *Env) Define(name string, v Val) { e.vars[name] = v }
+
+// Lookup finds name in this scope chain.
+func (e *Env) Lookup(name string) (Val, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return NullVal, false
+}
+
+// Set assigns to an existing name in the nearest defining scope.
+func (e *Env) Set(name string, v Val) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}

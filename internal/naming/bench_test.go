@@ -1,0 +1,42 @@
+package naming
+
+import "testing"
+
+func BenchmarkGeneratorNew(b *testing.B) {
+	g := NewGenerator("bench")
+	for i := 0; i < b.N; i++ {
+		_ = g.New()
+	}
+}
+
+func BenchmarkIDString(b *testing.B) {
+	id := NewGenerator("bench").New()
+	for i := 0; i < b.N; i++ {
+		_ = id.String()
+	}
+}
+
+func BenchmarkParseID(b *testing.B) {
+	s := NewGenerator("bench").New().String()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseID(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	g := NewGenerator("bench")
+	id := g.New()
+	r.Register(id, 1)
+	if err := r.Bind("name", id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Lookup("name"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package naming
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIDStringParseRoundTrip(t *testing.T) {
+	g := NewGenerator("site-a")
+	for i := 0; i < 100; i++ {
+		id := g.New()
+		parsed, err := ParseID(id.String())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", id.String(), err)
+		}
+		if parsed != id {
+			t.Fatalf("round trip mismatch: %s != %s", parsed, id)
+		}
+	}
+}
+
+func TestParseIDRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"short",
+		"zzzzzzzz-zzzzzzzzzzzz-zzzz-zzzzzzzz",    // non-hex
+		"00000000+000000000000-0000-00000000",    // wrong separator
+		"00000000-000000000000-0000-0000000",     // short last group
+		"00000000-000000000000-0000-00000000-ff", // too long
+		"0000000-0000000000000-0000-00000000",    // group sizes off
+		"00000000-000000000000_0000-00000000",    // wrong separator pos
+		"g0000000-000000000000-0000-00000000",    // non-hex first group
+		"00000000-g00000000000-0000-00000000",    // non-hex mid group
+		"00000000-000000000000-g000-00000000",    // non-hex counter
+	}
+	for _, s := range bad {
+		if _, err := ParseID(s); err == nil {
+			t.Errorf("ParseID(%q) succeeded, want error", s)
+		} else if !errors.Is(err, ErrBadID) {
+			t.Errorf("ParseID(%q) error %v is not ErrBadID", s, err)
+		}
+	}
+}
+
+func TestIDEmbedsSiteAndTime(t *testing.T) {
+	at := time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)
+	g := newGeneratorAt("tokyo", func() time.Time { return at })
+	id := g.New()
+	if id.Site() != g.Site() {
+		t.Errorf("Site() = %d, want %d", id.Site(), g.Site())
+	}
+	if got := id.Minted(); !got.Equal(at) {
+		t.Errorf("Minted() = %v, want %v", got, at)
+	}
+	if id.IsNil() {
+		t.Error("fresh ID is nil")
+	}
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+}
+
+func TestGeneratorUniquenessSequential(t *testing.T) {
+	g := NewGenerator("site")
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := g.New()
+		if seen[id] {
+			t.Fatalf("duplicate ID after %d mints: %s", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGeneratorUniquenessConcurrent(t *testing.T) {
+	g := NewGenerator("site")
+	const workers, per = 8, 500
+	var mu sync.Mutex
+	seen := make(map[ID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.New())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate concurrent ID %s", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDifferentSitesDifferentFingerprints(t *testing.T) {
+	a := NewGenerator("site-a")
+	b := NewGenerator("site-b")
+	if a.Site() == b.Site() {
+		t.Error("distinct site names produced equal fingerprints")
+	}
+	if a.New().Site() == b.New().Site() {
+		t.Error("IDs from distinct sites share fingerprint")
+	}
+}
+
+// Property: String form always parses back to the same ID.
+func TestPropIDRoundTrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		id := ID(raw)
+		back, err := ParseID(id.String())
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	g := NewGenerator("s")
+	id := g.New()
+	obj := &struct{ X int }{X: 1}
+
+	if _, err := r.LookupID(id); !errors.Is(err, ErrUnbound) {
+		t.Errorf("LookupID on empty registry: %v", err)
+	}
+	r.Register(id, obj)
+	got, err := r.LookupID(id)
+	if err != nil || got != obj {
+		t.Fatalf("LookupID = %v, %v", got, err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+
+	if err := r.Bind("payroll", id); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	got, err = r.Lookup("payroll")
+	if err != nil || got != obj {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	rid, err := r.Resolve("payroll")
+	if err != nil || rid != id {
+		t.Fatalf("Resolve = %v, %v", rid, err)
+	}
+
+	// Rebinding the same name to the same id is idempotent.
+	if err := r.Bind("payroll", id); err != nil {
+		t.Errorf("idempotent Bind: %v", err)
+	}
+	// Binding to another id fails.
+	other := g.New()
+	r.Register(other, obj)
+	if err := r.Bind("payroll", other); !errors.Is(err, ErrNameTaken) {
+		t.Errorf("conflicting Bind: %v", err)
+	}
+	// Binding an unregistered id fails.
+	if err := r.Bind("ghost", g.New()); !errors.Is(err, ErrUnbound) {
+		t.Errorf("Bind unregistered: %v", err)
+	}
+
+	names := r.Names()
+	if len(names) != 1 || names[0] != "payroll" {
+		t.Errorf("Names = %v", names)
+	}
+
+	r.Unbind("payroll")
+	if _, err := r.Lookup("payroll"); !errors.Is(err, ErrUnbound) {
+		t.Errorf("Lookup after Unbind: %v", err)
+	}
+	if _, err := r.LookupID(id); err != nil {
+		t.Errorf("object deregistered by Unbind: %v", err)
+	}
+
+	if err := r.Bind("p2", id); err != nil {
+		t.Fatal(err)
+	}
+	r.Deregister(id)
+	if _, err := r.LookupID(id); !errors.Is(err, ErrUnbound) {
+		t.Error("Deregister left object")
+	}
+	if _, err := r.Lookup("p2"); !errors.Is(err, ErrUnbound) {
+		t.Error("Deregister left binding")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := NewGenerator("s")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := g.New()
+				r.Register(id, i)
+				if _, err := r.LookupID(id); err != nil {
+					t.Errorf("concurrent LookupID: %v", err)
+				}
+				r.Deregister(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Errorf("registry not empty after churn: %d", r.Len())
+	}
+}
+
+func TestPathParseString(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Path
+		wantErr bool
+	}{
+		{"tokyo", Path{Site: "tokyo", Segments: []string{}}, false},
+		{"tokyo!home!payroll", Path{Site: "tokyo", Segments: []string{"home", "payroll"}}, false},
+		{"", Path{}, true},
+		{"a!!b", Path{}, true},
+		{"!a", Path{}, true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePath(tt.in)
+		if tt.wantErr != (err != nil) {
+			t.Errorf("ParsePath(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got.String() != tt.in {
+			t.Errorf("ParsePath(%q).String() = %q", tt.in, got.String())
+		}
+		if got.Site != tt.want.Site || len(got.Segments) != len(tt.want.Segments) {
+			t.Errorf("ParsePath(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPathChildAndIsLocal(t *testing.T) {
+	p, err := ParsePath("osaka!home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Child("db")
+	if c.String() != "osaka!home!db" {
+		t.Errorf("Child = %q", c.String())
+	}
+	// Child must not alias the parent's segment storage.
+	c2 := p.Child("other")
+	if c.String() != "osaka!home!db" || c2.String() != "osaka!home!other" {
+		t.Errorf("Child aliasing: %q, %q", c.String(), c2.String())
+	}
+	if !p.IsLocal("osaka") || p.IsLocal("tokyo") {
+		t.Error("IsLocal wrong")
+	}
+}

@@ -1,0 +1,49 @@
+package naming
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a hierarchical object name of the form "site!segment!segment…",
+// used by interoperability programs to address items across sites, e.g.
+// "tokyo!home!payroll" or "tokyo!vicinity!osaka". The separator '!' is
+// chosen so segments can be ordinary identifiers and object names.
+type Path struct {
+	Site     string
+	Segments []string
+}
+
+// ParsePath parses the textual form. The site part is mandatory; segments
+// may be empty (addressing the site's IOO itself).
+func ParsePath(s string) (Path, error) {
+	if s == "" {
+		return Path{}, fmt.Errorf("%w: empty path", ErrBadID)
+	}
+	parts := strings.Split(s, "!")
+	for i, p := range parts {
+		if p == "" {
+			return Path{}, fmt.Errorf("%w: empty segment %d in %q", ErrBadID, i, s)
+		}
+	}
+	return Path{Site: parts[0], Segments: parts[1:]}, nil
+}
+
+// String renders the canonical textual form.
+func (p Path) String() string {
+	if len(p.Segments) == 0 {
+		return p.Site
+	}
+	return p.Site + "!" + strings.Join(p.Segments, "!")
+}
+
+// Child returns p extended by one segment.
+func (p Path) Child(segment string) Path {
+	segs := make([]string, 0, len(p.Segments)+1)
+	segs = append(segs, p.Segments...)
+	segs = append(segs, segment)
+	return Path{Site: p.Site, Segments: segs}
+}
+
+// IsLocal reports whether p addresses the given site.
+func (p Path) IsLocal(site string) bool { return p.Site == site }

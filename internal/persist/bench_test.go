@@ -1,0 +1,58 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func benchPayload() []byte {
+	return make([]byte, 4096)
+}
+
+func BenchmarkMemStorePutGet(b *testing.B) {
+	s := NewMemStore()
+	data := benchPayload()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("slot", data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Get("slot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStorePut(b *testing.B) {
+	s, err := NewFileStore(filepath.Join(b.TempDir(), "store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchPayload()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("slot", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStoreGet(b *testing.B) {
+	s, err := NewFileStore(filepath.Join(b.TempDir(), "store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchPayload()
+	if err := s.Put("slot", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("slot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package persist
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/wire"
+)
+
+// SaveObject has the object write itself (its image) into the slot named
+// by its identity. The store is the host's allocated space; the content is
+// entirely the object's own (self-contained persistence).
+func SaveObject(store Store, obj *core.Object) error {
+	img, err := obj.Snapshot()
+	if err != nil {
+		return fmt.Errorf("persist %s: %w", obj.ID(), err)
+	}
+	if err := store.Put(img.ID.String(), wire.EncodeImage(img)); err != nil {
+		return fmt.Errorf("persist %s: %w", obj.ID(), err)
+	}
+	return nil
+}
+
+// LoadObject bootstraps one object from its slot.
+func LoadObject(store Store, slot string, reg *core.BehaviorRegistry,
+	opts ...core.MaterializeOption) (*core.Object, error) {
+	data, err := store.Get(slot)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap %q: %w", slot, err)
+	}
+	img, err := wire.DecodeImage(data)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap %q: %w", slot, err)
+	}
+	obj, err := core.FromImage(img, reg, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap %q: %w", slot, err)
+	}
+	return obj, nil
+}
+
+// DeleteObject removes a persisted object's slot.
+func DeleteObject(store Store, id naming.ID) error {
+	return store.Delete(id.String())
+}
+
+// Bootstrap loads every object in the store — the host's start-up
+// procedure. Slots that fail to load are reported through onErr (nil
+// panics on nothing; errors are skipped silently when onErr is nil) and
+// skipped, so one corrupt slot cannot block a site from starting.
+func Bootstrap(store Store, reg *core.BehaviorRegistry,
+	onErr func(slot string, err error), opts ...core.MaterializeOption) ([]*core.Object, error) {
+	slots, err := store.List()
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: %w", err)
+	}
+	out := make([]*core.Object, 0, len(slots))
+	for _, slot := range slots {
+		obj, err := LoadObject(store, slot, reg, opts...)
+		if err != nil {
+			if onErr != nil {
+				onErr(slot, err)
+			}
+			continue
+		}
+		out = append(out, obj)
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+var gen = naming.NewGenerator("persist-test")
+
+func openPolicy() *security.Policy {
+	p := security.NewPolicy()
+	p.SetDefault(security.Untrusted, security.Allow)
+	return p
+}
+
+func persistentObject(t *testing.T) *core.Object {
+	t.Helper()
+	b := core.NewBuilder(gen, "Durable", core.WithPolicy(openPolicy()))
+	b.ExtData("state", value.NewMap(map[string]value.Value{"visits": value.NewInt(0)}))
+	b.FixedScriptMethod("visit", `fn() {
+		let s = self.state;
+		s["visits"] = s["visits"] + 1;
+		self.state = s;
+		return s["visits"];
+	}`)
+	return b.MustBuild()
+}
+
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMemStore(), "file": fs}
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, store := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := store.Get("missing"); !errors.Is(err, ErrNoSlot) {
+				t.Errorf("missing slot: %v", err)
+			}
+			if err := store.Put("a", []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Put("b/with strange? chars", []byte{0, 1, 2}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := store.Get("a")
+			if err != nil || string(got) != "one" {
+				t.Errorf("Get(a) = %q, %v", got, err)
+			}
+			// Overwrite is atomic replacement.
+			if err := store.Put("a", []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = store.Get("a")
+			if string(got) != "two" {
+				t.Errorf("overwrite = %q", got)
+			}
+			slots, err := store.List()
+			if err != nil || len(slots) != 2 {
+				t.Errorf("List = %v, %v", slots, err)
+			}
+			if err := store.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Delete("a"); err != nil {
+				t.Errorf("double delete: %v", err)
+			}
+			if _, err := store.Get("a"); !errors.Is(err, ErrNoSlot) {
+				t.Errorf("deleted slot: %v", err)
+			}
+			// Stored data is isolated from caller mutations.
+			buf := []byte("mutable")
+			if err := store.Put("c", buf); err != nil {
+				t.Fatal(err)
+			}
+			buf[0] = 'X'
+			got, _ = store.Get("c")
+			if string(got) != "mutable" {
+				t.Errorf("store aliased caller buffer: %q", got)
+			}
+		})
+	}
+}
+
+func TestFileStoreDetectsCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("obj", []byte("precious state")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a content byte behind the store's back.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatal(err, entries)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("obj"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted slot: %v", err)
+	}
+	// Truncated header.
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get("obj"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short slot: %v", err)
+	}
+	// Foreign files in the directory are ignored by List.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zz.slot"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	slots, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slots {
+		if s != "obj" {
+			t.Errorf("foreign slot listed: %q", s)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for name, store := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			obj := persistentObject(t)
+			// Accumulate state, then persist.
+			for i := 0; i < 3; i++ {
+				if _, err := obj.InvokeSelf("visit"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := SaveObject(store, obj); err != nil {
+				t.Fatal(err)
+			}
+			// Bootstrap into a fresh object ("read itself into memory").
+			re, err := LoadObject(store, obj.ID().String(), nil, core.HostPolicy(openPolicy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re.ID() != obj.ID() {
+				t.Error("identity changed across persistence")
+			}
+			v, err := re.InvokeSelf("visit")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i, _ := v.Int(); i != 4 {
+				t.Errorf("visits after restart = %v, want 4", v)
+			}
+			// Delete removes the slot.
+			if err := DeleteObject(store, obj.ID()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadObject(store, obj.ID().String(), nil); !errors.Is(err, ErrNoSlot) {
+				t.Errorf("load after delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestBootstrapAll(t *testing.T) {
+	store := NewMemStore()
+	var ids []naming.ID
+	for i := 0; i < 3; i++ {
+		obj := persistentObject(t)
+		ids = append(ids, obj.ID())
+		if err := SaveObject(store, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One corrupt slot must not block the rest.
+	if err := store.Put("junk", []byte("not an image")); err != nil {
+		t.Fatal(err)
+	}
+	var failed []string
+	objs, err := Bootstrap(store, nil, func(slot string, err error) {
+		failed = append(failed, slot)
+	}, core.HostPolicy(openPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Errorf("bootstrapped %d objects, want 3", len(objs))
+	}
+	if len(failed) != 1 || failed[0] != "junk" {
+		t.Errorf("failed slots = %v", failed)
+	}
+	got := map[naming.ID]bool{}
+	for _, o := range objs {
+		got[o.ID()] = true
+	}
+	for _, id := range ids {
+		if !got[id] {
+			t.Errorf("object %s not bootstrapped", id)
+		}
+	}
+	// nil onErr skips silently.
+	objs2, err := Bootstrap(store, nil, nil, core.HostPolicy(openPolicy()))
+	if err != nil || len(objs2) != 3 {
+		t.Errorf("silent bootstrap: %d, %v", len(objs2), err)
+	}
+}
+
+func TestConcurrentStoreAccess(t *testing.T) {
+	for name, store := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					slot := string(rune('a' + w))
+					for i := 0; i < 20; i++ {
+						if err := store.Put(slot, []byte{byte(i)}); err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+						if _, err := store.Get(slot); err != nil {
+							t.Errorf("Get: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,219 @@
+// Package persist implements the self-containment requirement's persistence
+// half (§1): "a long-lived persistent mobile object should contain its own
+// persistence scheme and be able to write itself to disk on a space
+// allocated for it by the host environment, as well as read itself into
+// memory following some bootstrap procedure initiated by the host
+// environment."
+//
+// The host side is a Store — it only allocates named slots of bytes. The
+// object side writes its own image (via its Snapshot) into the slot, and
+// Bootstrap re-materializes objects from their slots. Integrity is checked
+// with a per-slot checksum so a torn write surfaces as an error, not as a
+// corrupted object.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors of the persistence substrate.
+var (
+	// ErrNoSlot reports a read of an unallocated slot.
+	ErrNoSlot = errors.New("no such slot")
+	// ErrCorrupt reports a slot whose checksum does not match its content.
+	ErrCorrupt = errors.New("slot content corrupt")
+)
+
+// Store is the host-allocated space objects persist themselves into.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Put writes data into a slot, replacing previous content atomically.
+	Put(slot string, data []byte) error
+	// Get reads a slot's content.
+	Get(slot string) ([]byte, error)
+	// Delete removes a slot; deleting a missing slot is not an error.
+	Delete(slot string) error
+	// List returns all slot names, sorted.
+	List() ([]string, error)
+}
+
+// MemStore is an in-memory Store for tests and ephemeral sites.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put implements Store.
+func (s *MemStore) Put(slot string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[slot] = cp
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(slot string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.m[slot]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSlot, slot)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(slot string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, slot)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FileStore persists slots as files in a directory, one file per slot,
+// written atomically (temp file + rename) with a CRC32 integrity header.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Store = (*FileStore)(nil)
+
+const slotSuffix = ".slot"
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// slotFile encodes a slot name to a safe file name (hex of the name).
+func (s *FileStore) slotFile(slot string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(slot))+slotSuffix)
+}
+
+// Put implements Store with an atomic write: content is framed as
+// [crc32:4][len:8][data], written to a temp file, fsynced, renamed.
+func (s *FileStore) Put(slot string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	framed := make([]byte, 12+len(data))
+	binary.BigEndian.PutUint32(framed[0:4], crc32.ChecksumIEEE(data))
+	binary.BigEndian.PutUint64(framed[4:12], uint64(len(data)))
+	copy(framed[12:], data)
+
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
+	if err := os.Rename(tmpName, s.slotFile(slot)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
+	return nil
+}
+
+// Get implements Store, verifying the integrity header.
+func (s *FileStore) Get(slot string) ([]byte, error) {
+	framed, err := os.ReadFile(s.slotFile(slot))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNoSlot, slot)
+		}
+		return nil, fmt.Errorf("get %q: %w", slot, err)
+	}
+	if len(framed) < 12 {
+		return nil, fmt.Errorf("%w: %q: short header", ErrCorrupt, slot)
+	}
+	wantSum := binary.BigEndian.Uint32(framed[0:4])
+	wantLen := binary.BigEndian.Uint64(framed[4:12])
+	data := framed[12:]
+	if uint64(len(data)) != wantLen {
+		return nil, fmt.Errorf("%w: %q: length %d, header says %d", ErrCorrupt, slot, len(data), wantLen)
+	}
+	if crc32.ChecksumIEEE(data) != wantSum {
+		return nil, fmt.Errorf("%w: %q: checksum mismatch", ErrCorrupt, slot)
+	}
+	return data, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(slot string) error {
+	err := os.Remove(s.slotFile(slot))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("delete %q: %w", slot, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *FileStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("list store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, slotSuffix) {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, slotSuffix))
+		if err != nil {
+			continue // foreign file; not ours
+		}
+		out = append(out, string(raw))
+	}
+	sort.Strings(out)
+	return out, nil
+}

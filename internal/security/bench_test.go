@@ -1,0 +1,61 @@
+package security
+
+import (
+	"testing"
+
+	"repro/internal/naming"
+)
+
+func BenchmarkACLDecideFirstEntry(b *testing.B) {
+	g := naming.NewGenerator("bench")
+	p := Principal{Object: g.New(), Domain: "d"}
+	acl := NewACL(AllowObject(p.Object))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := acl.Decide(p, ActionInvoke); !ok {
+			b.Fatal("no decision")
+		}
+	}
+}
+
+func BenchmarkACLDecideScan64(b *testing.B) {
+	g := naming.NewGenerator("bench")
+	p := Principal{Object: g.New(), Domain: "d"}
+	entries := make([]Entry, 0, 65)
+	for i := 0; i < 64; i++ {
+		entries = append(entries, Entry{Effect: Deny, Object: g.New()})
+	}
+	entries = append(entries, AllowObject(p.Object))
+	acl := NewACL(entries...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := acl.Decide(p, ActionInvoke); !ok {
+			b.Fatal("no decision")
+		}
+	}
+}
+
+func BenchmarkCheckPolicyDefault(b *testing.B) {
+	g := naming.NewGenerator("bench")
+	p := Principal{Object: g.New(), Domain: "campus"}
+	pol := NewPolicy()
+	pol.GradeDomain("campus", Trusted)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Check(ACL{}, pol, p, ActionInvoke, "m"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDomainGlobMatch(b *testing.B) {
+	g := naming.NewGenerator("bench")
+	p := Principal{Object: g.New(), Domain: "technion.ee.labs"}
+	e := Entry{Effect: Allow, Domain: "technion.*"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Matches(p, ActionInvoke) {
+			b.Fatal("no match")
+		}
+	}
+}

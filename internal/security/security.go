@@ -1,0 +1,375 @@
+// Package security implements MROM's security substrate. The paper's
+// position (§3.1) is that security is coupled with encapsulation: every
+// data item and method carries an access control list (ACL) "that specifies
+// which other objects can access it", with single-object granularity rather
+// than class-level visibility categories, and checks are applied "on one
+// action only — method invocation" (plus getting and setting data items,
+// which the paper folds into the same legitimacy check).
+//
+// The model here:
+//
+//   - A Principal is the identity of a requester: an object ID plus the
+//     trust domain it operates in.
+//   - An ACL is an ordered list of allow/deny entries; the first matching
+//     entry decides. An empty ACL delegates to the site Policy.
+//   - A Policy assigns trust levels to domains and a default decision per
+//     trust level, so hosts can say "local objects may, untrusted domains
+//     may not" without enumerating objects.
+//   - An Auditor records decisions for inspection (mutual security: both
+//     host and mobile object can review what was attempted).
+package security
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/naming"
+)
+
+// ErrDenied reports a failed security match. Callers detect it with
+// errors.Is; the message names the action and item for diagnostics.
+var ErrDenied = errors.New("access denied")
+
+// Action is the operation being checked.
+type Action uint8
+
+// Actions subject to checks. ActionAny is usable only in ACL entries,
+// where it matches every action.
+const (
+	ActionAny Action = iota
+	ActionInvoke
+	ActionGet
+	ActionSet
+	ActionMeta // reflective manipulation: add/delete/setMethod etc.
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case ActionAny:
+		return "any"
+	case ActionInvoke:
+		return "invoke"
+	case ActionGet:
+		return "get"
+	case ActionSet:
+		return "set"
+	case ActionMeta:
+		return "meta"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// TrustLevel grades how much a domain is trusted by the local site.
+type TrustLevel uint8
+
+// Trust levels, lowest first.
+const (
+	Untrusted TrustLevel = iota
+	Limited
+	Trusted
+	Local
+)
+
+// String returns the trust level name.
+func (t TrustLevel) String() string {
+	switch t {
+	case Untrusted:
+		return "untrusted"
+	case Limited:
+		return "limited"
+	case Trusted:
+		return "trusted"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("trust(%d)", uint8(t))
+	}
+}
+
+// Principal identifies a requester.
+type Principal struct {
+	Object naming.ID
+	Domain string
+}
+
+// String renders "domain/objectid" for diagnostics.
+func (p Principal) String() string {
+	return p.Domain + "/" + p.Object.String()
+}
+
+// Effect is an ACL entry outcome.
+type Effect uint8
+
+// Effects.
+const (
+	Deny Effect = iota
+	Allow
+)
+
+// String returns "allow" or "deny".
+func (e Effect) String() string {
+	if e == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Entry is one ACL rule. Zero-valued match fields are wildcards:
+// a Nil Object matches any object, an empty Domain matches any domain.
+// Domain supports a trailing-* glob ("technion.*"). Action matches the
+// checked action or ActionAny.
+type Entry struct {
+	Effect Effect
+	Object naming.ID
+	Domain string
+	Action Action
+}
+
+// Matches reports whether the entry applies to (p, action).
+func (e Entry) Matches(p Principal, action Action) bool {
+	if e.Action != ActionAny && e.Action != action {
+		return false
+	}
+	if !e.Object.IsNil() && e.Object != p.Object {
+		return false
+	}
+	if e.Domain != "" && !domainMatch(e.Domain, p.Domain) {
+		return false
+	}
+	return true
+}
+
+func domainMatch(pattern, domain string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, ".*") {
+		prefix := strings.TrimSuffix(pattern, "*")
+		return strings.HasPrefix(domain, prefix) || domain == strings.TrimSuffix(prefix, ".")
+	}
+	return pattern == domain
+}
+
+// ACL is an ordered access-control list attached to an item. The zero ACL
+// is empty and delegates every decision to the policy.
+type ACL struct {
+	entries []Entry
+}
+
+// NewACL builds an ACL from entries, copying the slice.
+func NewACL(entries ...Entry) ACL {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	return ACL{entries: out}
+}
+
+// AllowObject is a convenience constructor: allow one object, any action.
+func AllowObject(id naming.ID) Entry {
+	return Entry{Effect: Allow, Object: id}
+}
+
+// AllowDomain is a convenience constructor: allow a domain pattern, any action.
+func AllowDomain(pattern string) Entry {
+	return Entry{Effect: Allow, Domain: pattern}
+}
+
+// DenyObject is a convenience constructor: deny one object, any action.
+func DenyObject(id naming.ID) Entry {
+	return Entry{Effect: Deny, Object: id}
+}
+
+// DenyAll matches everything; use as a final default entry.
+func DenyAll() Entry { return Entry{Effect: Deny} }
+
+// AllowAll matches everything; use as a final default entry.
+func AllowAll() Entry { return Entry{Effect: Allow} }
+
+// Empty reports whether the ACL has no entries.
+func (a ACL) Empty() bool { return len(a.entries) == 0 }
+
+// Len reports the number of entries.
+func (a ACL) Len() int { return len(a.entries) }
+
+// Entries returns a copy of the rule list.
+func (a ACL) Entries() []Entry {
+	out := make([]Entry, len(a.entries))
+	copy(out, a.entries)
+	return out
+}
+
+// Append returns a new ACL with e added at the end.
+func (a ACL) Append(e Entry) ACL {
+	out := make([]Entry, 0, len(a.entries)+1)
+	out = append(out, a.entries...)
+	out = append(out, e)
+	return ACL{entries: out}
+}
+
+// Prepend returns a new ACL with e inserted at the front (highest priority).
+func (a ACL) Prepend(e Entry) ACL {
+	out := make([]Entry, 0, len(a.entries)+1)
+	out = append(out, e)
+	out = append(out, a.entries...)
+	return ACL{entries: out}
+}
+
+// Decide evaluates the ACL for (p, action). The first matching entry wins.
+// ok is false when no entry matches, in which case the caller consults the
+// policy.
+func (a ACL) Decide(p Principal, action Action) (effect Effect, ok bool) {
+	for _, e := range a.entries {
+		if e.Matches(p, action) {
+			return e.Effect, true
+		}
+	}
+	return Deny, false
+}
+
+// Policy maps trust domains to levels and levels to default decisions.
+// The zero value is unusable; construct with NewPolicy. Policies are safe
+// for concurrent use.
+type Policy struct {
+	mu       sync.RWMutex
+	levels   map[string]TrustLevel
+	defaults map[TrustLevel]Effect
+	fallback TrustLevel
+}
+
+// NewPolicy returns a policy with the conventional defaults: Local and
+// Trusted domains allowed, Limited and Untrusted denied; unknown domains
+// graded Untrusted.
+func NewPolicy() *Policy {
+	return &Policy{
+		levels: make(map[string]TrustLevel),
+		defaults: map[TrustLevel]Effect{
+			Local:     Allow,
+			Trusted:   Allow,
+			Limited:   Deny,
+			Untrusted: Deny,
+		},
+		fallback: Untrusted,
+	}
+}
+
+// GradeDomain assigns a trust level to a domain name.
+func (p *Policy) GradeDomain(domain string, level TrustLevel) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.levels[domain] = level
+}
+
+// SetDefault sets the decision for a trust level when no ACL entry matched.
+func (p *Policy) SetDefault(level TrustLevel, effect Effect) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.defaults[level] = effect
+}
+
+// Level returns the trust level of a domain (fallback for unknown domains).
+func (p *Policy) Level(domain string) TrustLevel {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if l, ok := p.levels[domain]; ok {
+		return l
+	}
+	return p.fallback
+}
+
+// DecideDefault returns the policy decision for a principal with no
+// matching ACL entry.
+func (p *Policy) DecideDefault(pr Principal) Effect {
+	level := p.Level(pr.Domain)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if e, ok := p.defaults[level]; ok {
+		return e
+	}
+	return Deny
+}
+
+// Check is the full decision procedure used by level-0 invocation's Match
+// phase: ACL first (ordered, first match wins), then the policy default.
+// It returns nil on allow and an ErrDenied-wrapped error on deny.
+func Check(acl ACL, policy *Policy, pr Principal, action Action, item string) error {
+	if effect, ok := acl.Decide(pr, action); ok {
+		if effect == Allow {
+			return nil
+		}
+		return fmt.Errorf("%w: %s of %q by %s (acl)", ErrDenied, action, item, pr)
+	}
+	if policy != nil && policy.DecideDefault(pr) == Allow {
+		return nil
+	}
+	return fmt.Errorf("%w: %s of %q by %s (policy)", ErrDenied, action, item, pr)
+}
+
+// Event is one audited decision.
+type Event struct {
+	At        time.Time
+	Principal Principal
+	Action    Action
+	Item      string
+	Allowed   bool
+}
+
+// Auditor records recent decisions in a bounded ring. The zero value is
+// unusable; construct with NewAuditor.
+type Auditor struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	filled bool
+	now    func() time.Time
+}
+
+// NewAuditor returns an auditor retaining the last capacity events.
+func NewAuditor(capacity int) *Auditor {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Auditor{ring: make([]Event, capacity), now: time.Now}
+}
+
+// Record appends a decision event.
+func (a *Auditor) Record(pr Principal, action Action, item string, allowed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ring[a.next] = Event{At: a.now(), Principal: pr, Action: action, Item: item, Allowed: allowed}
+	a.next++
+	if a.next == len(a.ring) {
+		a.next = 0
+		a.filled = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (a *Auditor) Events() []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.filled {
+		out := make([]Event, a.next)
+		copy(out, a.ring[:a.next])
+		return out
+	}
+	out := make([]Event, 0, len(a.ring))
+	out = append(out, a.ring[a.next:]...)
+	out = append(out, a.ring[:a.next]...)
+	return out
+}
+
+// Denials returns only the denied events, oldest first.
+func (a *Auditor) Denials() []Event {
+	all := a.Events()
+	out := all[:0:0]
+	for _, e := range all {
+		if !e.Allowed {
+			out = append(out, e)
+		}
+	}
+	return out
+}

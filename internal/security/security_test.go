@@ -1,0 +1,227 @@
+package security
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/naming"
+)
+
+var gen = naming.NewGenerator("sec-test")
+
+func principal(domain string) Principal {
+	return Principal{Object: gen.New(), Domain: domain}
+}
+
+func TestEntryMatches(t *testing.T) {
+	alice := principal("technion.ee")
+	tests := []struct {
+		name   string
+		entry  Entry
+		p      Principal
+		action Action
+		want   bool
+	}{
+		{"wildcard matches anything", Entry{Effect: Allow}, alice, ActionInvoke, true},
+		{"object match", Entry{Effect: Allow, Object: alice.Object}, alice, ActionGet, true},
+		{"object mismatch", Entry{Effect: Allow, Object: gen.New()}, alice, ActionGet, false},
+		{"domain exact", Entry{Effect: Allow, Domain: "technion.ee"}, alice, ActionSet, true},
+		{"domain mismatch", Entry{Effect: Allow, Domain: "mit.edu"}, alice, ActionSet, false},
+		{"domain glob", Entry{Effect: Allow, Domain: "technion.*"}, alice, ActionSet, true},
+		{"domain glob matches parent", Entry{Effect: Allow, Domain: "technion.*"}, principal("technion"), ActionSet, true},
+		{"domain glob mismatch", Entry{Effect: Allow, Domain: "mit.*"}, alice, ActionSet, false},
+		{"star matches all", Entry{Effect: Allow, Domain: "*"}, alice, ActionSet, true},
+		{"action match", Entry{Effect: Allow, Action: ActionInvoke}, alice, ActionInvoke, true},
+		{"action mismatch", Entry{Effect: Allow, Action: ActionInvoke}, alice, ActionMeta, false},
+		{"combined all match", Entry{Effect: Deny, Object: alice.Object, Domain: "technion.*", Action: ActionMeta}, alice, ActionMeta, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.entry.Matches(tt.p, tt.action); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestACLFirstMatchWins(t *testing.T) {
+	alice := principal("a")
+	acl := NewACL(
+		DenyObject(alice.Object),
+		AllowAll(),
+	)
+	if effect, ok := acl.Decide(alice, ActionInvoke); !ok || effect != Deny {
+		t.Errorf("Decide(alice) = %v, %v; want Deny, true", effect, ok)
+	}
+	bob := principal("a")
+	if effect, ok := acl.Decide(bob, ActionInvoke); !ok || effect != Allow {
+		t.Errorf("Decide(bob) = %v, %v; want Allow, true", effect, ok)
+	}
+}
+
+func TestACLNoMatchDelegates(t *testing.T) {
+	acl := NewACL(Entry{Effect: Allow, Domain: "x"})
+	if _, ok := acl.Decide(principal("y"), ActionInvoke); ok {
+		t.Error("unmatched principal decided by ACL")
+	}
+	if !NewACL().Empty() {
+		t.Error("empty ACL not Empty")
+	}
+}
+
+func TestACLImmutability(t *testing.T) {
+	base := NewACL(AllowAll())
+	appended := base.Append(DenyAll())
+	prepended := base.Prepend(DenyAll())
+	if base.Len() != 1 || appended.Len() != 2 || prepended.Len() != 2 {
+		t.Fatalf("lens: %d %d %d", base.Len(), appended.Len(), prepended.Len())
+	}
+	p := principal("d")
+	if e, _ := appended.Decide(p, ActionGet); e != Allow {
+		t.Error("Append changed priority order")
+	}
+	if e, _ := prepended.Decide(p, ActionGet); e != Deny {
+		t.Error("Prepend not highest priority")
+	}
+	// Entries returns a copy.
+	ents := base.Entries()
+	ents[0] = DenyAll()
+	if e, _ := base.Decide(p, ActionGet); e != Deny {
+		// base must still allow
+	} else if e == Deny {
+		t.Error("Entries exposed internal storage")
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	pol := NewPolicy()
+	pol.GradeDomain("campus", Trusted)
+	pol.GradeDomain("partner", Limited)
+
+	if lvl := pol.Level("campus"); lvl != Trusted {
+		t.Errorf("Level(campus) = %v", lvl)
+	}
+	if lvl := pol.Level("unknown"); lvl != Untrusted {
+		t.Errorf("Level(unknown) = %v", lvl)
+	}
+	if e := pol.DecideDefault(principal("campus")); e != Allow {
+		t.Errorf("trusted default = %v", e)
+	}
+	if e := pol.DecideDefault(principal("partner")); e != Deny {
+		t.Errorf("limited default = %v", e)
+	}
+	if e := pol.DecideDefault(principal("unknown")); e != Deny {
+		t.Errorf("untrusted default = %v", e)
+	}
+
+	pol.SetDefault(Limited, Allow)
+	if e := pol.DecideDefault(principal("partner")); e != Allow {
+		t.Errorf("limited default after SetDefault = %v", e)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	pol := NewPolicy()
+	pol.GradeDomain("home", Local)
+	stranger := principal("nowhere")
+	friend := principal("home")
+
+	// Empty ACL: policy decides.
+	if err := Check(ACL{}, pol, friend, ActionInvoke, "m"); err != nil {
+		t.Errorf("local principal denied by policy: %v", err)
+	}
+	if err := Check(ACL{}, pol, stranger, ActionInvoke, "m"); !errors.Is(err, ErrDenied) {
+		t.Errorf("stranger allowed by policy: %v", err)
+	}
+
+	// ACL overrides policy in both directions.
+	allowStranger := NewACL(AllowObject(stranger.Object))
+	if err := Check(allowStranger, pol, stranger, ActionInvoke, "m"); err != nil {
+		t.Errorf("ACL allow not honored: %v", err)
+	}
+	denyFriend := NewACL(DenyObject(friend.Object), AllowAll())
+	if err := Check(denyFriend, pol, friend, ActionInvoke, "m"); !errors.Is(err, ErrDenied) {
+		t.Errorf("ACL deny not honored: %v", err)
+	}
+
+	// Nil policy with empty ACL denies.
+	if err := Check(ACL{}, nil, friend, ActionInvoke, "m"); !errors.Is(err, ErrDenied) {
+		t.Errorf("nil policy allowed: %v", err)
+	}
+}
+
+// Property: adding an AllowObject(p) entry at the front never turns a
+// previously-allowed principal p into denied (prepending a grant is
+// monotone for its subject).
+func TestPropPrependGrantMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Principal{Object: gen.New(), Domain: "d"}
+		entries := make([]Entry, 0, n%8)
+		for i := 0; i < int(n%8); i++ {
+			e := Entry{Effect: Effect(r.Intn(2))}
+			if r.Intn(2) == 0 {
+				e.Object = gen.New()
+			}
+			if r.Intn(2) == 0 {
+				e.Action = Action(r.Intn(5))
+			}
+			entries = append(entries, e)
+		}
+		acl := NewACL(entries...)
+		granted := acl.Prepend(AllowObject(p.Object))
+		effect, ok := granted.Decide(p, ActionInvoke)
+		return ok && effect == Allow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuditorRing(t *testing.T) {
+	a := NewAuditor(4)
+	p := principal("d")
+	for i := 0; i < 6; i++ {
+		a.Record(p, ActionInvoke, "m", i%2 == 0)
+	}
+	events := a.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// Oldest-first: events 2..5; denials are the odd ones (3, 5).
+	if len(a.Denials()) != 2 {
+		t.Errorf("Denials = %d, want 2", len(a.Denials()))
+	}
+
+	small := NewAuditor(0) // capacity defaults
+	small.Record(p, ActionGet, "x", true)
+	if len(small.Events()) != 1 {
+		t.Error("default-capacity auditor lost event")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ActionInvoke.String() != "invoke" || ActionMeta.String() != "meta" ||
+		ActionGet.String() != "get" || ActionSet.String() != "set" || ActionAny.String() != "any" {
+		t.Error("Action.String wrong")
+	}
+	if Action(99).String() == "" {
+		t.Error("unknown action empty")
+	}
+	if Local.String() != "local" || Untrusted.String() != "untrusted" ||
+		Trusted.String() != "trusted" || Limited.String() != "limited" {
+		t.Error("TrustLevel.String wrong")
+	}
+	if TrustLevel(99).String() == "" {
+		t.Error("unknown trust empty")
+	}
+	if Allow.String() != "allow" || Deny.String() != "deny" {
+		t.Error("Effect.String wrong")
+	}
+	p := principal("dom")
+	if p.String() == "" {
+		t.Error("Principal.String empty")
+	}
+}

@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkInProcCall(b *testing.B) {
+	net := NewInProcNet()
+	if _, err := net.Listen("a", echoHandler); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := net.Dial("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	ctx := context.Background()
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Call(ctx, "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 256)
+	ctx := context.Background()
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Call(ctx, "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks a failure produced by a FaultConn, distinguishable
+// from real transport failures in tests.
+var ErrInjected = errors.New("injected transport fault")
+
+// FaultConn wraps a Conn with deterministic failure injection for testing
+// partial failure: every Nth call errors, and an optional latency is added
+// to each call. A zero FailEvery never fails; a zero Delay adds nothing.
+// A nil Inner models a fully cut wire: every operation fails ErrInjected.
+type FaultConn struct {
+	Inner Conn
+	// FailEvery makes every Nth Call (1-based) return ErrInjected.
+	FailEvery int
+	// Delay is added before each call.
+	Delay time.Duration
+
+	calls atomic.Int64
+}
+
+var _ Conn = (*FaultConn)(nil)
+
+// Calls reports how many Call attempts were made (including failed ones).
+func (f *FaultConn) Calls() int64 { return f.calls.Load() }
+
+// Call implements Conn with injection.
+func (f *FaultConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+	n := f.calls.Add(1)
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+		return nil, ErrInjected
+	}
+	if f.Inner == nil {
+		return nil, ErrInjected
+	}
+	return f.Inner.Call(ctx, verb, payload)
+}
+
+// Ping implements Conn.
+func (f *FaultConn) Ping(ctx context.Context) error {
+	if f.Inner == nil {
+		return ErrInjected
+	}
+	return f.Inner.Ping(ctx)
+}
+
+// Close implements Conn.
+func (f *FaultConn) Close() error {
+	if f.Inner == nil {
+		return nil
+	}
+	return f.Inner.Close()
+}

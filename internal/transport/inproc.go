@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// InProcNet is an in-process "network": a registry of named endpoints whose
+// connections invoke handlers directly. It preserves the transport's
+// semantics (verbs, opaque payloads, remote errors) without sockets, which
+// makes multi-site tests fast and deterministic.
+type InProcNet struct {
+	mu    sync.RWMutex
+	peers map[string]Handler
+}
+
+// NewInProcNet returns an empty in-process network.
+func NewInProcNet() *InProcNet {
+	return &InProcNet{peers: make(map[string]Handler)}
+}
+
+// Listen binds addr to a handler.
+func (n *InProcNet) Listen(addr string, h Handler) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.peers[addr]; dup {
+		return nil, fmt.Errorf("inproc: address %q in use", addr)
+	}
+	n.peers[addr] = h
+	return &inprocListener{net: n, addr: addr}, nil
+}
+
+// Dial connects to a bound address.
+func (n *InProcNet) Dial(addr string) (Conn, error) {
+	n.mu.RLock()
+	_, ok := n.peers[addr]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPeer, addr)
+	}
+	return &inprocConn{net: n, addr: addr}, nil
+}
+
+type inprocListener struct {
+	net  *InProcNet
+	addr string
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (l *inprocListener) Close() error {
+	l.net.mu.Lock()
+	defer l.net.mu.Unlock()
+	delete(l.net.peers, l.addr)
+	return nil
+}
+
+type inprocConn struct {
+	net    *InProcNet
+	addr   string
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *inprocConn) handler() (Handler, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	c.net.mu.RLock()
+	h, ok := c.net.peers[c.addr]
+	c.net.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPeer, c.addr)
+	}
+	return h, nil
+}
+
+// Call implements Conn. The payload is copied on both directions so the
+// caller and handler cannot alias each other's buffers — same isolation a
+// socket would give.
+func (c *inprocConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+	h, err := c.handler()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	in := make([]byte, len(payload))
+	copy(in, payload)
+	out, err := h(ctx, verb, in)
+	if err != nil {
+		return nil, &RemoteError{Verb: verb, Msg: err.Error()}
+	}
+	cp := make([]byte, len(out))
+	copy(cp, out)
+	return cp, nil
+}
+
+// Ping implements Conn.
+func (c *inprocConn) Ping(ctx context.Context) error {
+	_, err := c.handler()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Close implements Conn.
+func (c *inprocConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}

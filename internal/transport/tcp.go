@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// ListenTCP binds a framed-message server on addr (e.g. "127.0.0.1:0")
+// and dispatches every request to h. Close the returned listener to stop.
+func ListenTCP(addr string, h Handler) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	srv := &tcpServer{nl: nl, handler: h}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+type tcpServer struct {
+	nl      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  atomic.Bool
+}
+
+func (s *tcpServer) Addr() string { return s.nl.Addr().String() }
+
+func (s *tcpServer) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.nl.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *tcpServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *tcpServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.nl.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(c) {
+			c.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *tcpServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(c)
+	defer c.Close()
+
+	br := bufio.NewReader(c)
+	var writeMu sync.Mutex
+	write := func(f wire.Frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return wire.WriteFrame(c, f)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			return // disconnect (clean EOF or protocol error)
+		}
+		switch f.Type {
+		case wire.FramePing:
+			_ = write(wire.Frame{Type: wire.FramePong, RequestID: f.RequestID})
+		case wire.FrameRequest:
+			reqWG.Add(1)
+			go func(f wire.Frame) {
+				defer reqWG.Done()
+				out, err := s.handler(ctx, f.Verb, f.Payload)
+				if err != nil {
+					_ = write(wire.Frame{Type: wire.FrameError, RequestID: f.RequestID,
+						Verb: f.Verb, Payload: []byte(err.Error())})
+					return
+				}
+				_ = write(wire.Frame{Type: wire.FrameResponse, RequestID: f.RequestID,
+					Verb: f.Verb, Payload: out})
+			}(f)
+		default:
+			// Unknown frame types are ignored for forward compatibility.
+		}
+	}
+}
+
+// DialTCP connects to a framed-message server. The connection multiplexes
+// concurrent calls over one socket with request-id correlation.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	c := &tcpConn{
+		nc:      nc,
+		pending: make(map[uint64]chan wire.Frame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+type tcpConn struct {
+	nc      net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+}
+
+func (c *tcpConn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			c.failAll()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.RequestID]
+		if ok {
+			delete(c.pending, f.RequestID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f // buffered; never blocks
+		}
+	}
+}
+
+func (c *tcpConn) failAll() {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+}
+
+func (c *tcpConn) roundTrip(ctx context.Context, f wire.Frame) (wire.Frame, error) {
+	if c.closed.Load() {
+		return wire.Frame{}, ErrClosed
+	}
+	id := c.nextID.Add(1)
+	f.RequestID = id
+	ch := make(chan wire.Frame, 1)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.nc, f)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("send: %w", err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, ErrClosed
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+// Call implements Conn.
+func (c *tcpConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+	resp, err := c.roundTrip(ctx, wire.Frame{Type: wire.FrameRequest, Verb: verb, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Type {
+	case wire.FrameResponse:
+		return resp.Payload, nil
+	case wire.FrameError:
+		return nil, &RemoteError{Verb: verb, Msg: string(resp.Payload)}
+	default:
+		return nil, fmt.Errorf("unexpected %s frame", resp.Type)
+	}
+}
+
+// Ping implements Conn.
+func (c *tcpConn) Ping(ctx context.Context) error {
+	resp, err := c.roundTrip(ctx, wire.Frame{Type: wire.FramePing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.FramePong {
+		return fmt.Errorf("unexpected %s frame to ping", resp.Type)
+	}
+	return nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err := c.nc.Close()
+	c.failAll()
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Package transport implements the communication level of the framework
+// (§5: "agreements over low-level protocols … component identification and
+// location mechanisms"). It provides a small request/response message layer
+// — the role Java RMI plays for HADAS — over two carriers: real TCP with
+// framed messages and request correlation, and an in-process loopback for
+// tests and co-located sites, plus failure-injection wrappers for testing
+// partial failure.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Errors of the transport layer.
+var (
+	// ErrClosed reports use of a closed connection or server.
+	ErrClosed = errors.New("transport closed")
+	// ErrNoPeer reports a dial to an unknown in-process address.
+	ErrNoPeer = errors.New("no such peer")
+)
+
+// RemoteError carries a failure returned by the remote handler; it
+// preserves the remote message while marking the error as remote.
+type RemoteError struct {
+	Verb string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error on %q: %s", e.Verb, e.Msg)
+}
+
+// Handler processes one request at a site. Implementations must be safe
+// for concurrent use; the transport may dispatch requests in parallel.
+type Handler func(ctx context.Context, verb string, payload []byte) ([]byte, error)
+
+// Conn is a client connection to one remote site.
+type Conn interface {
+	// Call sends a request and waits for the matching response.
+	Call(ctx context.Context, verb string, payload []byte) ([]byte, error)
+	// Ping checks liveness.
+	Ping(ctx context.Context) error
+	// Close releases the connection. Pending calls fail with ErrClosed.
+	Close() error
+}
+
+// Listener is a bound server endpoint.
+type Listener interface {
+	// Addr returns the bound address (useful with ":0" binds).
+	Addr() string
+	// Close stops accepting and tears down existing connections.
+	Close() error
+}

@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler echoes payloads; the "fail" verb errors; "slow" sleeps until
+// cancelled or 2s.
+func echoHandler(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+	switch verb {
+	case "fail":
+		return nil, errors.New("handler exploded")
+	case "slow":
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Second):
+			return []byte("late"), nil
+		}
+	default:
+		out := append([]byte(verb+":"), payload...)
+		return out, nil
+	}
+}
+
+// dialers builds (listener, conn) pairs for each transport flavor.
+func dialers(t *testing.T) map[string]Conn {
+	t.Helper()
+	out := make(map[string]Conn)
+
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	tc, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tc.Close() })
+	out["tcp"] = tc
+
+	net := NewInProcNet()
+	lis, err := net.Listen("siteA", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	ic, err := net.Dial("siteA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ic.Close() })
+	out["inproc"] = ic
+
+	return out
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	for name, conn := range dialers(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			out, err := conn.Call(ctx, "echo", []byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != "echo:hello" {
+				t.Errorf("Call = %q", out)
+			}
+			if err := conn.Ping(ctx); err != nil {
+				t.Errorf("Ping: %v", err)
+			}
+		})
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	for name, conn := range dialers(t) {
+		t.Run(name, func(t *testing.T) {
+			_, err := conn.Call(context.Background(), "fail", nil)
+			var re *RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("error = %v, want RemoteError", err)
+			}
+			if re.Verb != "fail" || !strings.Contains(re.Msg, "handler exploded") {
+				t.Errorf("RemoteError = %+v", re)
+			}
+			if !strings.Contains(re.Error(), "fail") {
+				t.Errorf("Error() = %q", re.Error())
+			}
+		})
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	for name, conn := range dialers(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for i := 0; i < 16; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					msg := fmt.Sprintf("m%d", i)
+					out, err := conn.Call(context.Background(), "echo", []byte(msg))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if string(out) != "echo:"+msg {
+						errs <- fmt.Errorf("cross-talk: sent %q got %q", msg, out)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = conn.Call(ctx, "slow", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout not honored promptly")
+	}
+	// The connection stays usable after a timed-out call.
+	out, err := conn.Call(context.Background(), "echo", []byte("x"))
+	if err != nil || string(out) != "echo:x" {
+		t.Errorf("call after timeout: %q, %v", out, err)
+	}
+}
+
+func TestClosedConnFails(t *testing.T) {
+	for name, conn := range dialers(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := conn.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Call(context.Background(), "echo", nil); err == nil {
+				t.Error("call on closed conn succeeded")
+			}
+			// Double close is fine.
+			if err := conn.Close(); err != nil {
+				t.Errorf("double close: %v", err)
+			}
+		})
+	}
+}
+
+func TestServerCloseFailsPendingAndFutureCalls(t *testing.T) {
+	block := make(chan struct{})
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, verb string, p []byte) ([]byte, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return []byte("done"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Call(context.Background(), "x", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(block) // let the in-flight handler finish before teardown
+	srv.Close()
+	select {
+	case err := <-done:
+		// Either a clean response (handler finished first) or ErrClosed.
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Logf("pending call after close: %v (acceptable)", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call hung after server close")
+	}
+	if _, err := conn.Call(context.Background(), "echo", nil); err == nil {
+		t.Error("call after server close succeeded")
+	}
+}
+
+func TestInProcAddressing(t *testing.T) {
+	net := NewInProcNet()
+	if _, err := net.Dial("ghost"); !errors.Is(err, ErrNoPeer) {
+		t.Errorf("dial unknown: %v", err)
+	}
+	lis, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lis.Addr() != "a" {
+		t.Errorf("Addr = %q", lis.Addr())
+	}
+	if _, err := net.Listen("a", echoHandler); err == nil {
+		t.Error("duplicate listen succeeded")
+	}
+	conn, err := net.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing the listener makes the address unreachable.
+	lis.Close()
+	if _, err := conn.Call(context.Background(), "echo", nil); !errors.Is(err, ErrNoPeer) {
+		t.Errorf("call after listener close: %v", err)
+	}
+	if err := conn.Ping(context.Background()); !errors.Is(err, ErrNoPeer) {
+		t.Errorf("ping after listener close: %v", err)
+	}
+}
+
+func TestInProcPayloadIsolation(t *testing.T) {
+	net := NewInProcNet()
+	var captured []byte
+	_, err := net.Listen("a", func(_ context.Context, _ string, p []byte) ([]byte, error) {
+		captured = p
+		return p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := net.Dial("a")
+	buf := []byte("abc")
+	out, err := conn.Call(context.Background(), "v", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // caller mutates after the call
+	if string(captured) != "abc" {
+		t.Error("handler aliased caller buffer")
+	}
+	out[0] = 'Y' // caller mutates the response
+	if string(captured) != "abc" {
+		t.Error("response aliased handler buffer")
+	}
+}
+
+func TestFaultConn(t *testing.T) {
+	net := NewInProcNet()
+	if _, err := net.Listen("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := net.Dial("a")
+	fc := &FaultConn{Inner: inner, FailEvery: 3}
+	var failures int
+	for i := 0; i < 9; i++ {
+		if _, err := fc.Call(context.Background(), "echo", nil); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Errorf("failures = %d, want 3", failures)
+	}
+	if fc.Calls() != 9 {
+		t.Errorf("Calls = %d", fc.Calls())
+	}
+	// Delay + cancellation.
+	slow := &FaultConn{Inner: inner, Delay: time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := slow.Call(ctx, "echo", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("delayed call: %v", err)
+	}
+	if err := fc.Ping(context.Background()); err != nil {
+		t.Errorf("Ping: %v", err)
+	}
+	if err := fc.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

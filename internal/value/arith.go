@@ -1,0 +1,247 @@
+package value
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Add implements dynamic addition / concatenation:
+//
+//   - numeric + numeric  → sum (Int unless either side is Float)
+//   - string + anything  → concatenation of String coercions
+//   - list + list        → concatenation
+//   - anything numeric-coercible pairs promote via Coerce (so the paper's
+//     HTML-text operand works in arithmetic).
+func Add(a, b Value) (Value, error) {
+	if a.kind == KindString || b.kind == KindString {
+		as, _ := Coerce(a, KindString)
+		bs, _ := Coerce(b, KindString)
+		return NewString(as.s + bs.s), nil
+	}
+	if a.kind == KindList && b.kind == KindList {
+		out := make([]Value, 0, len(a.list)+len(b.list))
+		out = append(out, a.list...)
+		out = append(out, b.list...)
+		return NewList(out), nil
+	}
+	return numericOp("+", a, b,
+		func(x, y int64) (int64, error) { return x + y, nil },
+		func(x, y float64) (float64, error) { return x + y, nil })
+}
+
+// Sub implements dynamic subtraction.
+func Sub(a, b Value) (Value, error) {
+	return numericOp("-", a, b,
+		func(x, y int64) (int64, error) { return x - y, nil },
+		func(x, y float64) (float64, error) { return x - y, nil })
+}
+
+// Mul implements dynamic multiplication; string*int repeats the string.
+func Mul(a, b Value) (Value, error) {
+	if a.kind == KindString && b.kind == KindInt {
+		return repeatString(a.s, b.i)
+	}
+	if a.kind == KindInt && b.kind == KindString {
+		return repeatString(b.s, a.i)
+	}
+	return numericOp("*", a, b,
+		func(x, y int64) (int64, error) { return x * y, nil },
+		func(x, y float64) (float64, error) { return x * y, nil })
+}
+
+func repeatString(s string, n int64) (Value, error) {
+	const maxRepeat = 1 << 20
+	if n < 0 || int64(len(s))*n > maxRepeat {
+		return Null, fmt.Errorf("%w: string repeat count %d out of range", ErrBadType, n)
+	}
+	return NewString(strings.Repeat(s, int(n))), nil
+}
+
+// Div implements dynamic division. Int/Int divides integrally; division by
+// zero is an error rather than a panic.
+func Div(a, b Value) (Value, error) {
+	return numericOp("/", a, b,
+		func(x, y int64) (int64, error) {
+			if y == 0 {
+				return 0, fmt.Errorf("%w: integer division by zero", ErrBadType)
+			}
+			return x / y, nil
+		},
+		func(x, y float64) (float64, error) {
+			if y == 0 {
+				return 0, fmt.Errorf("%w: float division by zero", ErrBadType)
+			}
+			return x / y, nil
+		})
+}
+
+// Mod implements dynamic remainder on integers.
+func Mod(a, b Value) (Value, error) {
+	ai, err := Coerce(a, KindInt)
+	if err != nil {
+		return Null, fmt.Errorf("%%: left operand: %w", err)
+	}
+	bi, err := Coerce(b, KindInt)
+	if err != nil {
+		return Null, fmt.Errorf("%%: right operand: %w", err)
+	}
+	if bi.i == 0 {
+		return Null, fmt.Errorf("%w: modulo by zero", ErrBadType)
+	}
+	return NewInt(ai.i % bi.i), nil
+}
+
+// Neg negates a numeric value.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindInt:
+		return NewInt(-a.i), nil
+	case KindFloat:
+		return NewFloat(-a.f), nil
+	default:
+		ai, err := Coerce(a, KindFloat)
+		if err != nil {
+			return Null, fmt.Errorf("unary -: %w", err)
+		}
+		return NewFloat(-ai.f), nil
+	}
+}
+
+// numericOp coerces both operands numerically and applies the int or float
+// branch; Int is preserved unless either side is (or parses as) Float.
+func numericOp(op string, a, b Value,
+	intFn func(x, y int64) (int64, error),
+	floatFn func(x, y float64) (float64, error),
+) (Value, error) {
+	an, err := toNumeric(a)
+	if err != nil {
+		return Null, fmt.Errorf("%s: left operand: %w", op, err)
+	}
+	bn, err := toNumeric(b)
+	if err != nil {
+		return Null, fmt.Errorf("%s: right operand: %w", op, err)
+	}
+	if an.kind == KindInt && bn.kind == KindInt {
+		r, err := intFn(an.i, bn.i)
+		if err != nil {
+			return Null, err
+		}
+		return NewInt(r), nil
+	}
+	af, _ := Coerce(an, KindFloat)
+	bf, _ := Coerce(bn, KindFloat)
+	r, err := floatFn(af.f, bf.f)
+	if err != nil {
+		return Null, err
+	}
+	return NewFloat(r), nil
+}
+
+// toNumeric coerces v to Int or Float, preferring to keep Int-looking
+// payloads integral so Int arithmetic stays exact.
+func toNumeric(v Value) (Value, error) {
+	switch v.kind {
+	case KindInt, KindFloat:
+		return v, nil
+	case KindBool:
+		return Coerce(v, KindInt)
+	case KindString, KindBytes:
+		f, err := Coerce(v, KindFloat)
+		if err != nil {
+			return Null, err
+		}
+		if f.f == math.Trunc(f.f) && math.Abs(f.f) < 1<<53 && !strings.Contains(v.String(), ".") {
+			return NewInt(int64(f.f)), nil
+		}
+		return f, nil
+	default:
+		return Null, fmt.Errorf("%w: %s is not numeric", ErrBadType, v.kind)
+	}
+}
+
+// Compare orders a and b, returning -1, 0 or +1. Numeric kinds compare by
+// value across Int/Float; Strings, Bytes and Times compare naturally; Bools
+// order false < true; Lists compare lexicographically. Mixed, unordered kind
+// pairs are an error.
+func Compare(a, b Value) (int, error) {
+	if isNumeric(a) && isNumeric(b) {
+		af, _ := Coerce(a, KindFloat)
+		bf, _ := Coerce(b, KindFloat)
+		switch {
+		case af.f < bf.f:
+			return -1, nil
+		case af.f > bf.f:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if a.kind != b.kind {
+		return 0, fmt.Errorf("%w: cannot order %s against %s", ErrBadType, a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindString, KindRef:
+		return strings.Compare(a.s, b.s), nil
+	case KindBytes:
+		return strings.Compare(string(a.bs), string(b.bs)), nil
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0, nil
+		case b.b:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	case KindTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1, nil
+		case a.t.After(b.t):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindList:
+		n := len(a.list)
+		if len(b.list) < n {
+			n = len(b.list)
+		}
+		for i := 0; i < n; i++ {
+			c, err := Compare(a.list[i], b.list[i])
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				return c, nil
+			}
+		}
+		switch {
+		case len(a.list) < len(b.list):
+			return -1, nil
+		case len(a.list) > len(b.list):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindNull:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("%w: %s values are unordered", ErrBadType, a.kind)
+	}
+}
+
+func isNumeric(v Value) bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindBool
+}
+
+// LooseEqual compares for equality with numeric cross-kind tolerance:
+// Int(3) equals Float(3.0). Non-numeric pairs fall back to Equal.
+func LooseEqual(a, b Value) bool {
+	if isNumeric(a) && isNumeric(b) {
+		c, err := Compare(a, b)
+		return err == nil && c == 0
+	}
+	return a.Equal(b)
+}

@@ -1,0 +1,194 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Value
+		want    Value
+		wantErr bool
+	}{
+		{"int+int", NewInt(2), NewInt(3), NewInt(5), false},
+		{"int+float", NewInt(2), NewFloat(0.5), NewFloat(2.5), false},
+		{"float+float", NewFloat(1.5), NewFloat(1.5), NewFloat(3), false},
+		{"bool+int", True, NewInt(2), NewInt(3), false},
+		{"string concat", NewString("a"), NewString("b"), NewString("ab"), false},
+		{"string+int concat", NewString("n="), NewInt(4), NewString("n=4"), false},
+		{"int+string concat", NewInt(4), NewString("!"), NewString("4!"), false},
+		{"list concat", NewListOf(NewInt(1)), NewListOf(NewInt(2)), NewListOf(NewInt(1), NewInt(2)), false},
+		// The paper's motivating coercion: HTML text in arithmetic.
+		{"html+int", NewBytes([]byte("<td>10</td>")), NewInt(5), NewInt(15), false},
+		{"numeric strings stay exact", NewBytes([]byte("10")), NewBytes([]byte("32")), NewInt(42), false},
+		{"null+int fails", Null, NewInt(1), Null, true},
+		{"map+int fails", NewMap(nil), NewInt(1), Null, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Add(tt.a, tt.b)
+			if tt.wantErr != (err != nil) {
+				t.Fatalf("Add err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && !got.Equal(tt.want) {
+				t.Errorf("Add = %v (%s), want %v (%s)", got, got.Kind(), tt.want, tt.want.Kind())
+			}
+		})
+	}
+}
+
+func TestSubMulDivModNeg(t *testing.T) {
+	if v, err := Sub(NewInt(5), NewInt(2)); err != nil || !v.Equal(NewInt(3)) {
+		t.Errorf("Sub: %v, %v", v, err)
+	}
+	if v, err := Sub(NewFloat(5), NewInt(2)); err != nil || !v.Equal(NewFloat(3)) {
+		t.Errorf("Sub float: %v, %v", v, err)
+	}
+	if v, err := Mul(NewInt(4), NewInt(3)); err != nil || !v.Equal(NewInt(12)) {
+		t.Errorf("Mul: %v, %v", v, err)
+	}
+	if v, err := Mul(NewString("ab"), NewInt(3)); err != nil || !v.Equal(NewString("ababab")) {
+		t.Errorf("Mul string: %v, %v", v, err)
+	}
+	if v, err := Mul(NewInt(2), NewString("x")); err != nil || !v.Equal(NewString("xx")) {
+		t.Errorf("Mul int*string: %v, %v", v, err)
+	}
+	if _, err := Mul(NewString("x"), NewInt(-1)); err == nil {
+		t.Error("negative string repeat succeeded")
+	}
+	if v, err := Div(NewInt(7), NewInt(2)); err != nil || !v.Equal(NewInt(3)) {
+		t.Errorf("Div int: %v, %v", v, err)
+	}
+	if v, err := Div(NewFloat(7), NewInt(2)); err != nil || !v.Equal(NewFloat(3.5)) {
+		t.Errorf("Div float: %v, %v", v, err)
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("int division by zero succeeded")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero succeeded")
+	}
+	if v, err := Mod(NewInt(7), NewInt(3)); err != nil || !v.Equal(NewInt(1)) {
+		t.Errorf("Mod: %v, %v", v, err)
+	}
+	if _, err := Mod(NewInt(7), NewInt(0)); err == nil {
+		t.Error("modulo by zero succeeded")
+	}
+	if _, err := Mod(Null, NewInt(3)); err == nil {
+		t.Error("Mod null succeeded")
+	}
+	if v, err := Neg(NewInt(5)); err != nil || !v.Equal(NewInt(-5)) {
+		t.Errorf("Neg int: %v, %v", v, err)
+	}
+	if v, err := Neg(NewFloat(2.5)); err != nil || !v.Equal(NewFloat(-2.5)) {
+		t.Errorf("Neg float: %v, %v", v, err)
+	}
+	if v, err := Neg(NewString("4")); err != nil {
+		t.Errorf("Neg string: %v", err)
+	} else if f, _ := v.Float(); f != -4 {
+		t.Errorf("Neg string = %v", v)
+	}
+	if _, err := Neg(NewMap(nil)); err == nil {
+		t.Error("Neg map succeeded")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Value
+		want    int
+		wantErr bool
+	}{
+		{"int<int", NewInt(1), NewInt(2), -1, false},
+		{"int=float", NewInt(2), NewFloat(2), 0, false},
+		{"float>int", NewFloat(2.5), NewInt(2), 1, false},
+		{"bool<bool", False, True, -1, false},
+		{"bool=int", True, NewInt(1), 0, false},
+		{"str<str", NewString("a"), NewString("b"), -1, false},
+		{"bytes=bytes", NewBytes([]byte("x")), NewBytes([]byte("x")), 0, false},
+		{"ref order", NewRef("a"), NewRef("b"), -1, false},
+		{"null=null", Null, Null, 0, false},
+		{"list lexicographic", NewListOf(NewInt(1), NewInt(2)), NewListOf(NewInt(1), NewInt(3)), -1, false},
+		{"list prefix shorter", NewListOf(NewInt(1)), NewListOf(NewInt(1), NewInt(0)), -1, false},
+		{"list prefix longer", NewListOf(NewInt(1), NewInt(0)), NewListOf(NewInt(1)), 1, false},
+		{"str vs int errors", NewString("a"), NewInt(1), 0, true},
+		{"map unordered", NewMap(nil), NewMap(nil), 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Compare(tt.a, tt.b)
+			if tt.wantErr != (err != nil) {
+				t.Fatalf("Compare err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("Compare = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLooseEqual(t *testing.T) {
+	if !LooseEqual(NewInt(3), NewFloat(3)) {
+		t.Error("int/float loose equality failed")
+	}
+	if LooseEqual(NewInt(3), NewFloat(3.5)) {
+		t.Error("unequal numerics loosely equal")
+	}
+	if !LooseEqual(NewString("a"), NewString("a")) {
+		t.Error("string loose equality failed")
+	}
+	if LooseEqual(NewString("1"), NewInt(1)) {
+		t.Error("string/int loosely equal")
+	}
+}
+
+// Property: Add on Ints agrees with int64 addition.
+func TestPropAddInts(t *testing.T) {
+	f := func(a, b int32) bool {
+		v, err := Add(NewInt(int64(a)), NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		i, ok := v.Int()
+		return ok && i == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric on random numerics.
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := NewFloat(r.NormFloat64()), NewInt(r.Int63n(100)-50)
+		c1, err1 := Compare(a, b)
+		c2, err2 := Compare(b, a)
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub(Add(a,b),b) == a for small ints (no overflow in range).
+func TestPropAddSubInverse(t *testing.T) {
+	f := func(a, b int16) bool {
+		s, err := Add(NewInt(int64(a)), NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		d, err := Sub(s, NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		return d.Equal(NewInt(int64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package value
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadType reports a value of an unusable dynamic kind, including failed
+// coercions. Callers test for it with errors.Is.
+var ErrBadType = errors.New("bad dynamic type")
+
+// Coerce converts v to the requested kind using the model's generic coercion
+// rules. Coercion is the paper's answer to heterogeneity: "the object model
+// should support generic coercion … e.g., to transform a value that is
+// represented as HTML text into an integer".
+//
+// The rules, per target kind:
+//
+//   - null:   anything coerces to Null.
+//   - bool:   Truthy interpretation.
+//   - int:    Int as-is; Float truncated toward zero (NaN/±Inf fail);
+//     Bool 0/1; String/Bytes parsed, falling back to extracting the
+//     first numeric literal from markup text (the HTML→int rule);
+//     Time → Unix nanoseconds.
+//   - float:  numeric widening of the above; String parsed likewise.
+//   - string: Value.String rendering (strings unquoted, bytes UTF-8).
+//   - bytes:  String's bytes; Bytes as-is.
+//   - list:   List as-is; anything else becomes a one-element list.
+//   - map:    Map as-is only.
+//   - ref:    Ref as-is; String taken as an object name.
+//   - time:   Time as-is; Int as Unix nanoseconds; String per RFC 3339.
+func Coerce(v Value, k Kind) (Value, error) {
+	if v.kind == k {
+		return v, nil
+	}
+	switch k {
+	case KindNull:
+		return Null, nil
+	case KindBool:
+		return NewBool(v.Truthy()), nil
+	case KindInt:
+		return coerceInt(v)
+	case KindFloat:
+		return coerceFloat(v)
+	case KindString:
+		if v.kind == KindBytes {
+			return NewString(string(v.bs)), nil
+		}
+		return NewString(v.String()), nil
+	case KindBytes:
+		if v.kind == KindString {
+			return NewBytes([]byte(v.s)), nil
+		}
+		return Null, coerceErr(v, k)
+	case KindList:
+		return NewListOf(v), nil
+	case KindMap:
+		return Null, coerceErr(v, k)
+	case KindRef:
+		if v.kind == KindString {
+			return NewRef(v.s), nil
+		}
+		return Null, coerceErr(v, k)
+	case KindTime:
+		switch v.kind {
+		case KindInt:
+			return NewTime(time.Unix(0, v.i).UTC()), nil
+		case KindString:
+			t, err := time.Parse(time.RFC3339Nano, v.s)
+			if err != nil {
+				return Null, fmt.Errorf("%w: %q is not an RFC 3339 time", ErrBadType, v.s)
+			}
+			return NewTime(t), nil
+		default:
+			return Null, coerceErr(v, k)
+		}
+	default:
+		return Null, coerceErr(v, k)
+	}
+}
+
+func coerceErr(v Value, k Kind) error {
+	return fmt.Errorf("%w: cannot coerce %s to %s", ErrBadType, v.kind, k)
+}
+
+func coerceInt(v Value) (Value, error) {
+	switch v.kind {
+	case KindBool:
+		if v.b {
+			return NewInt(1), nil
+		}
+		return NewInt(0), nil
+	case KindFloat:
+		if math.IsNaN(v.f) || math.IsInf(v.f, 0) {
+			return Null, fmt.Errorf("%w: cannot coerce %v to int", ErrBadType, v.f)
+		}
+		return NewInt(int64(v.f)), nil
+	case KindString:
+		return parseNumeric(v.s, KindInt)
+	case KindBytes:
+		return parseNumeric(string(v.bs), KindInt)
+	case KindTime:
+		return NewInt(v.t.UnixNano()), nil
+	default:
+		return Null, coerceErr(v, KindInt)
+	}
+}
+
+func coerceFloat(v Value) (Value, error) {
+	switch v.kind {
+	case KindBool:
+		if v.b {
+			return NewFloat(1), nil
+		}
+		return NewFloat(0), nil
+	case KindInt:
+		return NewFloat(float64(v.i)), nil
+	case KindString:
+		return parseNumeric(v.s, KindFloat)
+	case KindBytes:
+		return parseNumeric(string(v.bs), KindFloat)
+	default:
+		return Null, coerceErr(v, KindFloat)
+	}
+}
+
+// parseNumeric parses s as a number of the requested kind. It first tries a
+// strict parse of the trimmed text; failing that it strips markup tags and
+// extracts the first numeric literal — the paper's HTML-text-to-integer
+// coercion. Thousands separators inside the literal are accepted.
+func parseNumeric(s string, k Kind) (Value, error) {
+	trimmed := strings.TrimSpace(s)
+	if v, ok := parseStrict(trimmed, k); ok {
+		return v, nil
+	}
+	stripped := StripMarkup(s)
+	lit, ok := firstNumericLiteral(stripped)
+	if !ok {
+		return Null, fmt.Errorf("%w: no numeric content in %q", ErrBadType, s)
+	}
+	if v, ok := parseStrict(lit, k); ok {
+		return v, nil
+	}
+	return Null, fmt.Errorf("%w: cannot parse %q as %s", ErrBadType, lit, k)
+}
+
+func parseStrict(s string, k Kind) (Value, bool) {
+	if s == "" {
+		return Null, false
+	}
+	clean := strings.ReplaceAll(s, ",", "")
+	if k == KindInt {
+		if i, err := strconv.ParseInt(clean, 10, 64); err == nil {
+			return NewInt(i), true
+		}
+		// Accept float syntax truncated toward zero ("3.9" → 3).
+		if f, err := strconv.ParseFloat(clean, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return NewInt(int64(f)), true
+		}
+		return Null, false
+	}
+	if f, err := strconv.ParseFloat(clean, 64); err == nil {
+		return NewFloat(f), true
+	}
+	return Null, false
+}
+
+// StripMarkup removes SGML/HTML tags and decodes the handful of character
+// entities that matter for numeric extraction, returning the text content.
+// It is deliberately small: mobile objects use it to lift values out of
+// markup responses, not to parse documents.
+func StripMarkup(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	inTag := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '<':
+			inTag = true
+			sb.WriteByte(' ')
+		case c == '>':
+			inTag = false
+		case inTag:
+			// skip
+		case c == '&':
+			if rest, ent, ok := decodeEntity(s[i:]); ok {
+				sb.WriteString(ent)
+				i += rest - 1
+			} else {
+				sb.WriteByte(c)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// decodeEntity decodes a leading character entity in s, returning the number
+// of bytes consumed and its replacement text.
+func decodeEntity(s string) (n int, text string, ok bool) {
+	entities := map[string]string{
+		"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": `"`,
+		"&nbsp;": " ", "&#45;": "-", "&#43;": "+",
+	}
+	for ent, rep := range entities {
+		if strings.HasPrefix(s, ent) {
+			return len(ent), rep, true
+		}
+	}
+	return 0, "", false
+}
+
+// firstNumericLiteral scans text for the first decimal literal, accepting an
+// optional sign, thousands separators, and a fractional part.
+func firstNumericLiteral(text string) (string, bool) {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= '0' && c <= '9' {
+			start := i
+			if start > 0 && (text[start-1] == '-' || text[start-1] == '+') {
+				start--
+			}
+			end := i
+			for end < len(text) {
+				c := text[end]
+				if (c >= '0' && c <= '9') || c == '.' || c == ',' {
+					end++
+					continue
+				}
+				break
+			}
+			// Trim trailing punctuation that is sentence structure, not digits.
+			lit := strings.TrimRight(text[start:end], ".,")
+			if lit == "" || lit == "-" || lit == "+" {
+				continue
+			}
+			return lit, true
+		}
+	}
+	return "", false
+}

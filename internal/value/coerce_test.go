@@ -1,0 +1,190 @@
+package value
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCoerceToInt(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      Value
+		want    int64
+		wantErr bool
+	}{
+		{"int identity", NewInt(5), 5, false},
+		{"float truncates", NewFloat(3.9), 3, false},
+		{"float negative truncates", NewFloat(-3.9), -3, false},
+		{"bool true", True, 1, false},
+		{"bool false", False, 0, false},
+		{"plain string", NewString("42"), 42, false},
+		{"signed string", NewString("-17"), -17, false},
+		{"padded string", NewString("  99  "), 99, false},
+		{"float string truncates", NewString("3.9"), 3, false},
+		{"thousands separators", NewString("1,234,567"), 1234567, false},
+		{"bytes", NewBytes([]byte("256")), 256, false},
+		// The paper's example: a value represented as HTML text used in
+		// arithmetic.
+		{"html salary", NewString("<td><b>Salary:</b> $12,500</td>"), 12500, false},
+		{"html entity minus", NewString("<span>&#45;7 degrees</span>"), -7, false},
+		{"html nested tags", NewString("<html><body><h1>Items: 3</h1></body></html>"), 3, false},
+		{"sentence", NewString("the answer is 41."), 41, false},
+		{"nan fails", NewFloat(nan()), 0, true},
+		{"no digits", NewString("<p>no numbers here</p>"), 0, true},
+		{"empty string", NewString(""), 0, true},
+		{"list fails", NewListOf(NewInt(1)), 0, true},
+		{"map fails", NewMap(nil), 0, true},
+		{"null fails", Null, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Coerce(tt.in, KindInt)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Coerce(%v, int) = %v, want error", tt.in, got)
+				}
+				if !errors.Is(err, ErrBadType) {
+					t.Fatalf("error %v is not ErrBadType", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Coerce(%v, int): %v", tt.in, err)
+			}
+			if i, _ := got.Int(); i != tt.want {
+				t.Errorf("Coerce(%v, int) = %d, want %d", tt.in, i, tt.want)
+			}
+		})
+	}
+}
+
+func TestCoerceToFloat(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      Value
+		want    float64
+		wantErr bool
+	}{
+		{"float identity", NewFloat(1.25), 1.25, false},
+		{"int widens", NewInt(3), 3, false},
+		{"bool", True, 1, false},
+		{"string", NewString("2.5"), 2.5, false},
+		{"html price", NewString("<em>price: 19.99 USD</em>"), 19.99, false},
+		{"bytes", NewBytes([]byte("0.5")), 0.5, false},
+		{"null fails", Null, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Coerce(tt.in, KindFloat)
+			if tt.wantErr != (err != nil) {
+				t.Fatalf("Coerce(%v, float) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+			if err == nil {
+				if f, _ := got.Float(); f != tt.want {
+					t.Errorf("Coerce(%v, float) = %v, want %v", tt.in, f, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestCoerceToStringAndBytes(t *testing.T) {
+	if s, err := Coerce(NewInt(7), KindString); err != nil || s.String() != "7" {
+		t.Errorf("int→string: %v, %v", s, err)
+	}
+	if s, err := Coerce(NewBytes([]byte("hé")), KindString); err != nil || s.String() != "hé" {
+		t.Errorf("bytes→string: %v, %v", s, err)
+	}
+	if b, err := Coerce(NewString("ab"), KindBytes); err != nil {
+		t.Errorf("string→bytes err: %v", err)
+	} else if bs, _ := b.Bytes(); string(bs) != "ab" {
+		t.Errorf("string→bytes = %q", bs)
+	}
+	if _, err := Coerce(NewInt(1), KindBytes); err == nil {
+		t.Error("int→bytes succeeded")
+	}
+}
+
+func TestCoerceToListRefTimeNullBool(t *testing.T) {
+	l, err := Coerce(NewInt(1), KindList)
+	if err != nil {
+		t.Fatalf("int→list: %v", err)
+	}
+	if ls, _ := l.List(); len(ls) != 1 || !ls[0].Equal(NewInt(1)) {
+		t.Errorf("int→list = %v", l)
+	}
+
+	r, err := Coerce(NewString("obj-7"), KindRef)
+	if err != nil {
+		t.Fatalf("string→ref: %v", err)
+	}
+	if name, _ := r.Ref(); name != "obj-7" {
+		t.Errorf("string→ref = %v", r)
+	}
+	if _, err := Coerce(NewInt(1), KindRef); err == nil {
+		t.Error("int→ref succeeded")
+	}
+
+	if n, err := Coerce(NewString("x"), KindNull); err != nil || !n.IsNull() {
+		t.Errorf("→null: %v, %v", n, err)
+	}
+	if b, err := Coerce(NewString("x"), KindBool); err != nil || !b.Truthy() {
+		t.Errorf("→bool: %v, %v", b, err)
+	}
+	if _, err := Coerce(NewInt(1), KindMap); err == nil {
+		t.Error("int→map succeeded")
+	}
+
+	ts := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	tv, err := Coerce(NewString(ts.Format(time.RFC3339Nano)), KindTime)
+	if err != nil {
+		t.Fatalf("string→time: %v", err)
+	}
+	if got, _ := tv.Time(); !got.Equal(ts) {
+		t.Errorf("string→time = %v, want %v", got, ts)
+	}
+	if _, err := Coerce(NewString("not a time"), KindTime); err == nil {
+		t.Error("bad string→time succeeded")
+	}
+	iv, err := Coerce(NewInt(ts.UnixNano()), KindTime)
+	if err != nil {
+		t.Fatalf("int→time: %v", err)
+	}
+	if got, _ := iv.Time(); !got.Equal(ts) {
+		t.Errorf("int→time = %v, want %v", got, ts)
+	}
+	// Round trip the other way.
+	back, err := Coerce(NewTime(ts), KindInt)
+	if err != nil {
+		t.Fatalf("time→int: %v", err)
+	}
+	if i, _ := back.Int(); i != ts.UnixNano() {
+		t.Errorf("time→int = %d", i)
+	}
+	if _, err := Coerce(NewListOf(), KindTime); err == nil {
+		t.Error("list→time succeeded")
+	}
+}
+
+func TestStripMarkup(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"<b>7</b>", " 7 "},
+		{"a &lt; b &amp; c", "a < b & c"},
+		{"no tags", "no tags"},
+		{"<a href='x'>link</a> text", " link  text"},
+		{"&unknown; stays", "&unknown; stays"},
+	}
+	for _, tt := range tests {
+		if got := StripMarkup(tt.in); got != tt.want {
+			t.Errorf("StripMarkup(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

@@ -1,0 +1,104 @@
+package value
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFromJSON(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want Value
+	}{
+		{"null", `null`, Null},
+		{"true", `true`, True},
+		{"int", `42`, NewInt(42)},
+		{"negative int", `-7`, NewInt(-7)},
+		{"big int stays exact", `9007199254740993`, NewInt(9007199254740993)},
+		{"float", `2.5`, NewFloat(2.5)},
+		{"exponent is float", `1e3`, NewFloat(1000)},
+		{"string", `"hi"`, NewString("hi")},
+		{"list", `[1, "a", null]`, NewListOf(NewInt(1), NewString("a"), Null)},
+		{"object", `{"k": {"n": 1}}`, NewMap(map[string]Value{
+			"k": NewMap(map[string]Value{"n": NewInt(1)}),
+		})},
+		{"empty object", `{}`, NewMap(nil)},
+		{"empty array", `[]`, NewList(nil)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := FromJSON([]byte(tt.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("FromJSON(%s) = %v (%s), want %v (%s)",
+					tt.in, got, got.Kind(), tt.want, tt.want.Kind())
+			}
+		})
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	bad := []string{``, `{`, `[1,]`, `1 2`, `{"a": }`}
+	for _, s := range bad {
+		if _, err := FromJSON([]byte(s)); !errors.Is(err, ErrBadType) {
+			t.Errorf("FromJSON(%q): %v", s, err)
+		}
+	}
+}
+
+func TestToJSON(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Value
+		want string
+	}{
+		{"null", Null, `null`},
+		{"bool", True, `true`},
+		{"int", NewInt(-3), `-3`},
+		{"float", NewFloat(2.5), `2.5`},
+		{"string escaped", NewString("a\"b"), `"a\"b"`},
+		{"list", NewListOf(NewInt(1), NewString("x")), `[1,"x"]`},
+		{"map sorted", NewMap(map[string]Value{"b": NewInt(2), "a": NewInt(1)}), `{"a":1,"b":2}`},
+		{"bytes", NewBytes([]byte{0xAB, 0x01}), `{"$bytes":"ab01"}`},
+		{"ref", NewRef("oid"), `{"$ref":"oid"}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ToJSON(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tt.want {
+				t.Errorf("ToJSON = %s, want %s", got, tt.want)
+			}
+		})
+	}
+	if _, err := ToJSON(NewFloat(nan())); !errors.Is(err, ErrBadType) {
+		t.Errorf("NaN: %v", err)
+	}
+}
+
+// Round trip: JSON-representable values survive ToJSON → FromJSON.
+func TestJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, True, NewInt(123), NewFloat(0.5), NewString("héllo"),
+		NewListOf(NewInt(1), NewListOf(NewString("nested"))),
+		NewMap(map[string]Value{"a": NewInt(1), "b": NewListOf(False)}),
+	}
+	for _, v := range vals {
+		enc, err := ToJSON(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := FromJSON(enc)
+		if err != nil {
+			t.Fatalf("FromJSON(%s): %v", enc, err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %s: got %v", enc, back)
+		}
+	}
+}

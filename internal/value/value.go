@@ -1,0 +1,392 @@
+// Package value implements the weakly-typed dynamic value system underlying
+// MROM. The paper requires "weak typing": method parameters and data items
+// are untyped at the model level, and the model "should support generic
+// coercion to facilitate the high level of abstraction (e.g., to transform a
+// value that is represented as HTML text into an integer, when arithmetic
+// operation should be performed on that value)".
+//
+// A Value is an immutable-by-convention tagged union over the kinds listed
+// in Kind. Composite kinds (List, Map) share underlying storage on copy;
+// use Clone for a deep copy at trust boundaries.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The dynamic kinds supported by the model.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindList
+	KindMap
+	KindRef // reference to an object, held as its decentralized name
+	KindTime
+	kindCount // sentinel; keep last
+)
+
+// String returns the lower-case kind name used in diagnostics and on the wire.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindList:
+		return "list"
+	case KindMap:
+		return "map"
+	case KindRef:
+		return "ref"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// KindFromString parses a kind name produced by Kind.String.
+func KindFromString(s string) (Kind, bool) {
+	for k := KindNull; k < kindCount; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return KindNull, false
+}
+
+// Value is a dynamically-typed datum. The zero Value is Null.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string // String and Ref payloads
+	bs   []byte
+	list []Value
+	m    map[string]Value
+	t    time.Time
+}
+
+// Null is the null value.
+var Null = Value{kind: KindNull}
+
+// True and False are the boolean values.
+var (
+	True  = Value{kind: KindBool, b: true}
+	False = Value{kind: KindBool, b: false}
+)
+
+// NewBool returns a Bool value.
+func NewBool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// NewInt returns an Int value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a String value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewBytes returns a Bytes value. The slice is not copied.
+func NewBytes(b []byte) Value { return Value{kind: KindBytes, bs: b} }
+
+// NewList returns a List value. The slice is not copied.
+func NewList(vs []Value) Value {
+	if vs == nil {
+		vs = []Value{}
+	}
+	return Value{kind: KindList, list: vs}
+}
+
+// NewListOf builds a List from its arguments.
+func NewListOf(vs ...Value) Value { return NewList(vs) }
+
+// NewMap returns a Map value. The map is not copied.
+func NewMap(m map[string]Value) Value {
+	if m == nil {
+		m = map[string]Value{}
+	}
+	return Value{kind: KindMap, m: m}
+}
+
+// NewRef returns a Ref value naming an object by its decentralized name.
+func NewRef(name string) Value { return Value{kind: KindRef, s: name} }
+
+// NewTime returns a Time value.
+func NewTime(t time.Time) Value { return Value{kind: KindTime, t: t} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; ok is false if v is not a Bool.
+func (v Value) Bool() (b, ok bool) { return v.b, v.kind == KindBool }
+
+// Int returns the integer payload; ok is false if v is not an Int.
+func (v Value) Int() (int64, bool) { return v.i, v.kind == KindInt }
+
+// Float returns the float payload; ok is false if v is not a Float.
+func (v Value) Float() (float64, bool) { return v.f, v.kind == KindFloat }
+
+// Str returns the string payload; ok is false if v is not a String.
+func (v Value) Str() (string, bool) { return v.s, v.kind == KindString }
+
+// Bytes returns the bytes payload; ok is false if v is not Bytes.
+func (v Value) Bytes() ([]byte, bool) { return v.bs, v.kind == KindBytes }
+
+// List returns the list payload; ok is false if v is not a List.
+func (v Value) List() ([]Value, bool) { return v.list, v.kind == KindList }
+
+// Map returns the map payload; ok is false if v is not a Map.
+func (v Value) Map() (map[string]Value, bool) { return v.m, v.kind == KindMap }
+
+// Ref returns the referenced object name; ok is false if v is not a Ref.
+func (v Value) Ref() (string, bool) { return v.s, v.kind == KindRef }
+
+// Time returns the time payload; ok is false if v is not a Time.
+func (v Value) Time() (time.Time, bool) { return v.t, v.kind == KindTime }
+
+// Truthy reports the boolean interpretation of v used by control flow:
+// Null and zero/empty values are false, everything else is true.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	case KindBytes:
+		return len(v.bs) != 0
+	case KindList:
+		return len(v.list) != 0
+	case KindMap:
+		return len(v.m) != 0
+	case KindRef:
+		return v.s != ""
+	case KindTime:
+		return !v.t.IsZero()
+	default:
+		return false
+	}
+}
+
+// Len returns the length of a String, Bytes, List or Map, and -1 otherwise.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindString:
+		return len(v.s)
+	case KindBytes:
+		return len(v.bs)
+	case KindList:
+		return len(v.list)
+	case KindMap:
+		return len(v.m)
+	default:
+		return -1
+	}
+}
+
+// Index returns element i of a List, or the i-th byte of Bytes as an Int.
+func (v Value) Index(i int) (Value, error) {
+	switch v.kind {
+	case KindList:
+		if i < 0 || i >= len(v.list) {
+			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(v.list))
+		}
+		return v.list[i], nil
+	case KindBytes:
+		if i < 0 || i >= len(v.bs) {
+			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(v.bs))
+		}
+		return NewInt(int64(v.bs[i])), nil
+	case KindString:
+		if i < 0 || i >= len(v.s) {
+			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(v.s))
+		}
+		return NewString(string(v.s[i])), nil
+	default:
+		return Null, fmt.Errorf("%w: cannot index %s", ErrBadType, v.kind)
+	}
+}
+
+// Get returns the entry for key in a Map; missing keys yield Null, false.
+func (v Value) Get(key string) (Value, bool) {
+	if v.kind != KindMap {
+		return Null, false
+	}
+	e, ok := v.m[key]
+	return e, ok
+}
+
+// Clone returns a deep copy of v. Scalars are returned as-is; Lists, Maps
+// and Bytes are copied recursively so the result shares no mutable storage
+// with v. Use at trust and ownership boundaries (per the style guide's
+// "copy slices and maps at boundaries").
+func (v Value) Clone() Value {
+	switch v.kind {
+	case KindBytes:
+		bs := make([]byte, len(v.bs))
+		copy(bs, v.bs)
+		return NewBytes(bs)
+	case KindList:
+		list := make([]Value, len(v.list))
+		for i, e := range v.list {
+			list[i] = e.Clone()
+		}
+		return NewList(list)
+	case KindMap:
+		m := make(map[string]Value, len(v.m))
+		for k, e := range v.m {
+			m[k] = e.Clone()
+		}
+		return NewMap(m)
+	default:
+		return v
+	}
+}
+
+// Equal reports deep structural equality of kind and payload.
+// Int and Float compare as distinct kinds; use Compare for numeric ordering
+// across kinds.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString, KindRef:
+		return v.s == o.s
+	case KindBytes:
+		return string(v.bs) == string(o.bs)
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.m) != len(o.m) {
+			return false
+		}
+		for k, e := range v.m {
+			oe, ok := o.m[k]
+			if !ok || !e.Equal(oe) {
+				return false
+			}
+		}
+		return true
+	case KindTime:
+		return v.t.Equal(o.t)
+	default:
+		return false
+	}
+}
+
+// String renders v for diagnostics and for String coercion. Strings render
+// without quotes; composite values render in a stable, Go-literal-like form
+// with map keys sorted.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBytes:
+		return fmt.Sprintf("bytes(%d)", len(v.bs))
+	case KindList:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.quoted())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case KindMap:
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString(v.m[k].quoted())
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case KindRef:
+		return "ref(" + v.s + ")"
+	case KindTime:
+		return v.t.UTC().Format(time.RFC3339Nano)
+	default:
+		return "?"
+	}
+}
+
+// quoted renders v like String but quotes string payloads, for use inside
+// composite renderings.
+func (v Value) quoted() string {
+	if v.kind == KindString {
+		return strconv.Quote(v.s)
+	}
+	return v.String()
+}

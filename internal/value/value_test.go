@@ -1,0 +1,389 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindNull, "null"},
+		{KindBool, "bool"},
+		{KindInt, "int"},
+		{KindFloat, "float"},
+		{KindString, "string"},
+		{KindBytes, "bytes"},
+		{KindList, "list"},
+		{KindMap, "map"},
+		{KindRef, "ref"},
+		{KindTime, "time"},
+		{Kind(200), "kind(200)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestKindFromStringRoundTrip(t *testing.T) {
+	for k := KindNull; k < kindCount; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Error("KindFromString(nope) succeeded, want failure")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	now := time.Now()
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+	}{
+		{"null", Null, KindNull},
+		{"bool", NewBool(true), KindBool},
+		{"int", NewInt(42), KindInt},
+		{"float", NewFloat(2.5), KindFloat},
+		{"string", NewString("hi"), KindString},
+		{"bytes", NewBytes([]byte{1, 2}), KindBytes},
+		{"list", NewListOf(NewInt(1)), KindList},
+		{"map", NewMap(map[string]Value{"a": NewInt(1)}), KindMap},
+		{"ref", NewRef("obj-1"), KindRef},
+		{"time", NewTime(now), KindTime},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.v.Kind() != tt.kind {
+				t.Fatalf("Kind() = %v, want %v", tt.v.Kind(), tt.kind)
+			}
+		})
+	}
+
+	if b, ok := NewBool(true).Bool(); !ok || !b {
+		t.Error("Bool accessor failed")
+	}
+	if i, ok := NewInt(7).Int(); !ok || i != 7 {
+		t.Error("Int accessor failed")
+	}
+	if f, ok := NewFloat(1.5).Float(); !ok || f != 1.5 {
+		t.Error("Float accessor failed")
+	}
+	if s, ok := NewString("x").Str(); !ok || s != "x" {
+		t.Error("Str accessor failed")
+	}
+	if bs, ok := NewBytes([]byte("ab")).Bytes(); !ok || string(bs) != "ab" {
+		t.Error("Bytes accessor failed")
+	}
+	if r, ok := NewRef("id").Ref(); !ok || r != "id" {
+		t.Error("Ref accessor failed")
+	}
+	if tm, ok := NewTime(now).Time(); !ok || !tm.Equal(now) {
+		t.Error("Time accessor failed")
+	}
+	// Wrong-kind accessors report !ok.
+	if _, ok := NewInt(1).Str(); ok {
+		t.Error("Str on Int reported ok")
+	}
+	if _, ok := NewString("s").Int(); ok {
+		t.Error("Int on String reported ok")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want bool
+	}{
+		{Null, false},
+		{True, true},
+		{False, false},
+		{NewInt(0), false},
+		{NewInt(-1), true},
+		{NewFloat(0), false},
+		{NewFloat(0.1), true},
+		{NewString(""), false},
+		{NewString("a"), true},
+		{NewBytes(nil), false},
+		{NewBytes([]byte{0}), true},
+		{NewList(nil), false},
+		{NewListOf(Null), true},
+		{NewMap(nil), false},
+		{NewMap(map[string]Value{"k": Null}), true},
+		{NewRef(""), false},
+		{NewRef("x"), true},
+		{NewTime(time.Time{}), false},
+		{NewTime(time.Unix(1, 0)), true},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Truthy(); got != tt.want {
+			t.Errorf("Truthy(%s %s) = %v, want %v", tt.v.Kind(), tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want int
+	}{
+		{NewString("abc"), 3},
+		{NewBytes([]byte{1}), 1},
+		{NewListOf(Null, Null), 2},
+		{NewMap(map[string]Value{"a": Null}), 1},
+		{NewInt(5), -1},
+		{Null, -1},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Len(); got != tt.want {
+			t.Errorf("Len(%s) = %d, want %d", tt.v.Kind(), got, tt.want)
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	l := NewListOf(NewInt(10), NewInt(20))
+	if e, err := l.Index(1); err != nil || !e.Equal(NewInt(20)) {
+		t.Errorf("list index: got %v, %v", e, err)
+	}
+	if _, err := l.Index(2); err == nil {
+		t.Error("out-of-range list index succeeded")
+	}
+	if _, err := l.Index(-1); err == nil {
+		t.Error("negative list index succeeded")
+	}
+	b := NewBytes([]byte{7, 8})
+	if e, err := b.Index(0); err != nil || !e.Equal(NewInt(7)) {
+		t.Errorf("bytes index: got %v, %v", e, err)
+	}
+	s := NewString("xyz")
+	if e, err := s.Index(2); err != nil || !e.Equal(NewString("z")) {
+		t.Errorf("string index: got %v, %v", e, err)
+	}
+	if _, err := NewInt(3).Index(0); err == nil {
+		t.Error("index on int succeeded")
+	}
+}
+
+func TestMapGet(t *testing.T) {
+	m := NewMap(map[string]Value{"a": NewInt(1)})
+	if v, ok := m.Get("a"); !ok || !v.Equal(NewInt(1)) {
+		t.Error("Get(a) failed")
+	}
+	if _, ok := m.Get("b"); ok {
+		t.Error("Get(b) reported present")
+	}
+	if _, ok := NewInt(1).Get("a"); ok {
+		t.Error("Get on non-map reported present")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	inner := []Value{NewInt(1)}
+	m := map[string]Value{"l": NewList(inner)}
+	orig := NewMap(m)
+	cl := orig.Clone()
+
+	// Mutate the original's nested storage; the clone must be unaffected.
+	inner[0] = NewInt(99)
+	m["extra"] = NewInt(5)
+
+	clm, _ := cl.Map()
+	if len(clm) != 1 {
+		t.Fatalf("clone map grew: %v", cl)
+	}
+	l, _ := clm["l"].List()
+	if !l[0].Equal(NewInt(1)) {
+		t.Errorf("clone shares nested list storage: %v", l[0])
+	}
+
+	bs := []byte{1, 2}
+	bv := NewBytes(bs)
+	bc := bv.Clone()
+	bs[0] = 9
+	got, _ := bc.Bytes()
+	if got[0] != 1 {
+		t.Error("clone shares bytes storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	now := time.Now()
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"null=null", Null, Null, true},
+		{"int=int", NewInt(3), NewInt(3), true},
+		{"int!=int", NewInt(3), NewInt(4), false},
+		{"int!=float", NewInt(3), NewFloat(3), false},
+		{"str=str", NewString("a"), NewString("a"), true},
+		{"bytes=bytes", NewBytes([]byte("a")), NewBytes([]byte("a")), true},
+		{"ref=ref", NewRef("x"), NewRef("x"), true},
+		{"ref!=str", NewRef("x"), NewString("x"), false},
+		{"time=time", NewTime(now), NewTime(now), true},
+		{"list=list", NewListOf(NewInt(1), NewString("a")), NewListOf(NewInt(1), NewString("a")), true},
+		{"list len mismatch", NewListOf(NewInt(1)), NewListOf(NewInt(1), NewInt(2)), false},
+		{"list element mismatch", NewListOf(NewInt(1)), NewListOf(NewInt(2)), false},
+		{"map=map", NewMap(map[string]Value{"k": Null}), NewMap(map[string]Value{"k": Null}), true},
+		{"map key mismatch", NewMap(map[string]Value{"k": Null}), NewMap(map[string]Value{"j": Null}), false},
+		{"map size mismatch", NewMap(map[string]Value{"k": Null}), NewMap(map[string]Value{}), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Errorf("Equal (sym) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{True, "true"},
+		{NewInt(-5), "-5"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("plain"), "plain"},
+		{NewListOf(NewInt(1), NewString("a")), `[1, "a"]`},
+		{NewMap(map[string]Value{"b": NewInt(2), "a": NewInt(1)}), "{a: 1, b: 2}"},
+		{NewRef("oid"), "ref(oid)"},
+		{NewBytes(make([]byte, 3)), "bytes(3)"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%v kind) = %q, want %q", tt.v.Kind(), got, tt.want)
+		}
+	}
+}
+
+// randomValue builds an arbitrary Value of bounded depth for property tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(9)
+	if depth <= 0 && (k == 6 || k == 7) {
+		k = r.Intn(6)
+	}
+	switch k {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(r.Intn(2) == 0)
+	case 2:
+		return NewInt(r.Int63() - r.Int63())
+	case 3:
+		return NewFloat(r.NormFloat64() * 1e6)
+	case 4:
+		return NewString(randString(r))
+	case 5:
+		b := make([]byte, r.Intn(16))
+		r.Read(b)
+		return NewBytes(b)
+	case 6:
+		n := r.Intn(4)
+		l := make([]Value, n)
+		for i := range l {
+			l[i] = randomValue(r, depth-1)
+		}
+		return NewList(l)
+	case 7:
+		n := r.Intn(4)
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			m[randString(r)] = randomValue(r, depth-1)
+		}
+		return NewMap(m)
+	default:
+		return NewRef(randString(r))
+	}
+}
+
+func randString(r *rand.Rand) string {
+	const chars = "abcdefghijklmnop <>&123"
+	n := r.Intn(10)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// Property: Clone is structurally equal to its source.
+func TestPropCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		return v.Clone().Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is reflexive.
+func TestPropEqualReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		return v.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coercion to a value's own kind is the identity.
+func TestPropCoerceIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		got, err := Coerce(v, v.Kind())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every value coerces to bool, string and list without error.
+func TestPropCoerceTotalKinds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 3)
+		for _, k := range []Kind{KindBool, KindString, KindList, KindNull} {
+			if _, err := Coerce(v, k); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueZeroIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KindNull {
+		t.Error("zero Value is not Null")
+	}
+	if !reflect.DeepEqual(v, Null) {
+		t.Error("zero Value differs from Null")
+	}
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func benchValue() value.Value {
+	return value.NewMap(map[string]value.Value{
+		"id":    value.NewString("00000000-000000000000-0000-00000000"),
+		"count": value.NewInt(42),
+		"tags":  value.NewListOf(value.NewString("a"), value.NewString("b")),
+		"blob":  value.NewBytes(make([]byte, 256)),
+	})
+}
+
+func BenchmarkEncodeValue(b *testing.B) {
+	v := benchValue()
+	enc := EncodeValue(v)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeValue(v)
+	}
+}
+
+func BenchmarkDecodeValue(b *testing.B) {
+	enc := EncodeValue(benchValue())
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeValue(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeImage(b *testing.B) {
+	img := sampleImage()
+	enc := EncodeImage(img)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeImage(img)
+	}
+}
+
+func BenchmarkDecodeImage(b *testing.B) {
+	enc := EncodeImage(sampleImage())
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeImage(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FrameType discriminates transport messages.
+type FrameType uint8
+
+// Frame types of the site-to-site protocol.
+const (
+	FrameRequest  FrameType = 1
+	FrameResponse FrameType = 2
+	FrameError    FrameType = 3
+	FramePing     FrameType = 4
+	FramePong     FrameType = 5
+)
+
+// String returns the frame type name.
+func (t FrameType) String() string {
+	switch t {
+	case FrameRequest:
+		return "request"
+	case FrameResponse:
+		return "response"
+	case FrameError:
+		return "error"
+	case FramePing:
+		return "ping"
+	case FramePong:
+		return "pong"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// Frame is one transport message: a type, a correlation id, a verb naming
+// the operation, and an opaque payload.
+type Frame struct {
+	Type      FrameType
+	RequestID uint64
+	Verb      string
+	Payload   []byte
+}
+
+// MaxFrame bounds a whole frame on the wire.
+const MaxFrame = MaxBlob + 4096
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	var body Writer
+	body.Byte(byte(f.Type))
+	body.Uvarint(f.RequestID)
+	body.String(f.Verb)
+	body.BytesField(f.Payload)
+
+	var hdr [4]byte
+	if body.Len() > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCodec, body.Len())
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		return bw.Flush()
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCodec, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("read frame body: %w", err)
+	}
+	rd := NewReader(body)
+	tb, err := rd.Byte()
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Type: FrameType(tb)}
+	if f.RequestID, err = rd.Uvarint(); err != nil {
+		return Frame{}, err
+	}
+	if f.Verb, err = rd.String(); err != nil {
+		return Frame{}, err
+	}
+	if f.Payload, err = rd.BytesField(); err != nil {
+		return Frame{}, err
+	}
+	if !rd.Done() {
+		return Frame{}, fmt.Errorf("%w: %d trailing bytes in frame", ErrCodec, rd.Remaining())
+	}
+	return f, nil
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/value"
+)
+
+// Value wire tags mirror value.Kind but are pinned independently so the
+// in-memory enum can evolve without breaking the format.
+const (
+	tagNull   = 0
+	tagFalse  = 1
+	tagTrue   = 2
+	tagInt    = 3
+	tagFloat  = 4
+	tagString = 5
+	tagBytes  = 6
+	tagList   = 7
+	tagMap    = 8
+	tagRef    = 9
+	tagTime   = 10
+)
+
+// PutValue appends the encoding of v.
+func PutValue(w *Writer, v value.Value) {
+	switch v.Kind() {
+	case value.KindNull:
+		w.Byte(tagNull)
+	case value.KindBool:
+		b, _ := v.Bool()
+		if b {
+			w.Byte(tagTrue)
+		} else {
+			w.Byte(tagFalse)
+		}
+	case value.KindInt:
+		i, _ := v.Int()
+		w.Byte(tagInt)
+		w.Varint(i)
+	case value.KindFloat:
+		f, _ := v.Float()
+		w.Byte(tagFloat)
+		w.Float(f)
+	case value.KindString:
+		s, _ := v.Str()
+		w.Byte(tagString)
+		w.String(s)
+	case value.KindBytes:
+		b, _ := v.Bytes()
+		w.Byte(tagBytes)
+		w.BytesField(b)
+	case value.KindList:
+		l, _ := v.List()
+		w.Byte(tagList)
+		w.Uvarint(uint64(len(l)))
+		for _, e := range l {
+			PutValue(w, e)
+		}
+	case value.KindMap:
+		m, _ := v.Map()
+		w.Byte(tagMap)
+		w.Uvarint(uint64(len(m)))
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic encoding
+		for _, k := range keys {
+			w.String(k)
+			PutValue(w, m[k])
+		}
+	case value.KindRef:
+		r, _ := v.Ref()
+		w.Byte(tagRef)
+		w.String(r)
+	case value.KindTime:
+		t, _ := v.Time()
+		w.Byte(tagTime)
+		w.Varint(t.UnixNano())
+	default:
+		// Unreachable for well-formed values; encode as null rather than
+		// corrupting the stream.
+		w.Byte(tagNull)
+	}
+}
+
+// GetValue decodes one value.
+func GetValue(r *Reader) (value.Value, error) {
+	return getValueDepth(r, 0)
+}
+
+func getValueDepth(r *Reader, depth int) (value.Value, error) {
+	if depth > MaxDepth {
+		return value.Null, fmt.Errorf("%w: value nesting exceeds %d", ErrCodec, MaxDepth)
+	}
+	tag, err := r.Byte()
+	if err != nil {
+		return value.Null, err
+	}
+	switch tag {
+	case tagNull:
+		return value.Null, nil
+	case tagFalse:
+		return value.False, nil
+	case tagTrue:
+		return value.True, nil
+	case tagInt:
+		i, err := r.Varint()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case tagFloat:
+		f, err := r.Float()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case tagString:
+		s, err := r.String()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewString(s), nil
+	case tagBytes:
+		b, err := r.BytesField()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBytes(b), nil
+	case tagList:
+		n, err := r.Count()
+		if err != nil {
+			return value.Null, err
+		}
+		out := make([]value.Value, 0, min(n, 1024))
+		for i := 0; i < n; i++ {
+			e, err := getValueDepth(r, depth+1)
+			if err != nil {
+				return value.Null, err
+			}
+			out = append(out, e)
+		}
+		return value.NewList(out), nil
+	case tagMap:
+		n, err := r.Count()
+		if err != nil {
+			return value.Null, err
+		}
+		out := make(map[string]value.Value, min(n, 1024))
+		for i := 0; i < n; i++ {
+			k, err := r.String()
+			if err != nil {
+				return value.Null, err
+			}
+			e, err := getValueDepth(r, depth+1)
+			if err != nil {
+				return value.Null, err
+			}
+			out[k] = e
+		}
+		return value.NewMap(out), nil
+	case tagRef:
+		s, err := r.String()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewRef(s), nil
+	case tagTime:
+		ns, err := r.Varint()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewTime(time.Unix(0, ns).UTC()), nil
+	default:
+		return value.Null, fmt.Errorf("%w: unknown value tag %d", ErrCodec, tag)
+	}
+}
+
+// EncodeValue is a convenience wrapper returning a fresh encoding of v.
+func EncodeValue(v value.Value) []byte {
+	var w Writer
+	PutValue(&w, v)
+	return w.Bytes()
+}
+
+// DecodeValue decodes a value and requires full consumption of the input.
+func DecodeValue(b []byte) (value.Value, error) {
+	r := NewReader(b)
+	v, err := GetValue(r)
+	if err != nil {
+		return value.Null, err
+	}
+	if !r.Done() {
+		return value.Null, fmt.Errorf("%w: %d trailing bytes after value", ErrCodec, r.Remaining())
+	}
+	return v, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
