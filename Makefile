@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: verify fmt-check vet build test race bench-smoke
+
+# verify is the tier-1 gate: formatting, static checks, build, tests
+# (including the race detector), and a one-iteration benchmark smoke run.
+verify: fmt-check vet build test race bench-smoke
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -105,6 +105,21 @@ func BenchmarkE3_MROMFixedMethod(b *testing.B) {
 	}
 }
 
+// Cold variant: flushing the dispatch cache every iteration measures the
+// full Lookup+Match slow path (the pre-cache cost, plus the refill).
+func BenchmarkE3_MROMFixedMethodCold(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	caller := experiments.Stranger()
+	arg := value.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.FlushDispatchCache()
+		if _, err := obj.Invoke(caller, "work", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkE3_MROMExtensibleMethod(b *testing.B) {
 	obj := experiments.BenchObject(4, 4)
 	caller := experiments.Stranger()
@@ -187,6 +202,14 @@ func BenchmarkE4_Get(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("fixed-%d-cold", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				obj.FlushDispatchCache()
+				if _, err := obj.Invoke(caller, "get", fixedName); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -212,6 +235,14 @@ func BenchmarkE5_ACLScan(b *testing.B) {
 		obj := experiments.ACLObject(n, security.AllowObject(caller.Object))
 		b.Run(fmt.Sprintf("entries=%d", n+1), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
+				if _, err := obj.Invoke(caller, "work", arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("entries=%d-cold", n+1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				obj.FlushDispatchCache()
 				if _, err := obj.Invoke(caller, "work", arg); err != nil {
 					b.Fatal(err)
 				}

@@ -76,6 +76,9 @@ func (o *Object) restoreExt(cp checkpoint) {
 		_ = o.extMeth.add(m.name, m)
 	}
 	o.invokeLevels = append(o.invokeLevels[:0:0], cp.invokeLevels...)
+	o.bumpStruct()
+	o.bumpACL()
+	o.levelCount.Store(int32(len(o.invokeLevels)))
 	// Drop handles that may now point at rolled-back items.
 	for tok := range o.handles {
 		delete(o.handles, tok)
@@ -104,7 +107,7 @@ func metaAtomic(inv *Invocation, args []value.Value) (value.Value, error) {
 	}
 	o := inv.self
 	cp := o.checkpointExt()
-	child := &Invocation{self: o, caller: inv.caller, depth: inv.depth + 1}
+	child := &Invocation{self: o, caller: inv.caller, depth: inv.depth + 1, chain: inv.chain}
 	v, err := o.invokeFrom(child, name, argList(args, 1))
 	if err != nil {
 		o.restoreExt(cp)

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/naming"
+	"repro/internal/security"
+)
+
+// This file implements the level-0 invocation fast path: a per-object memo
+// of Lookup results (immutable method snapshots) and Match decisions,
+// validated against generation counters so any reflective mutation
+// invalidates the affected entries before it can be observed. The paper
+// concedes that "structural mutability bears some price on performance"
+// (§3); the caches below confine that price to the first call after a
+// mutation — repeat invocations by the same principal skip both the
+// container search and the ACL scan.
+//
+// Validity rules (documented for users in DESIGN.md §7):
+//
+//   - every entry is valid only while the object's structGen and aclGen
+//     equal the values captured when the entry was filled;
+//   - a Match entry whose decision fell through to the site Policy is
+//     additionally valid only while Policy.Generation is unchanged.
+//
+// structGen advances on any structural mutation: add/delete/rename of data
+// items or methods, body/pre/post replacement, meta-invoke level push/pop,
+// atomic rollback, and policy/auditor attachment. aclGen advances on any
+// ACL or visibility edit. Bumps happen inside the object lock and fills
+// read their generations under that same lock, so a fill can never tag a
+// stale snapshot with a current generation: either the fill observed the
+// mutation, or its entry is dead on arrival. The guarantee that matters:
+// once a revoke (ACL edit, policy change, method deletion) returns, the
+// very next invocation re-evaluates Match from scratch — a cached allow is
+// never served after a revoke.
+
+// methodSnap is an immutable snapshot of a method, taken under the object
+// lock. The Apply phase works from snapshots so a concurrent setMethod is
+// never observed mid-edit: an in-flight invocation finishes on the body it
+// started with, and the next dispatch sees the replacement.
+type methodSnap struct {
+	name    string
+	body    Body
+	pre     Body
+	post    Body
+	acl     security.ACL
+	visible bool
+}
+
+// snapshotMethod copies the dispatch-relevant fields. Callers hold o.mu.
+func snapshotMethod(m *Method) *methodSnap {
+	return &methodSnap{name: m.name, body: m.body, pre: m.pre, post: m.post,
+		acl: m.acl, visible: m.visible}
+}
+
+// matchKey identifies one memoized Match decision: who asked to do what to
+// which item.
+type matchKey struct {
+	object naming.ID
+	domain string
+	action security.Action
+	item   string
+}
+
+// matchEntry is one memoized Match decision. err is the exact (immutable)
+// error a cold Match would produce, nil on allow.
+type matchEntry struct {
+	err     error
+	allowed bool
+	polDep  bool   // decision fell through to the policy default
+	polGen  uint64 // Policy.Generation the decision was computed against
+}
+
+// Cache maps are reset wholesale when they outgrow these bounds, so caller
+// churn cannot grow an object's memory without bound.
+const (
+	maxMethodEntries = 512
+	maxMatchEntries  = 4096
+)
+
+// hotEntry is the monomorphic L1 of the dispatch cache: the full outcome of
+// the last level-0 dispatch (snapshot + decision), published as one
+// immutable value so the repeat-caller hot path needs no lock and no map
+// hash — just an atomic load and a handful of comparisons.
+type hotEntry struct {
+	gen     uint64
+	aclGen  uint64
+	name    string
+	obj     naming.ID
+	domain  string
+	snap    *methodSnap
+	err     error
+	allowed bool
+	polDep  bool
+	polGen  uint64
+	pol     *security.Policy
+	aud     *security.Auditor
+}
+
+// dispatchCache memoizes Lookup and Match for level-0 dispatch. One lives
+// inline in every Object; the zero value is an empty cache. hot is the
+// single-entry lock-free L1; the maps are the shared L2 behind a RWMutex.
+type dispatchCache struct {
+	hot     atomic.Pointer[hotEntry]
+	mu      sync.RWMutex
+	gen     uint64            // Object.structGen the entries were filled against
+	aclGen  uint64            // Object.aclGen the entries were filled against
+	pol     *security.Policy  // captured policy (changing it bumps structGen)
+	aud     *security.Auditor // captured auditor (changing it bumps structGen)
+	methods map[string]*methodSnap
+	match   map[matchKey]*matchEntry
+}
+
+// bumpStruct invalidates every dispatch-cache entry of the object. Called
+// (under o.mu) by every structural mutation.
+func (o *Object) bumpStruct() { o.structGen.Add(1) }
+
+// bumpACL invalidates every memoized Match decision of the object. Called
+// (under o.mu) by every ACL or visibility edit.
+func (o *Object) bumpACL() { o.aclGen.Add(1) }
+
+// FlushDispatchCache drops every memoized lookup and Match decision. The
+// caches invalidate themselves on reflective mutation; manual flushing
+// exists for cold-path benchmarks and for hosts shedding memory.
+func (o *Object) FlushDispatchCache() {
+	o.structGen.Add(1)
+}
+
+// fastLookup returns the cached method snapshot and Match decision for
+// caller invoking name at level 0. ok is false on any miss or staleness;
+// the caller then takes the slow path, which refills the cache. Audited
+// objects still record every decision served from the cache.
+func (o *Object) fastLookup(caller security.Principal, name string) (snap *methodSnap, decision error, ok bool) {
+	c := &o.cache
+	sg, ag := o.structGen.Load(), o.aclGen.Load()
+
+	// L1: the last dispatch, revalidated with plain comparisons.
+	if hot := c.hot.Load(); hot != nil &&
+		hot.gen == sg && hot.aclGen == ag &&
+		hot.name == name && hot.obj == caller.Object && hot.domain == caller.Domain &&
+		(!hot.polDep || hot.pol == nil || hot.pol.Generation() == hot.polGen) {
+		if hot.aud != nil {
+			hot.aud.Record(caller, security.ActionInvoke, name, hot.allowed)
+		}
+		return hot.snap, hot.err, true
+	}
+
+	self := caller.Object == o.id
+	var ent *matchEntry
+	c.mu.RLock()
+	if c.gen != sg || c.aclGen != ag {
+		c.mu.RUnlock()
+		return nil, nil, false
+	}
+	snap = c.methods[name]
+	if snap == nil {
+		c.mu.RUnlock()
+		return nil, nil, false
+	}
+	pol, aud := c.pol, c.aud
+	if !self {
+		ent = c.match[matchKey{object: caller.Object, domain: caller.Domain,
+			action: security.ActionInvoke, item: name}]
+	}
+	c.mu.RUnlock()
+	if self {
+		// Self-containment: an object always controls itself.
+		c.hot.Store(&hotEntry{gen: sg, aclGen: ag, name: name,
+			obj: caller.Object, domain: caller.Domain, snap: snap,
+			allowed: true, pol: pol, aud: aud})
+		return snap, nil, true
+	}
+	if ent == nil {
+		return nil, nil, false
+	}
+	if ent.polDep && pol != nil && pol.Generation() != ent.polGen {
+		return nil, nil, false
+	}
+	if aud != nil {
+		aud.Record(caller, security.ActionInvoke, name, ent.allowed)
+	}
+	c.hot.Store(&hotEntry{gen: sg, aclGen: ag, name: name,
+		obj: caller.Object, domain: caller.Domain, snap: snap,
+		err: ent.err, allowed: ent.allowed, polDep: ent.polDep, polGen: ent.polGen,
+		pol: pol, aud: aud})
+	return snap, ent.err, true
+}
+
+// fastDecision returns the memoized Match decision for (caller, action,
+// item) — the data-access half of the fast path. Self access always allows
+// without consulting the cache.
+func (o *Object) fastDecision(caller security.Principal, action security.Action, item string) (decision error, ok bool) {
+	if caller.Object == o.id {
+		return nil, true
+	}
+	c := &o.cache
+	sg, ag := o.structGen.Load(), o.aclGen.Load()
+	c.mu.RLock()
+	if c.gen != sg || c.aclGen != ag {
+		c.mu.RUnlock()
+		return nil, false
+	}
+	ent := c.match[matchKey{object: caller.Object, domain: caller.Domain, action: action, item: item}]
+	pol, aud := c.pol, c.aud
+	c.mu.RUnlock()
+	if ent == nil {
+		return nil, false
+	}
+	if ent.polDep && pol != nil && pol.Generation() != ent.polGen {
+		return nil, false
+	}
+	if aud != nil {
+		aud.Record(caller, action, item, ent.allowed)
+	}
+	return ent.err, true
+}
+
+// store fills cache entries computed against the given generations. A nil
+// snap stores only the match entry (data access); a nil ent stores only the
+// snapshot (self calls bypass Match). If the cache was filled against other
+// generations it is reset and re-tagged — entries tagged with a superseded
+// generation fail the use-time comparison, so a racing stale fill can only
+// waste a refill, never revive a revoked allow.
+func (c *dispatchCache) store(gen, aclGen uint64, pol *security.Policy, aud *security.Auditor,
+	name string, snap *methodSnap, key matchKey, ent *matchEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen || c.aclGen != aclGen || c.methods == nil {
+		c.gen, c.aclGen = gen, aclGen
+		c.pol, c.aud = pol, aud
+		c.methods = make(map[string]*methodSnap)
+		c.match = make(map[matchKey]*matchEntry)
+	}
+	if snap != nil {
+		if len(c.methods) >= maxMethodEntries {
+			c.methods = make(map[string]*methodSnap)
+		}
+		c.methods[name] = snap
+	}
+	if ent != nil {
+		if len(c.match) >= maxMatchEntries {
+			c.match = make(map[matchKey]*matchEntry)
+		}
+		c.match[key] = ent
+	}
+}

@@ -325,6 +325,7 @@ func FromImage(img Image, reg *BehaviorRegistry, opts ...MaterializeOption) (*Ob
 		}
 		o.invokeLevels = append(o.invokeLevels, m)
 	}
+	o.levelCount.Store(int32(len(o.invokeLevels)))
 
 	installMetaMethods(o)
 	o.sealed = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mscript"
 	"repro/internal/security"
@@ -15,12 +16,16 @@ const maxReentry = 128
 // Invocation is the context of one method execution: who called, on which
 // object, at which meta level. Bodies receive it to re-enter the model
 // (self-calls, descending the invoke chain, reaching other objects).
+//
+// An Invocation is valid only for the duration of the call it describes:
+// bodies must not retain it after returning (entry invocations are pooled).
 type Invocation struct {
 	self   *Object
 	caller security.Principal
 	method string
 	level  int
 	depth  int
+	chain  *callChain // admissions to Serialized objects held by this call chain
 }
 
 // Caller returns the requesting principal.
@@ -63,6 +68,7 @@ func (inv *Invocation) Invoke(name string, args ...value.Value) (value.Value, er
 		self:   inv.self,
 		caller: inv.self.Principal(),
 		depth:  inv.depth + 1,
+		chain:  inv.chain,
 	}
 	return inv.self.invokeFrom(child, name, args)
 }
@@ -79,6 +85,7 @@ func (inv *Invocation) InvokeNext(name string, args ...value.Value) (value.Value
 		self:   inv.self,
 		caller: inv.caller, // the original requester flows through the chain
 		depth:  inv.depth + 1,
+		chain:  inv.chain,
 	}
 	return inv.self.runLevel(child, inv.level-1, name, args)
 }
@@ -90,16 +97,53 @@ func (inv *Invocation) InvokeOn(target *Object, name string, args ...value.Value
 		self:   target,
 		caller: inv.self.Principal(),
 		depth:  inv.depth + 1,
+		chain:  inv.chain,
 	}
 	return target.invokeFrom(child, name, args)
 }
+
+// invocationPool recycles entry Invocations: the public Invoke is the
+// model's hottest path, and the context it needs dies with the call.
+var invocationPool = sync.Pool{New: func() any { return new(Invocation) }}
 
 // Invoke is the public entry of the invocation mechanism. If meta-invoke
 // levels are installed the call enters the highest level; otherwise it goes
 // straight to level 0 (Lookup → Match → Apply).
 func (o *Object) Invoke(caller security.Principal, name string, args ...value.Value) (value.Value, error) {
-	inv := &Invocation{self: o, caller: caller}
-	return o.invokeFrom(inv, name, args)
+	// Short circuit for the hottest shape: no meta-invoke levels, no
+	// admission gate, no pre/post guards, and the dispatch cache holds both
+	// the method snapshot and the Match decision. Equivalent to
+	// invokeFrom → dispatchBase → applyMethod, minus three call frames of
+	// value copying.
+	if o.admission == nil && o.levelCount.Load() == 0 {
+		if snap, decision, ok := o.fastLookup(caller, name); ok {
+			if decision != nil {
+				return value.Null, decision
+			}
+			inv := invocationPool.Get().(*Invocation)
+			*inv = Invocation{self: o, caller: caller, method: name, depth: 1}
+			var v value.Value
+			var err error
+			if snap.pre == nil && snap.post == nil {
+				v, err = snap.body.Invoke(inv, args)
+				if err != nil {
+					v, err = value.Null, fmt.Errorf("method %q: %w", name, err)
+				}
+			} else {
+				v, err = applyMethod(inv, snap, args)
+			}
+			*inv = Invocation{} // drop references before pooling
+			invocationPool.Put(inv)
+			return v, err
+		}
+	}
+
+	inv := invocationPool.Get().(*Invocation)
+	*inv = Invocation{self: o, caller: caller}
+	v, err := o.invokeFrom(inv, name, args)
+	*inv = Invocation{} // drop references before pooling
+	invocationPool.Put(inv)
+	return v, err
 }
 
 // InvokeSelf invokes as the object itself (owner-side convenience).
@@ -124,10 +168,10 @@ func (o *Object) invokeFrom(inv *Invocation, name string, args []value.Value) (v
 	}
 	release := o.admit(inv)
 	defer release()
-	o.mu.Lock()
-	top := len(o.invokeLevels)
-	o.mu.Unlock()
-	return o.runLevel(inv, top, name, args)
+	if lc := o.levelCount.Load(); lc != 0 {
+		return o.runLevel(inv, int(lc), name, args)
+	}
+	return o.dispatchBase(inv, name, args)
 }
 
 // runLevel executes level k of the invocation mechanism for target method
@@ -150,13 +194,13 @@ func (o *Object) runLevel(inv *Invocation, k int, name string, args []value.Valu
 			return o.dispatchBase(inv, name, args)
 		}
 	}
-	meta := o.invokeLevels[k-1]
+	meta := snapshotMethod(o.invokeLevels[k-1])
 	pol, aud := o.policy, o.auditor
 	o.mu.Unlock()
 
 	// The meta-invoke is itself a method: Match applies to it, with the
 	// original requester as the checked principal.
-	if err := o.match(inv.caller, meta.acl, meta.visible, pol, aud, security.ActionInvoke, meta.name); err != nil {
+	if err, _ := o.matchDecide(inv.caller, meta.acl, meta.visible, pol, aud, security.ActionInvoke, meta.name); err != nil {
 		return value.Null, err
 	}
 
@@ -167,6 +211,7 @@ func (o *Object) runLevel(inv *Invocation, k int, name string, args []value.Valu
 		method: meta.name,
 		level:  k,
 		depth:  inv.depth + 1,
+		chain:  inv.chain,
 	}
 	return applyMethod(metaInv, meta, metaArgs)
 }
@@ -177,6 +222,20 @@ func (o *Object) runLevel(inv *Invocation, k int, name string, args []value.Valu
 //  2. Match  — match security information (ACL, policy, encapsulation).
 //  3. Apply  — pre-proc, body, post-proc.
 func (o *Object) dispatchBase(inv *Invocation, name string, args []value.Value) (value.Value, error) {
+	// Fast path: Lookup and Match both served from the dispatch cache. inv
+	// is reused as the body invocation — every dispatchBase caller hands
+	// over a child (or entry) Invocation it never touches again, so
+	// rewriting it in place saves an allocation per call.
+	if snap, decision, ok := o.fastLookup(inv.caller, name); ok {
+		if decision != nil {
+			return value.Null, decision
+		}
+		inv.method = name
+		inv.level = 0
+		inv.depth++
+		return applyMethod(inv, snap, args)
+	}
+
 	// Phase 1: Lookup.
 	o.mu.Lock()
 	m, ok := o.lookupMethod(name)
@@ -184,30 +243,41 @@ func (o *Object) dispatchBase(inv *Invocation, name string, args []value.Value) 
 		o.mu.Unlock()
 		return value.Null, fmt.Errorf("%w: method %q", ErrNotFound, name)
 	}
+	snap := snapshotMethod(m)
+	gen, aclGen := o.structGen.Load(), o.aclGen.Load()
 	pol, aud := o.policy, o.auditor
 	o.mu.Unlock()
 
-	// Phase 2: Match.
-	if err := o.match(inv.caller, m.acl, m.visible, pol, aud, security.ActionInvoke, name); err != nil {
-		return value.Null, err
+	// Phase 2: Match, memoizing the decision and snapshot under the
+	// generations the method state was read at.
+	var polGen uint64
+	if pol != nil {
+		polGen = pol.Generation()
+	}
+	decision, polDep := o.matchDecide(inv.caller, snap.acl, snap.visible, pol, aud, security.ActionInvoke, name)
+	var ent *matchEntry
+	key := matchKey{object: inv.caller.Object, domain: inv.caller.Domain,
+		action: security.ActionInvoke, item: name}
+	if inv.caller.Object != o.id {
+		ent = &matchEntry{err: decision, allowed: decision == nil, polDep: polDep, polGen: polGen}
+	}
+	o.cache.store(gen, aclGen, pol, aud, name, snap, key, ent)
+	if decision != nil {
+		return value.Null, decision
 	}
 
-	// Phase 3: Apply.
-	bodyInv := &Invocation{
-		self:   o,
-		caller: inv.caller,
-		method: name,
-		level:  0,
-		depth:  inv.depth + 1,
-	}
-	return applyMethod(bodyInv, m, args)
+	// Phase 3: Apply (reusing inv as the body invocation, as above).
+	inv.method = name
+	inv.level = 0
+	inv.depth++
+	return applyMethod(inv, snap, args)
 }
 
 // applyMethod runs the Apply phase: pre-proc (false prevents the body),
 // body, post-proc (false raises ErrPostconditionFailed). The post-procedure
 // receives the method arguments plus the body's result appended, enabling
 // result assertions.
-func applyMethod(inv *Invocation, m *Method, args []value.Value) (value.Value, error) {
+func applyMethod(inv *Invocation, m *methodSnap, args []value.Value) (value.Value, error) {
 	if m.pre != nil {
 		ok, err := runGuard(inv, m.pre, args)
 		if err != nil {

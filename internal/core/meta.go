@@ -277,6 +277,7 @@ func metaAddDataItem(inv *Invocation, args []value.Value) (value.Value, error) {
 			return value.Null, err
 		}
 	}
+	o.bumpStruct()
 	return value.Null, o.extData.add(d.name, d)
 }
 
@@ -296,6 +297,7 @@ func metaDeleteDataItem(inv *Invocation, args []value.Value) (value.Value, error
 		return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
 	}
 	o.dropHandles(d)
+	o.bumpStruct()
 	return value.Null, o.extData.remove(name)
 }
 
@@ -317,6 +319,11 @@ func (o *Object) resolveDataRef(ref string) (*DataItem, error) {
 // edits within one call: aclClear, then aclDeny, then aclAllow (each
 // prepended, so later edits take priority). Callers hold o.mu.
 func (o *Object) applyDataProps(d *DataItem, props map[string]value.Value) error {
+	// Invalidate the dispatch cache up front: props may edit structure
+	// (rename), visibility, or the ACL, and a partial mutation on error must
+	// still invalidate.
+	o.bumpStruct()
+	o.bumpACL()
 	if v, ok := props["rename"]; ok {
 		newName := v.String()
 		if newName != d.name { // self-rename is a no-op
@@ -488,6 +495,7 @@ func metaAddMethod(inv *Invocation, args []value.Value) (value.Value, error) {
 			return value.Null, err
 		}
 	}
+	o.bumpStruct()
 	return value.Null, o.extMeth.add(m.name, m)
 }
 
@@ -510,6 +518,7 @@ func metaDeleteMethod(inv *Invocation, args []value.Value) (value.Value, error) 
 		return value.Null, fmt.Errorf("%w: method %q", ErrNotFound, name)
 	}
 	o.dropHandles(m)
+	o.bumpStruct()
 	return value.Null, o.extMeth.remove(name)
 }
 
@@ -532,6 +541,11 @@ func (o *Object) resolveMethodRef(ref string) (*Method, error) {
 // to detach. Callers hold o.mu (buildBody re-locks, so it is called with
 // the descriptor extracted first).
 func (o *Object) applyMethodProps(m *Method, props map[string]value.Value) error {
+	// Invalidate the dispatch cache up front: props may edit the body,
+	// structure (rename), visibility, or the ACL, and a partial mutation on
+	// error must still invalidate.
+	o.bumpStruct()
+	o.bumpACL()
 	setBody := func(key string, cur Body, detachable bool) (Body, error) {
 		v, ok := props[key]
 		if !ok {
@@ -621,6 +635,8 @@ func (o *Object) pushInvokeLevel(props map[string]value.Value) error {
 		return err
 	}
 	o.invokeLevels = append(o.invokeLevels, m)
+	o.bumpStruct()
+	o.levelCount.Store(int32(len(o.invokeLevels)))
 	return nil
 }
 
@@ -647,6 +663,8 @@ func (o *Object) popInvokeLevel() error {
 	top := o.invokeLevels[len(o.invokeLevels)-1]
 	o.dropHandles(top)
 	o.invokeLevels = o.invokeLevels[:len(o.invokeLevels)-1]
+	o.bumpStruct()
+	o.levelCount.Store(int32(len(o.invokeLevels)))
 	return nil
 }
 
@@ -664,6 +682,7 @@ func metaInvoke(inv *Invocation, args []value.Value) (value.Value, error) {
 		self:   inv.self,
 		caller: inv.caller,
 		depth:  inv.depth + 1,
+		chain:  inv.chain,
 	}
 	return inv.self.invokeFrom(child, name, argList(args, 1))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mscript"
 	"repro/internal/naming"
@@ -58,6 +59,15 @@ type Object struct {
 
 	handles   map[string]any // handle token → *DataItem or *Method
 	handleSeq int
+
+	// structGen and aclGen version the object's structure and its
+	// access-control state for the dispatch cache (see dispatch.go); both
+	// are bumped under mu. levelCount mirrors len(invokeLevels) so the
+	// invocation entry point reads the chain depth without taking mu.
+	structGen  atomic.Uint64
+	aclGen     atomic.Uint64
+	levelCount atomic.Int32
+	cache      dispatchCache
 }
 
 // ID returns the object's decentralized identity.
@@ -96,6 +106,7 @@ func (o *Object) SetPolicy(p *security.Policy) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.policy = p
+	o.bumpStruct()
 }
 
 // SetAuditor attaches an audit sink for Match decisions.
@@ -103,6 +114,7 @@ func (o *Object) SetAuditor(a *security.Auditor) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.auditor = a
+	o.bumpStruct()
 }
 
 // SetOutput directs script print() and ctx.log output.
@@ -146,17 +158,31 @@ func (o *Object) lookupData(name string) (*DataItem, bool) {
 
 // getData implements the ordinary `get` operation with its Match check.
 func (o *Object) getData(caller security.Principal, name string) (value.Value, error) {
+	// Fast path: a memoized Match decision leaves only the value read.
+	if decision, ok := o.fastDecision(caller, security.ActionGet, name); ok {
+		if decision != nil {
+			return value.Null, decision
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if d, ok := o.lookupData(name); ok {
+			return d.val, nil
+		}
+		return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
+	}
+
 	o.mu.Lock()
 	d, ok := o.lookupData(name)
 	if !ok {
 		o.mu.Unlock()
 		return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
 	}
+	gen, aclGen := o.structGen.Load(), o.aclGen.Load()
 	pol, aud := o.policy, o.auditor
 	visible, acl := d.visible, d.acl
 	o.mu.Unlock()
 
-	if err := o.match(caller, acl, visible, pol, aud, security.ActionGet, name); err != nil {
+	if err := o.matchAndMemo(caller, acl, visible, gen, aclGen, pol, aud, security.ActionGet, name); err != nil {
 		return value.Null, err
 	}
 	o.mu.Lock()
@@ -171,17 +197,32 @@ func (o *Object) getData(caller security.Principal, name string) (value.Value, e
 
 // setData implements the ordinary `set` operation with its Match check.
 func (o *Object) setData(caller security.Principal, name string, v value.Value) error {
+	// Fast path: a memoized Match decision leaves only the value write.
+	if decision, ok := o.fastDecision(caller, security.ActionSet, name); ok {
+		if decision != nil {
+			return decision
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		d, ok := o.lookupData(name)
+		if !ok {
+			return fmt.Errorf("%w: data item %q", ErrNotFound, name)
+		}
+		return d.setValue(v)
+	}
+
 	o.mu.Lock()
 	d, ok := o.lookupData(name)
 	if !ok {
 		o.mu.Unlock()
 		return fmt.Errorf("%w: data item %q", ErrNotFound, name)
 	}
+	gen, aclGen := o.structGen.Load(), o.aclGen.Load()
 	pol, aud := o.policy, o.auditor
 	visible, acl := d.visible, d.acl
 	o.mu.Unlock()
 
-	if err := o.match(caller, acl, visible, pol, aud, security.ActionSet, name); err != nil {
+	if err := o.matchAndMemo(caller, acl, visible, gen, aclGen, pol, aud, security.ActionSet, name); err != nil {
 		return err
 	}
 	o.mu.Lock()
@@ -193,14 +234,16 @@ func (o *Object) setData(caller security.Principal, name string, v value.Value) 
 	return d2.setValue(v)
 }
 
-// match is the Match phase shared by invocation and data access: hidden
-// items appear nonexistent to everyone but the object itself; otherwise the
-// item ACL decides, falling back to the host policy.
-func (o *Object) match(caller security.Principal, acl security.ACL, visible bool,
-	pol *security.Policy, aud *security.Auditor, action security.Action, item string) error {
+// matchDecide is the Match phase shared by invocation and data access:
+// hidden items appear nonexistent to everyone but the object itself;
+// otherwise the item ACL decides, falling back to the host policy. polDep
+// reports whether the decision came from the policy default — the dispatch
+// cache validates such entries against the policy generation too.
+func (o *Object) matchDecide(caller security.Principal, acl security.ACL, visible bool,
+	pol *security.Policy, aud *security.Auditor, action security.Action, item string) (decision error, polDep bool) {
 	if caller.Object == o.id {
 		// Self-containment: an object always controls itself.
-		return nil
+		return nil, false
 	}
 	if !visible {
 		// Encapsulation: a hidden item appears nonexistent — except to a
@@ -211,18 +254,37 @@ func (o *Object) match(caller security.Principal, acl security.ACL, visible bool
 			if aud != nil {
 				aud.Record(caller, action, item, true)
 			}
-			return nil
+			return nil, false
 		}
 		if aud != nil {
 			aud.Record(caller, action, item, false)
 		}
-		return fmt.Errorf("%w: %s %q", ErrNotFound, actionNoun(action), item)
+		return fmt.Errorf("%w: %s %q", ErrNotFound, actionNoun(action), item), false
 	}
-	err := security.Check(acl, pol, caller, action, item)
+	err, viaPolicy := security.Decide(acl, pol, caller, action, item)
 	if aud != nil {
 		aud.Record(caller, action, item, err == nil)
 	}
-	return err
+	return err, viaPolicy
+}
+
+// matchAndMemo runs matchDecide and memoizes the outcome in the dispatch
+// cache under the generations the item state was read at. Self access is
+// never memoized (it is already a single comparison).
+func (o *Object) matchAndMemo(caller security.Principal, acl security.ACL, visible bool,
+	gen, aclGen uint64, pol *security.Policy, aud *security.Auditor,
+	action security.Action, item string) error {
+	var polGen uint64
+	if pol != nil {
+		polGen = pol.Generation()
+	}
+	decision, polDep := o.matchDecide(caller, acl, visible, pol, aud, action, item)
+	if caller.Object != o.id {
+		o.cache.store(gen, aclGen, pol, aud, "", nil,
+			matchKey{object: caller.Object, domain: caller.Domain, action: action, item: item},
+			&matchEntry{err: decision, allowed: decision == nil, polDep: polDep, polGen: polGen})
+	}
+	return decision
 }
 
 func actionNoun(a security.Action) string {

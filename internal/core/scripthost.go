@@ -16,6 +16,17 @@ type objectHandle struct {
 	obj    *Object
 	caller security.Principal
 	inv    *Invocation
+	chain  *callChain // admission chain for handles without an inv (ctx.lookup)
+}
+
+// chainRef is the admission chain a call through this handle belongs to:
+// the executing invocation's chain when there is one, otherwise the chain
+// recorded at handle creation.
+func (h *objectHandle) chainRef() *callChain {
+	if h.inv != nil {
+		return h.inv.chain
+	}
+	return h.chain
 }
 
 var _ mscript.HostObject = (*objectHandle)(nil)
@@ -51,6 +62,7 @@ func (h *objectHandle) Call(name string, args []mscript.Val) (mscript.Val, error
 		self:   h.obj,
 		caller: h.caller,
 		depth:  childDepth(h.inv),
+		chain:  h.chainRef(),
 	}
 	out, err := h.obj.invokeFrom(child, name, vals)
 	if err != nil {
@@ -152,6 +164,7 @@ func (c *ctxHandle) Call(name string, args []mscript.Val) (mscript.Val, error) {
 			obj:    target,
 			caller: c.inv.self.Principal(),
 			inv:    nil, // cross-object calls never see the meta-level primitives
+			chain:  c.inv.chain,
 		}), nil
 	case "log":
 		parts := make([]string, len(args))

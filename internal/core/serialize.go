@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // This file implements the "advanced features … synchronization mechanisms
 // to allow implementation of concurrent programming models" requirement
 // (§1). An object built with Serialized() processes external invocations
@@ -7,12 +9,21 @@ package core
 // state without further coordination, which is the concurrency model most
 // mobile-object programs assume.
 //
-// Re-entrancy is preserved: self-calls, meta-invoke levels, and calls that
-// arrive back at the object through another object (A→B→A) all run inside
-// the admission already granted to the outermost invocation — only fresh
-// entries (depth 0) queue. Structural operations remain guarded by the
-// object's internal lock regardless, so Serialized() is about *method
-// bodies*, not about memory safety (which holds either way).
+// Admission is tracked per call chain, not per re-entry depth: the first
+// invocation a chain makes on a serialized object acquires its slot, and
+// every later arrival of the same chain at that object — self-calls,
+// meta-invoke levels, and cycles through other objects (A→B→A) — runs
+// inside the admission already granted, so re-entrancy never deadlocks.
+// A chain reaching a *different* serialized object (A→B with B serialized)
+// queues on B like any fresh entry; the earlier depth-based rule silently
+// skipped that queue and let B's bodies interleave. Two chains that hold
+// each other's objects and then cross (A→B while B→A) deadlock, exactly as
+// two actors awaiting each other would — keep inter-object call graphs
+// acyclic across chains, or funnel the cycle through one chain.
+//
+// Structural operations remain guarded by the object's internal lock
+// regardless, so Serialized() is about *method bodies*, not about memory
+// safety (which holds either way).
 
 // Serialized makes the object admit one external invocation at a time.
 func Serialized() BuildOption {
@@ -21,12 +32,62 @@ func Serialized() BuildOption {
 	}
 }
 
-// admit acquires the admission slot for a fresh entry; it returns a
-// release function (no-op for non-serialized objects and re-entries).
+// callChain records which serialized objects the current invocation chain
+// has been admitted to. It propagates through every child Invocation, so
+// re-entry is recognized no matter how many objects the chain traversed in
+// between. Only the chain's own goroutine touches it during a call, but
+// bodies may hand work to helper goroutines that call back in — the small
+// mutex keeps that safe.
+type callChain struct {
+	mu   sync.Mutex
+	held []*Object
+}
+
+func (c *callChain) holds(o *Object) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range c.held {
+		if h == o {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *callChain) push(o *Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.held = append(c.held, o)
+}
+
+func (c *callChain) drop(o *Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.held) - 1; i >= 0; i-- {
+		if c.held[i] == o {
+			c.held = append(c.held[:i], c.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// admit acquires the admission slot unless this call chain already holds
+// it; it returns a release function (no-op for non-serialized objects and
+// re-entries).
 func (o *Object) admit(inv *Invocation) func() {
-	if o.admission == nil || inv.depth != 0 {
+	if o.admission == nil {
 		return func() {}
 	}
+	if inv.chain == nil {
+		inv.chain = &callChain{}
+	} else if inv.chain.holds(o) {
+		return func() {}
+	}
+	chain := inv.chain
 	o.admission <- struct{}{}
-	return func() { <-o.admission }
+	chain.push(o)
+	return func() {
+		chain.drop(o)
+		<-o.admission
+	}
 }

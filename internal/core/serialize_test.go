@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/value"
 )
@@ -101,7 +102,7 @@ func TestSerializedReentrancy(t *testing.T) {
 }
 
 // TestSerializedCrossObjectCycle: A→B→A completes because the re-entering
-// call carries a non-zero depth.
+// call belongs to a chain that already holds A's admission.
 func TestSerializedCrossObjectCycle(t *testing.T) {
 	reg := NewBehaviorRegistry()
 	var objA, objB *Object
@@ -130,5 +131,106 @@ func TestSerializedCrossObjectCycle(t *testing.T) {
 	}
 	if v.String() != "leaf" {
 		t.Errorf("cycle result = %v", v)
+	}
+}
+
+// TestSerializedCrossObjectAdmission: a serialized object B reached through
+// another object A must still queue — the admission used to be skipped for
+// any call with depth > 0, letting two A→B chains interleave inside B's
+// bodies. The probe method records enter/exit events; with admission
+// enforced, enters and exits strictly alternate.
+func TestSerializedCrossObjectAdmission(t *testing.T) {
+	reg := NewBehaviorRegistry()
+	var objB *Object
+
+	var mu sync.Mutex
+	var events []string
+	reg.Register("adm.probe", func(_ *Invocation, _ []value.Value) (value.Value, error) {
+		mu.Lock()
+		events = append(events, "enter")
+		mu.Unlock()
+		// Widen the race window: without admission both chains sit here.
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		events = append(events, "exit")
+		mu.Unlock()
+		return value.Null, nil
+	})
+	reg.Register("adm.callB", func(inv *Invocation, _ []value.Value) (value.Value, error) {
+		return inv.InvokeOn(objB, "probe")
+	})
+
+	bb := NewBuilder(gen, "B", WithPolicy(allowAllPolicy()), WithRegistry(reg), Serialized())
+	probe, _ := reg.Lookup("adm.probe")
+	bb.FixedMethod("probe", probe)
+	objB = bb.MustBuild()
+
+	ba := NewBuilder(gen, "A", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	callB, _ := reg.Lookup("adm.callB")
+	ba.FixedMethod("start", callB)
+	objA := ba.MustBuild()
+
+	const chains = 8
+	var wg sync.WaitGroup
+	for i := 0; i < chains; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := objA.Invoke(stranger(), "start"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(events) != 2*chains {
+		t.Fatalf("recorded %d events, want %d", len(events), 2*chains)
+	}
+	for i, e := range events {
+		want := "enter"
+		if i%2 == 1 {
+			want = "exit"
+		}
+		if e != want {
+			t.Fatalf("event %d = %q, want %q — B's bodies interleaved: %v", i, e, want, events)
+		}
+	}
+}
+
+// TestSerializedReentryThroughPlainObject: A(serialized)→B(plain)→A must
+// not deadlock — the chain already holds A when it comes back.
+func TestSerializedReentryThroughPlainObject(t *testing.T) {
+	reg := NewBehaviorRegistry()
+	var objA, objB *Object
+	reg.Register("reent.callB", func(inv *Invocation, _ []value.Value) (value.Value, error) {
+		return inv.InvokeOn(objB, "callA")
+	})
+	reg.Register("reent.callA", func(inv *Invocation, _ []value.Value) (value.Value, error) {
+		return inv.InvokeOn(objA, "leaf")
+	})
+
+	ba := NewBuilder(gen, "A", WithPolicy(allowAllPolicy()), WithRegistry(reg), Serialized())
+	callB, _ := reg.Lookup("reent.callB")
+	ba.FixedMethod("start", callB)
+	ba.FixedScriptMethod("leaf", `fn() { return "ok"; }`)
+	objA = ba.MustBuild()
+
+	bb := NewBuilder(gen, "B", WithPolicy(allowAllPolicy()), WithRegistry(reg))
+	callA, _ := reg.Lookup("reent.callA")
+	bb.FixedMethod("callA", callA)
+	objB = bb.MustBuild()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := objA.Invoke(stranger(), "start")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("A→B→A deadlocked on serialized re-entry")
 	}
 }

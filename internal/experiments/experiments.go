@@ -237,6 +237,10 @@ func E3InvocationCost() (Table, error) {
 	obj := BenchObject(4, 4)
 	fixed := measure(func() { _, _ = obj.Invoke(caller, "work", arg) })
 	ext := measure(func() { _, _ = obj.Invoke(caller, "workExt", arg) })
+	cold := measure(func() {
+		obj.FlushDispatchCache()
+		_, _ = obj.Invoke(caller, "work", arg)
+	})
 	meta := measure(func() {
 		_, _ = obj.Invoke(caller, "invoke", value.NewString("work"), value.NewListOf(arg))
 	})
@@ -246,8 +250,9 @@ func E3InvocationCost() (Table, error) {
 	t.Rows = append(t.Rows,
 		[]string{"direct Go call", ns(direct), "1.0x"},
 		[]string{"map dispatch (no security)", ns(mapDisp), ratio(direct, mapDisp)},
-		[]string{"MROM level-0, fixed method", ns(fixed), ratio(direct, fixed)},
-		[]string{"MROM level-0, extensible method", ns(ext), ratio(direct, ext)},
+		[]string{"MROM level-0, fixed, repeat (cached)", ns(fixed), ratio(direct, fixed)},
+		[]string{"MROM level-0, extensible, repeat (cached)", ns(ext), ratio(direct, ext)},
+		[]string{"MROM level-0, fixed, cold (flush per call)", ns(cold), ratio(direct, cold)},
 		[]string{"MROM self-invocation (Match bypassed)", ns(selfCall), ratio(direct, selfCall)},
 		[]string{"MROM via invoke meta-method", ns(meta), ratio(direct, meta)},
 	)
@@ -278,9 +283,14 @@ func E4MutabilityLookupCost() (Table, error) {
 		extName := value.NewString(fmt.Sprintf("e%04d", n/2))
 		fGet := measure(func() { _, _ = obj.Invoke(caller, "get", fixedName) })
 		eGet := measure(func() { _, _ = obj.Invoke(caller, "get", extName) })
+		cGet := measure(func() {
+			obj.FlushDispatchCache()
+			_, _ = obj.Invoke(caller, "get", fixedName)
+		})
 		t.Rows = append(t.Rows,
-			[]string{"MROM get, fixed section", fmt.Sprintf("%d", n), ns(fGet)},
-			[]string{"MROM get, extensible section", fmt.Sprintf("%d", n), ns(eGet)},
+			[]string{"MROM get, fixed, repeat (cached)", fmt.Sprintf("%d", n), ns(fGet)},
+			[]string{"MROM get, extensible, repeat (cached)", fmt.Sprintf("%d", n), ns(eGet)},
+			[]string{"MROM get, fixed, cold (flush per call)", fmt.Sprintf("%d", n), ns(cGet)},
 		)
 	}
 	// And a set on the extensible section for the write path.
@@ -306,7 +316,14 @@ func E5ACLCost() (Table, error) {
 	for _, n := range []int{0, 16, 256, 1024} {
 		allowObj := ACLObject(n, security.AllowObject(caller.Object))
 		d := measure(func() { _, _ = allowObj.Invoke(caller, "work", arg) })
-		t.Rows = append(t.Rows, []string{"scan to allow-object entry", fmt.Sprintf("%d", n+1), ns(d)})
+		cold := measure(func() {
+			allowObj.FlushDispatchCache()
+			_, _ = allowObj.Invoke(caller, "work", arg)
+		})
+		t.Rows = append(t.Rows,
+			[]string{"allow-object entry, repeat (cached)", fmt.Sprintf("%d", n+1), ns(d)},
+			[]string{"allow-object entry, cold (scan per call)", fmt.Sprintf("%d", n+1), ns(cold)},
+		)
 	}
 	domainObj := ACLObject(0, security.AllowDomain("bench.*"))
 	d := measure(func() { _, _ = domainObj.Invoke(caller, "work", arg) })

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/naming"
@@ -235,6 +236,7 @@ func (a ACL) Decide(p Principal, action Action) (effect Effect, ok bool) {
 // for concurrent use.
 type Policy struct {
 	mu       sync.RWMutex
+	gen      atomic.Uint64
 	levels   map[string]TrustLevel
 	defaults map[TrustLevel]Effect
 	fallback TrustLevel
@@ -261,6 +263,7 @@ func (p *Policy) GradeDomain(domain string, level TrustLevel) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.levels[domain] = level
+	p.gen.Add(1)
 }
 
 // SetDefault sets the decision for a trust level when no ACL entry matched.
@@ -268,7 +271,16 @@ func (p *Policy) SetDefault(level TrustLevel, effect Effect) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.defaults[level] = effect
+	p.gen.Add(1)
 }
+
+// Generation returns the policy's mutation counter. Every GradeDomain or
+// SetDefault advances it (inside the policy lock, after the mutation is
+// applied), so a decision cache that captured the generation before
+// computing a decision can detect that the decision may be stale: if the
+// generation still matches at use time, the decision was computed against
+// the current policy.
+func (p *Policy) Generation() uint64 { return p.gen.Load() }
 
 // Level returns the trust level of a domain (fallback for unknown domains).
 func (p *Policy) Level(domain string) TrustLevel {
@@ -296,16 +308,26 @@ func (p *Policy) DecideDefault(pr Principal) Effect {
 // phase: ACL first (ordered, first match wins), then the policy default.
 // It returns nil on allow and an ErrDenied-wrapped error on deny.
 func Check(acl ACL, policy *Policy, pr Principal, action Action, item string) error {
+	err, _ := Decide(acl, policy, pr, action, item)
+	return err
+}
+
+// Decide is Check, additionally reporting whether the decision fell through
+// to the policy default rather than being settled by an ACL entry. Decision
+// caches need the distinction: an ACL-settled entry is invalidated by ACL
+// edits alone, while a policy-settled entry is also invalidated when the
+// policy's Generation advances.
+func Decide(acl ACL, policy *Policy, pr Principal, action Action, item string) (err error, viaPolicy bool) {
 	if effect, ok := acl.Decide(pr, action); ok {
 		if effect == Allow {
-			return nil
+			return nil, false
 		}
-		return fmt.Errorf("%w: %s of %q by %s (acl)", ErrDenied, action, item, pr)
+		return fmt.Errorf("%w: %s of %q by %s (acl)", ErrDenied, action, item, pr), false
 	}
 	if policy != nil && policy.DecideDefault(pr) == Allow {
-		return nil
+		return nil, true
 	}
-	return fmt.Errorf("%w: %s of %q by %s (policy)", ErrDenied, action, item, pr)
+	return fmt.Errorf("%w: %s of %q by %s (policy)", ErrDenied, action, item, pr), true
 }
 
 // Event is one audited decision.

@@ -148,10 +148,15 @@ func DialTCP(addr string) (Conn, error) {
 type tcpConn struct {
 	nc      net.Conn
 	writeMu sync.Mutex
-	mu      sync.Mutex
+	mu      sync.Mutex // guards pending and closed
 	pending map[uint64]chan wire.Frame
-	nextID  atomic.Uint64
-	closed  atomic.Bool
+	// closed is set by failAll under mu and re-checked at registration under
+	// the same mutex: a request can never slip into pending after failAll has
+	// drained it (a request registered then would hang forever — no reader is
+	// left to complete it).
+	closed    bool
+	nextID    atomic.Uint64
+	closeOnce sync.Once
 }
 
 func (c *tcpConn) readLoop() {
@@ -175,9 +180,9 @@ func (c *tcpConn) readLoop() {
 }
 
 func (c *tcpConn) failAll() {
-	c.closed.Store(true)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	for id, ch := range c.pending {
 		delete(c.pending, id)
 		close(ch)
@@ -185,13 +190,14 @@ func (c *tcpConn) failAll() {
 }
 
 func (c *tcpConn) roundTrip(ctx context.Context, f wire.Frame) (wire.Frame, error) {
-	if c.closed.Load() {
-		return wire.Frame{}, ErrClosed
-	}
 	id := c.nextID.Add(1)
 	f.RequestID = id
 	ch := make(chan wire.Frame, 1)
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Frame{}, ErrClosed
+	}
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -247,12 +253,12 @@ func (c *tcpConn) Ping(ctx context.Context) error {
 	return nil
 }
 
-// Close implements Conn.
+// Close implements Conn. closeOnce guards the socket close (rather than the
+// closed flag: readLoop's failAll sets that on disconnect without closing
+// the socket, and Close must still release it afterwards).
 func (c *tcpConn) Close() error {
-	if c.closed.Swap(true) {
-		return nil
-	}
-	err := c.nc.Close()
+	var err error
+	c.closeOnce.Do(func() { err = c.nc.Close() })
 	c.failAll()
 	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
 		return err

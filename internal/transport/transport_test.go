@@ -304,3 +304,59 @@ func TestFaultConn(t *testing.T) {
 		t.Errorf("Close: %v", err)
 	}
 }
+
+// TestCloseRacingCalls is the regression test for the register-after-close
+// race: a Call that registers its request just as failAll drains the
+// pending map used to hang forever on a background context. Every call
+// must return — with a response, ErrClosed, or a send error — within the
+// deadline, no matter how Close interleaves.
+func TestCloseRacingCalls(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := DialTCP(srv.Addr())
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+
+		const callers = 16
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan error, callers)
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				// Background context: only completion or ErrClosed can
+				// unblock this call.
+				_, err := conn.Call(context.Background(), "echo", []byte("x"))
+				errs <- err
+			}()
+		}
+		go func() {
+			<-start
+			conn.Close()
+		}()
+		close(start)
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: calls hung after concurrent close (register-after-close race)", round)
+		}
+		close(errs)
+		for err := range errs {
+			if err != nil && !errors.Is(err, ErrClosed) && !strings.Contains(err.Error(), "send:") {
+				t.Errorf("round %d: unexpected error %v", round, err)
+			}
+		}
+		conn.Close()
+		srv.Close()
+	}
+}
