@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench-smoke
+.PHONY: verify fmt-check vet build test race bench-smoke bench-record bench-check
+
+# Benchmarks tracked for regressions across PRs (see cmd/benchguard).
+# Each is run BENCH_COUNT times and benchguard keeps the fastest
+# repetition, damping scheduler noise on shared machines.
+BENCH_TRACKED = E3|E5
+BENCH_TIME    = 100000x
+BENCH_COUNT   = 3
 
 # verify is the tier-1 gate: formatting, static checks, build, tests
-# (including the race detector), and a one-iteration benchmark smoke run.
-verify: fmt-check vet build test race bench-smoke
+# (including the race detector), a one-iteration benchmark smoke run, and
+# a warn-only comparison of the tracked benchmarks against BENCH_PR.json.
+verify: fmt-check vet build test race bench-smoke bench-check
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -26,3 +34,15 @@ race:
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-record appends a snapshot of the tracked benchmarks to
+# BENCH_PR.json; run it once per PR so bench-check has a fresh baseline.
+bench-record:
+	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchguard -mode record
+
+# bench-check warns (never fails) when a tracked benchmark runs >20%
+# slower than the latest BENCH_PR.json snapshot.
+bench-check:
+	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchguard -mode check

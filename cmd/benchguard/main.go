@@ -1,0 +1,193 @@
+// benchguard tracks benchmark results across PRs and flags regressions.
+//
+// It reads `go test -bench` output on stdin and runs in one of two modes:
+//
+//	record — append a snapshot of the parsed ns/op numbers to the history
+//	         file (BENCH_PR.json), labeled with -label (default: the
+//	         current git revision if available, else "local").
+//	check  — compare the parsed numbers against the most recent snapshot
+//	         and print a warning for every benchmark slower by more than
+//	         -threshold (default 20%). Warn-only: the exit status is 0
+//	         either way, so noisy CI machines don't block merges; the
+//	         warnings are for the human reading the verify log.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='E3|E5' . | benchguard -mode record
+//	go test -run='^$' -bench='E3|E5' . | benchguard -mode check
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// snapshot is one recorded benchmark run.
+type snapshot struct {
+	Label string             `json:"label"`
+	When  string             `json:"when"`
+	NsOp  map[string]float64 `json:"ns_op"`
+}
+
+// history is the on-disk format of BENCH_PR.json.
+type history struct {
+	Records []snapshot `json:"records"`
+}
+
+// parseBench extracts ns/op per benchmark from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkE3_DirectGoCall-8   1000000000   0.25 ns/op
+//
+// The -N GOMAXPROCS suffix is stripped so records compare across machines.
+// A benchmark appearing more than once (`-count=N`) keeps its minimum —
+// the repetition least disturbed by scheduler noise.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchmark %s: bad ns/op %q", name, fields[i])
+				}
+				if prev, seen := out[name]; !seen || v < prev {
+					out[name] = v
+				}
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// regressions compares a run against a baseline: benchmarks slower by more
+// than threshold (0.20 = 20%) are returned as warning strings, sorted.
+// Benchmarks present on only one side are ignored — adding or retiring a
+// benchmark is not a regression.
+func regressions(base, cur map[string]float64, threshold float64) []string {
+	var warns []string
+	for name, now := range cur {
+		was, ok := base[name]
+		if !ok || was <= 0 {
+			continue
+		}
+		if ratio := now / was; ratio > 1+threshold {
+			warns = append(warns, fmt.Sprintf(
+				"%s: %.4g ns/op vs %.4g recorded (%.0f%% slower)",
+				name, now, was, (ratio-1)*100))
+		}
+	}
+	sort.Strings(warns)
+	return warns
+}
+
+func loadHistory(path string) (history, error) {
+	var h history
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return h, nil
+	}
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return h, fmt.Errorf("%s: %w", path, err)
+	}
+	return h, nil
+}
+
+func defaultLabel() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "local"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func run(mode, file, label string, threshold float64, in io.Reader, out io.Writer) error {
+	cur, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(out, "benchguard: no benchmark lines on stdin")
+		return nil
+	}
+	h, err := loadHistory(file)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "record":
+		if label == "" {
+			label = defaultLabel()
+		}
+		h.Records = append(h.Records, snapshot{
+			Label: label,
+			When:  time.Now().UTC().Format(time.RFC3339),
+			NsOp:  cur,
+		})
+		raw, err := json.MarshalIndent(h, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(file, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchguard: recorded %d benchmarks as %q (%d records in %s)\n",
+			len(cur), label, len(h.Records), file)
+	case "check":
+		if len(h.Records) == 0 {
+			fmt.Fprintf(out, "benchguard: no baseline in %s; run `make bench-record` first\n", file)
+			return nil
+		}
+		base := h.Records[len(h.Records)-1]
+		warns := regressions(base.NsOp, cur, threshold)
+		if len(warns) == 0 {
+			fmt.Fprintf(out, "benchguard: no regression >%.0f%% vs %q\n", threshold*100, base.Label)
+			return nil
+		}
+		fmt.Fprintf(out, "benchguard: WARNING — regressions vs %q (%s):\n", base.Label, base.When)
+		for _, w := range warns {
+			fmt.Fprintf(out, "  %s\n", w)
+		}
+	default:
+		return fmt.Errorf("benchguard: unknown -mode %q (want record or check)", mode)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		mode      = flag.String("mode", "check", "record (append snapshot) or check (warn on regressions)")
+		file      = flag.String("file", "BENCH_PR.json", "benchmark history file")
+		label     = flag.String("label", "", "snapshot label for record mode (default: git revision)")
+		threshold = flag.Float64("threshold", 0.20, "relative slowdown that triggers a warning")
+	)
+	flag.Parse()
+	if err := run(*mode, *file, *label, *threshold, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE3_DirectGoCall-8     	1000000000	         0.2512 ns/op
+BenchmarkE3_MROMFixedMethod-8  	 4519918	       265.3 ns/op	      48 B/op	       2 allocs/op
+BenchmarkE5_ACLScan-8          	12000000	        99.81 ns/op
+PASS
+ok  	repro	3.511s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"E3_DirectGoCall":    0.2512,
+		"E3_MROMFixedMethod": 265.3,
+		"E5_ACLScan":         99.81,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestParseBenchKeepsMinOfRepetitions(t *testing.T) {
+	in := `BenchmarkE5_ACLScan-8  1000  150.0 ns/op
+BenchmarkE5_ACLScan-8  1000  99.5 ns/op
+BenchmarkE5_ACLScan-8  1000  210.0 ns/op
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["E5_ACLScan"] != 99.5 {
+		t.Errorf("E5_ACLScan = %v, want min 99.5", got["E5_ACLScan"])
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 100, "C": 100, "Gone": 50}
+	cur := map[string]float64{"A": 115, "B": 130, "C": 95, "New": 500}
+	warns := regressions(base, cur, 0.20)
+	if len(warns) != 1 || !strings.HasPrefix(warns[0], "B:") {
+		t.Fatalf("warns = %v, want exactly one for B", warns)
+	}
+	if !strings.Contains(warns[0], "30% slower") {
+		t.Errorf("warn = %q, want 30%% slower", warns[0])
+	}
+}
+
+func TestRecordThenCheckRoundTrip(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_PR.json")
+
+	var out strings.Builder
+	if err := run("record", file, "seed", 0.20, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recorded 3 benchmarks") {
+		t.Errorf("record output = %q", out.String())
+	}
+
+	// Unchanged numbers: clean check.
+	out.Reset()
+	if err := run("check", file, "", 0.20, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Errorf("clean check output = %q", out.String())
+	}
+
+	// A 2x slowdown on one benchmark: warned, but not an error (warn-only).
+	slower := strings.Replace(sampleBench, "265.3 ns/op", "530.6 ns/op", 1)
+	out.Reset()
+	if err := run("check", file, "", 0.20, strings.NewReader(slower), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARNING") || !strings.Contains(out.String(), "E3_MROMFixedMethod") {
+		t.Errorf("regressed check output = %q", out.String())
+	}
+
+	// Second record appends rather than overwrites.
+	if err := run("record", file, "second", 0.20, strings.NewReader(slower), &out); err != nil {
+		t.Fatal(err)
+	}
+	h, err := loadHistory(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Records) != 2 || h.Records[0].Label != "seed" || h.Records[1].Label != "second" {
+		t.Fatalf("history = %+v", h.Records)
+	}
+}
+
+func TestCheckWithoutBaseline(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_PR.json")
+	var out strings.Builder
+	if err := run("check", file, "", 0.20, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("output = %q", out.String())
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Error("check mode created the history file")
+	}
+}

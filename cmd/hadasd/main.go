@@ -32,6 +32,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/hadas"
 	"repro/internal/persist"
@@ -65,24 +66,29 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:0", "protocol listen address")
 		manifestPath = flag.String("manifest", "", "JSON manifest of APOs and programs")
 		storeDir     = flag.String("store", "", "directory for persistent object slots")
+		callTimeout  = flag.Duration("call-timeout", hadas.DefaultCallTimeout, "per-call deadline for peer round trips")
+		probeEvery   = flag.Duration("probe-interval", 0, "background peer liveness probe period (0 disables probing)")
 		links        linkList
 	)
 	flag.Var(&links, "link", "peer address to link to (repeatable)")
 	flag.Parse()
 
-	if err := run(*name, *domain, *listen, *manifestPath, *storeDir, links); err != nil {
+	if err := run(*name, *domain, *listen, *manifestPath, *storeDir, *callTimeout, *probeEvery, links); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(name, domain, listen, manifestPath, storeDir string, links []string) error {
+func run(name, domain, listen, manifestPath, storeDir string,
+	callTimeout, probeEvery time.Duration, links []string) error {
 	if name == "" {
 		return fmt.Errorf("hadasd: -name is required")
 	}
 	cfg := hadas.Config{
-		Name:   name,
-		Domain: domain,
-		Output: func(line string) { log.Printf("[%s] %s", name, line) },
+		Name:          name,
+		Domain:        domain,
+		Output:        func(line string) { log.Printf("[%s] %s", name, line) },
+		CallTimeout:   callTimeout,
+		ProbeInterval: probeEvery,
 	}
 	if storeDir != "" {
 		store, err := persist.NewFileStore(storeDir)

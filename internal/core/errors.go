@@ -37,4 +37,12 @@ var (
 	// ErrUnknownBehavior reports a native body name absent from the
 	// behavior registry during object reconstruction.
 	ErrUnknownBehavior = errors.New("unknown native behavior")
+	// ErrDeadlock reports a cross-chain admission cycle between Serialized
+	// objects (A→B while B→A); the error names the chains and objects on
+	// the cycle. The failing chain's abort unblocks the others.
+	ErrDeadlock = errors.New("serialized admission deadlock")
+	// ErrAdmissionTimeout reports an admission wait on a Serialized object
+	// exceeding its timeout — the backstop for blockages the waits-for
+	// graph cannot attribute (e.g. cycles closed through a remote site).
+	ErrAdmissionTimeout = errors.New("serialized admission timed out")
 )

@@ -166,7 +166,10 @@ func (o *Object) invokeFrom(inv *Invocation, name string, args []value.Value) (v
 	if inv.depth > maxReentry {
 		return value.Null, fmt.Errorf("%w (depth %d invoking %q)", ErrReentry, inv.depth, name)
 	}
-	release := o.admit(inv)
+	release, err := o.admit(inv, name)
+	if err != nil {
+		return value.Null, err
+	}
 	defer release()
 	if lc := o.levelCount.Load(); lc != 0 {
 		return o.runLevel(inv, int(lc), name, args)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mscript"
 	"repro/internal/naming"
@@ -53,9 +54,10 @@ type Object struct {
 	metaACL    security.ACL
 	metaHidden bool
 
-	// admission, when non-nil, serializes external invocations (see
-	// Serialized in serialize.go).
-	admission chan struct{}
+	// admission, when non-nil, serializes external invocations;
+	// admitTimeout bounds waits for the slot (see serialize.go).
+	admission    chan struct{}
+	admitTimeout time.Duration
 
 	handles   map[string]any // handle token → *DataItem or *Method
 	handleSeq int

@@ -1,6 +1,12 @@
 package core
 
-import "sync"
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // This file implements the "advanced features … synchronization mechanisms
 // to allow implementation of concurrent programming models" requirement
@@ -16,21 +22,47 @@ import "sync"
 // inside the admission already granted, so re-entrancy never deadlocks.
 // A chain reaching a *different* serialized object (A→B with B serialized)
 // queues on B like any fresh entry; the earlier depth-based rule silently
-// skipped that queue and let B's bodies interleave. Two chains that hold
-// each other's objects and then cross (A→B while B→A) deadlock, exactly as
-// two actors awaiting each other would — keep inter-object call graphs
-// acyclic across chains, or funnel the cycle through one chain.
+// skipped that queue and let B's bodies interleave.
+//
+// Two chains that hold each other's objects and then cross (A→B while
+// B→A) used to block forever, exactly as two actors awaiting each other
+// would. That condition is now diagnosed instead of suffered: every
+// blocked admission publishes a waits-for edge in a process-wide graph,
+// and the arrival that closes a cycle fails immediately with ErrDeadlock
+// naming every chain and object on the cycle — the victim's abort releases
+// its admissions, so the surviving chains proceed. Cycles the graph cannot
+// see (e.g. closed through a remote site, where the chain identity does
+// not travel) are caught by a per-object admission timeout, returning
+// ErrAdmissionTimeout as the backstop.
 //
 // Structural operations remain guarded by the object's internal lock
 // regardless, so Serialized() is about *method bodies*, not about memory
 // safety (which holds either way).
 
-// Serialized makes the object admit one external invocation at a time.
+// DefaultAdmissionTimeout bounds how long an invocation waits for a
+// serialized object's admission slot before failing ErrAdmissionTimeout.
+// Override per object with AdmissionTimeout.
+const DefaultAdmissionTimeout = 10 * time.Second
+
+// Serialized makes the object admit one external invocation at a time,
+// with DefaultAdmissionTimeout as its admission bound.
 func Serialized() BuildOption {
 	return func(o *Object) {
 		o.admission = make(chan struct{}, 1)
+		if o.admitTimeout == 0 {
+			o.admitTimeout = DefaultAdmissionTimeout
+		}
 	}
 }
+
+// AdmissionTimeout overrides how long invocations wait for this object's
+// admission slot (meaningful only together with Serialized).
+func AdmissionTimeout(d time.Duration) BuildOption {
+	return func(o *Object) { o.admitTimeout = d }
+}
+
+// chainSeq numbers call chains for diagnostics.
+var chainSeq atomic.Uint64
 
 // callChain records which serialized objects the current invocation chain
 // has been admitted to. It propagates through every child Invocation, so
@@ -39,8 +71,22 @@ func Serialized() BuildOption {
 // bodies may hand work to helper goroutines that call back in — the small
 // mutex keeps that safe.
 type callChain struct {
-	mu   sync.Mutex
-	held []*Object
+	id    uint64
+	entry string // "<class>.<method>" of the chain's first serialized entry
+	mu    sync.Mutex
+	held  []*Object
+}
+
+func newCallChain(o *Object, method string) *callChain {
+	return &callChain{id: chainSeq.Add(1), entry: o.class + "." + method}
+}
+
+// label identifies the chain in deadlock diagnostics.
+func (c *callChain) label() string {
+	if c.entry == "" {
+		return fmt.Sprintf("chain#%d", c.id)
+	}
+	return fmt.Sprintf("chain#%d[%s]", c.id, c.entry)
 }
 
 func (c *callChain) holds(o *Object) bool {
@@ -71,23 +117,121 @@ func (c *callChain) drop(o *Object) {
 	}
 }
 
+// waitsFor is the process-wide waits-for graph over serialized admissions:
+// holder maps each serialized object to the chain currently admitted,
+// waiting maps each blocked chain to the object it waits on. Edges exist
+// only while chains hold or await admissions, so the maps stay small; a
+// single mutex guards both because cycle detection needs a consistent
+// snapshot of the whole graph.
+var waitsFor = struct {
+	mu      sync.Mutex
+	holder  map[*Object]*callChain
+	waiting map[*callChain]*Object
+}{
+	holder:  make(map[*Object]*callChain),
+	waiting: make(map[*callChain]*Object),
+}
+
+// objLabel identifies an object in deadlock diagnostics.
+func objLabel(o *Object) string {
+	return fmt.Sprintf("%s<%s>", o.class, o.id)
+}
+
+// publishWait records chain→o in the waits-for graph, unless doing so
+// closes a cycle — then nothing is recorded and the cycle's description
+// (naming every chain and object on it) is returned.
+func publishWait(chain *callChain, o *Object) string {
+	w := &waitsFor
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	var path []string
+	obj, cur := o, w.holder[o]
+	for i := 0; cur != nil && i < 64; i++ {
+		path = append(path, fmt.Sprintf("%s held by %s", objLabel(obj), cur.label()))
+		if cur == chain {
+			return fmt.Sprintf("%s waits for %s", chain.label(), strings.Join(path, "; that chain waits for "))
+		}
+		obj = w.waiting[cur]
+		if obj == nil {
+			break
+		}
+		cur = w.holder[obj]
+	}
+	w.waiting[chain] = o
+	return ""
+}
+
+// unpublishWait withdraws a blocked chain's edge (timeout abort).
+func unpublishWait(chain *callChain) {
+	waitsFor.mu.Lock()
+	delete(waitsFor.waiting, chain)
+	waitsFor.mu.Unlock()
+}
+
+// acquired records the chain as o's holder and clears its waiting edge.
+func (c *callChain) acquired(o *Object) {
+	waitsFor.mu.Lock()
+	waitsFor.holder[o] = c
+	delete(waitsFor.waiting, c)
+	waitsFor.mu.Unlock()
+	c.push(o)
+}
+
+// released clears the holder edge before freeing the slot, so no waiter
+// can observe a stale holder once the slot is grantable again.
+func (c *callChain) released(o *Object) {
+	c.drop(o)
+	waitsFor.mu.Lock()
+	if waitsFor.holder[o] == c {
+		delete(waitsFor.holder, o)
+	}
+	waitsFor.mu.Unlock()
+	<-o.admission
+}
+
 // admit acquires the admission slot unless this call chain already holds
 // it; it returns a release function (no-op for non-serialized objects and
-// re-entries).
-func (o *Object) admit(inv *Invocation) func() {
+// re-entries). A blocked admission that would close a waits-for cycle
+// fails ErrDeadlock; one that outlasts the object's admission timeout
+// fails ErrAdmissionTimeout.
+func (o *Object) admit(inv *Invocation, method string) (func(), error) {
 	if o.admission == nil {
-		return func() {}
+		return func() {}, nil
 	}
 	if inv.chain == nil {
-		inv.chain = &callChain{}
+		inv.chain = newCallChain(o, method)
 	} else if inv.chain.holds(o) {
-		return func() {}
+		return func() {}, nil
 	}
 	chain := inv.chain
-	o.admission <- struct{}{}
-	chain.push(o)
-	return func() {
-		chain.drop(o)
-		<-o.admission
+
+	// Uncontended: take the slot without touching the graph's hot path.
+	select {
+	case o.admission <- struct{}{}:
+		chain.acquired(o)
+		return func() { chain.released(o) }, nil
+	default:
+	}
+
+	// Contended: publish the waits-for edge; the arrival closing a cycle
+	// is the one that fails.
+	if cycle := publishWait(chain, o); cycle != "" {
+		return nil, fmt.Errorf("%w: %s", ErrDeadlock, cycle)
+	}
+	timeout := o.admitTimeout
+	if timeout <= 0 {
+		timeout = DefaultAdmissionTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o.admission <- struct{}{}:
+		chain.acquired(o)
+		return func() { chain.released(o) }, nil
+	case <-timer.C:
+		unpublishWait(chain)
+		return nil, fmt.Errorf("%w: %s waited %v for %s", ErrAdmissionTimeout,
+			chain.label(), timeout, objLabel(o))
 	}
 }

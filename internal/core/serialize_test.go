@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -232,5 +234,125 @@ func TestSerializedReentryThroughPlainObject(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("A→B→A deadlocked on serialized re-entry")
+	}
+}
+
+// TestSerializedCrossingChainsReturnErrDeadlock: two chains that hold each
+// other's serialized objects and then cross (chain 1: A→B while chain 2:
+// B→A) used to block forever. The waits-for graph must fail exactly one of
+// them with ErrDeadlock — whose abort lets the other complete — well
+// before the admission timeout.
+func TestSerializedCrossingChainsReturnErrDeadlock(t *testing.T) {
+	reg := NewBehaviorRegistry()
+	var objA, objB *Object
+
+	// Both chains rendezvous inside their first body, guaranteeing each
+	// holds its own object before crossing into the other's.
+	var rendezvous sync.WaitGroup
+	rendezvous.Add(2)
+	cross := func(target **Object) func(*Invocation, []value.Value) (value.Value, error) {
+		return func(inv *Invocation, _ []value.Value) (value.Value, error) {
+			rendezvous.Done()
+			rendezvous.Wait()
+			return inv.InvokeOn(*target, "leaf")
+		}
+	}
+	reg.Register("dl.crossToB", cross(&objB))
+	reg.Register("dl.crossToA", cross(&objA))
+
+	build := func(name, behavior string) *Object {
+		b := NewBuilder(gen, name, WithPolicy(allowAllPolicy()), WithRegistry(reg),
+			Serialized(), AdmissionTimeout(30*time.Second))
+		body, _ := reg.Lookup(behavior)
+		b.FixedMethod("start", body)
+		b.FixedScriptMethod("leaf", `fn() { return "leaf"; }`)
+		return b.MustBuild()
+	}
+	objA = build("DeadA", "dl.crossToB")
+	objB = build("DeadB", "dl.crossToA")
+
+	type outcome struct {
+		v   value.Value
+		err error
+	}
+	results := make(chan outcome, 2)
+	for _, o := range []*Object{objA, objB} {
+		go func(o *Object) {
+			v, err := o.Invoke(stranger(), "start")
+			results <- outcome{v, err}
+		}(o)
+	}
+
+	var deadlocks, successes int
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			switch {
+			case r.err == nil:
+				successes++
+				if r.v.String() != "leaf" {
+					t.Errorf("surviving chain result = %v", r.v)
+				}
+			case errors.Is(r.err, ErrDeadlock):
+				deadlocks++
+				msg := r.err.Error()
+				// The diagnostic names both objects and both chains.
+				for _, want := range []string{"DeadA", "DeadB", "chain#"} {
+					if !strings.Contains(msg, want) {
+						t.Errorf("deadlock error missing %q: %v", want, r.err)
+					}
+				}
+			default:
+				t.Errorf("unexpected error: %v", r.err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("crossing chains hung: deadlock not detected")
+		}
+	}
+	if deadlocks != 1 || successes != 1 {
+		t.Errorf("deadlocks = %d, successes = %d; want exactly one of each", deadlocks, successes)
+	}
+}
+
+// TestSerializedAdmissionTimeout: an admission that cannot be attributed
+// to a cycle (the holder is simply stuck) fails ErrAdmissionTimeout after
+// the object's configured bound instead of hanging.
+func TestSerializedAdmissionTimeout(t *testing.T) {
+	reg := NewBehaviorRegistry()
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	reg.Register("stuck.body", func(*Invocation, []value.Value) (value.Value, error) {
+		close(entered)
+		<-block
+		return value.Null, nil
+	})
+	b := NewBuilder(gen, "Stuck", WithPolicy(allowAllPolicy()), WithRegistry(reg),
+		Serialized(), AdmissionTimeout(50*time.Millisecond))
+	body, _ := reg.Lookup("stuck.body")
+	b.FixedMethod("hold", body)
+	b.FixedScriptMethod("leaf", `fn() { return 1; }`)
+	obj := b.MustBuild()
+
+	holderDone := make(chan struct{})
+	go func() {
+		defer close(holderDone)
+		obj.Invoke(stranger(), "hold")
+	}()
+	<-entered
+
+	start := time.Now()
+	_, err := obj.Invoke(stranger(), "leaf")
+	if !errors.Is(err, ErrAdmissionTimeout) {
+		t.Fatalf("blocked admission error = %v, want ErrAdmissionTimeout", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("timeout took %v, want ≈50ms", waited)
+	}
+	close(block)
+	<-holderDone
+
+	// The object recovers once the holder releases.
+	if _, err := obj.Invoke(stranger(), "leaf"); err != nil {
+		t.Errorf("post-release invoke: %v", err)
 	}
 }

@@ -1,0 +1,109 @@
+package hadas
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// PeerStatus is one row of the site's peer-health table: the breaker view
+// of a linked site, derived from live traffic and background probes.
+type PeerStatus struct {
+	// Peer is the linked site's name.
+	Peer string
+	// State is the circuit-breaker state of the connection to the peer.
+	State transport.BreakerState
+	// ConsecutiveFailures counts transport failures since the last success.
+	ConsecutiveFailures int
+	// LastError is the most recent transport failure, nil after a success.
+	LastError error
+}
+
+// Up reports whether calls to the peer are currently admitted (the breaker
+// is not open). Half-open counts as up: the next call is the probe.
+func (ps PeerStatus) Up() bool { return ps.State != transport.BreakerOpen }
+
+// PeerStatus returns the health-table row for one linked peer.
+func (s *Site) PeerStatus(peerName string) (PeerStatus, error) {
+	s.mu.Lock()
+	p, ok := s.peers[peerName]
+	if !ok {
+		s.mu.Unlock()
+		return PeerStatus{}, fmt.Errorf("%w: %q", ErrNotLinked, peerName)
+	}
+	res := p.res
+	s.mu.Unlock()
+	return peerRow(peerName, res), nil
+}
+
+// PeerHealth returns the health table for every linked peer, sorted by
+// peer name. Peers never dialed report a closed breaker with no failures.
+func (s *Site) PeerHealth() []PeerStatus {
+	s.mu.Lock()
+	type entry struct {
+		name string
+		res  *transport.ResilientConn
+	}
+	rows := make([]entry, 0, len(s.peers))
+	for name, p := range s.peers {
+		rows = append(rows, entry{name, p.res})
+	}
+	s.mu.Unlock()
+
+	out := make([]PeerStatus, 0, len(rows))
+	for _, e := range rows {
+		out = append(out, peerRow(e.name, e.res))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+func peerRow(name string, res *transport.ResilientConn) PeerStatus {
+	ps := PeerStatus{Peer: name, State: transport.BreakerClosed}
+	if res != nil {
+		st := res.Status()
+		ps.State = st.State
+		ps.ConsecutiveFailures = st.ConsecutiveFailures
+		ps.LastError = st.LastError
+	}
+	return ps
+}
+
+// probeLoop pings every peer each ProbeInterval. Probing keeps the health
+// table honest during idle periods and — because Ping drives the breaker's
+// half-open transition — heals an open circuit as soon as the peer answers
+// again, without waiting for application traffic.
+func (s *Site) probeLoop() {
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopProbe:
+			return
+		case <-t.C:
+			s.probePeers()
+		}
+	}
+}
+
+// probePeers pings each peer's connection once, outside s.mu (the redialer
+// takes the lock). Errors are already folded into breaker state; nothing
+// to do with them here.
+func (s *Site) probePeers() {
+	s.mu.Lock()
+	conns := make([]*transport.ResilientConn, 0, len(s.peers))
+	for _, p := range s.peers {
+		if p.res != nil {
+			conns = append(conns, p.res)
+		}
+	}
+	s.mu.Unlock()
+	for _, rc := range conns {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+		_ = rc.Ping(ctx)
+		cancel()
+	}
+}

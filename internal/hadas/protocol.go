@@ -85,7 +85,7 @@ func (s *Site) Link(addr string) (string, error) {
 		conn.Close()
 		return "", err
 	}
-	resp, err := callConn(conn, verbLink, value.NewMap(map[string]value.Value{
+	resp, err := s.callConn(conn, verbLink, value.NewMap(map[string]value.Value{
 		"site":   value.NewString(s.cfg.Name),
 		"domain": value.NewString(s.cfg.Domain),
 		"addr":   value.NewString(s.advertisedAddr()),
@@ -173,17 +173,26 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 	if addr != "" {
 		p.addr = addr
 	}
+	var relink *transport.ResilientConn
 	if conn != nil {
-		if p.conn != nil {
-			p.conn.Close()
+		if p.res == nil {
+			p.res = s.newPeerConn(name, conn)
+		} else {
+			relink = p.res // swap the inner conn after unlocking (see newPeerConn)
 		}
-		p.conn = conn
 	}
 	old := p.ambassador
 	if amb != nil {
 		p.ambassador = amb
 	}
 	s.mu.Unlock()
+	if relink != nil {
+		// Re-link: keep the wrapper (and its breaker history) but swap in
+		// the fresh handshake connection, retiring the previous one.
+		if prev := relink.SetInner(conn); prev != nil {
+			prev.Close()
+		}
+	}
 
 	// The cooperation agreement grades the peer's domain.
 	s.policy.GradeDomain(domain, s.cfg.PeerTrust)
@@ -203,37 +212,54 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 	return nil
 }
 
-// connTo returns (dialing lazily if needed) the connection to a peer.
+// retrySafeVerb reports whether a protocol verb may be replayed after a
+// transport failure. Only the link handshake is idempotent: re-linking
+// overwrites the same Vicinity entry, whereas export appends a deployment
+// record at the origin and invoke/dispatch run arbitrary method bodies.
+func retrySafeVerb(verb string) bool { return verb == verbLink }
+
+// newPeerConn wraps conn (possibly nil — then dialed on first use) in the
+// site's resilience policy. The redialer re-reads the peer's advertised
+// address on every attempt, so a peer that re-links from a new address is
+// reached without rebuilding the wrapper.
+//
+// Lock order: the redialer acquires s.mu, so ResilientConn methods (Call,
+// Ping, SetInner, Close) must never be called while holding s.mu — fetch
+// the wrapper under the lock, release it, then talk to the wrapper.
+// Constructing the wrapper under s.mu is fine (the redialer runs lazily).
+func (s *Site) newPeerConn(name string, conn transport.Conn) *transport.ResilientConn {
+	redial := func() (transport.Conn, error) {
+		s.mu.Lock()
+		addr := ""
+		if p, ok := s.peers[name]; ok {
+			addr = p.addr
+		}
+		s.mu.Unlock()
+		if addr == "" {
+			addr = name
+		}
+		c, err := s.cfg.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("dial peer %q: %w", name, err)
+		}
+		return c, nil
+	}
+	return transport.NewResilientConn(conn, redial, s.cfg.Resilience)
+}
+
+// connTo returns the resilient connection to a peer, creating the wrapper
+// (with a lazily-dialed inner connection) on first use.
 func (s *Site) connTo(peerName string) (transport.Conn, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.peers[peerName]
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
-	if p.conn != nil {
-		conn := p.conn
-		s.mu.Unlock()
-		return conn, nil
+	if p.res == nil {
+		p.res = s.newPeerConn(peerName, nil)
 	}
-	addr := p.addr
-	s.mu.Unlock()
-	if addr == "" {
-		addr = peerName
-	}
-	conn, err := s.cfg.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("dial peer %q: %w", peerName, err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p.conn == nil {
-		p.conn = conn
-		return conn, nil
-	}
-	// Lost the race; use the established connection.
-	conn.Close()
-	return p.conn, nil
+	return p.res, nil
 }
 
 // Unlink dissolves the cooperation agreement with a peer: the connection
@@ -250,12 +276,12 @@ func (s *Site) Unlink(peerName string) error {
 		return fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
 	delete(s.peers, peerName)
-	conn := p.conn
+	res := p.res
 	amb := p.ambassador
 	s.mu.Unlock()
 
-	if conn != nil {
-		conn.Close()
+	if res != nil {
+		res.Close()
 	}
 	if amb != nil {
 		s.objects.Deregister(amb.ID())
@@ -266,15 +292,25 @@ func (s *Site) Unlink(peerName string) error {
 	return nil
 }
 
-// SetPeerConn replaces a peer's connection (tests inject FaultConns here).
+// SetPeerConn replaces a peer's inner connection, keeping the resilient
+// wrapper — and its breaker history — in place (tests inject FaultConns
+// here). The previous inner connection is left open: injected conns often
+// wrap it, and it is retired with the wrapper on Unlink/Close.
 func (s *Site) SetPeerConn(peerName string, conn transport.Conn) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.peers[peerName]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
-	p.conn = conn
+	if p.res == nil {
+		p.res = s.newPeerConn(peerName, conn)
+		s.mu.Unlock()
+		return nil
+	}
+	res := p.res
+	s.mu.Unlock()
+	res.SetInner(conn)
 	return nil
 }
 

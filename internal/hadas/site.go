@@ -34,7 +34,17 @@ var (
 	ErrNoAPO = errors.New("no such APO")
 	// ErrNotExportable reports an Import refused by the origin's export rules.
 	ErrNotExportable = errors.New("APO not exportable to requester")
+	// ErrPeerDown reports a fail-fast refusal: the peer's circuit breaker
+	// is open after consecutive transport failures, so the call was not
+	// attempted. Ambassadors relaying to that peer surface this instead of
+	// blocking; the peer re-opens transparently once a half-open probe
+	// succeeds (next call after the cooldown, or the background prober).
+	ErrPeerDown = errors.New("peer down")
 )
+
+// DefaultCallTimeout bounds each remote protocol round trip when
+// Config.CallTimeout is zero (previously a hardcoded constant).
+const DefaultCallTimeout = 30 * time.Second
 
 // DialFunc connects to a remote site address.
 type DialFunc func(addr string) (transport.Conn, error)
@@ -57,14 +67,30 @@ type Config struct {
 	Output func(string)
 	// Store, when set, enables PersistAll/BootstrapAll.
 	Store persist.Store
+	// CallTimeout bounds each remote protocol round trip, threaded through
+	// every remote verb. Zero uses DefaultCallTimeout.
+	CallTimeout time.Duration
+	// Resilience tunes per-peer retry and circuit-breaker behavior (see
+	// transport.ResilientPolicy). Zero fields use transport defaults; a
+	// nil Idempotent predicate uses the site's own notion of retry-safe
+	// verbs (the link handshake only — invoke/export/dispatch may
+	// duplicate side effects when re-sent).
+	Resilience transport.ResilientPolicy
+	// ProbeInterval enables background liveness probing: every interval
+	// the site pings each linked peer, driving open circuits through their
+	// half-open probe so Ambassadors recover without waiting for a caller
+	// to pay for the discovery. Zero disables probing.
+	ProbeInterval time.Duration
 }
 
-// peer is one Vicinity entry: a linked remote site.
+// peer is one Vicinity entry: a linked remote site. Its connection is
+// always held behind a ResilientConn, which owns retry, redial and the
+// per-peer circuit breaker driving the site's health table.
 type peer struct {
 	name       string
 	domain     string
 	addr       string
-	conn       transport.Conn
+	res        *transport.ResilientConn
 	ambassador *core.Object // the remote IOO's ambassador hosted here
 }
 
@@ -94,6 +120,7 @@ type Site struct {
 	deployments     []deployment
 	programs        []string // interop program names, install order
 	listener        transport.Listener
+	stopProbe       chan struct{} // closes to stop the background prober
 	closed          bool
 }
 
@@ -113,6 +140,12 @@ func NewSite(cfg Config) (*Site, error) {
 	}
 	if cfg.Budget == (mscript.Budget{}) {
 		cfg.Budget = mscript.DefaultBudget
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = DefaultCallTimeout
+	}
+	if cfg.Resilience.Idempotent == nil {
+		cfg.Resilience.Idempotent = retrySafeVerb
 	}
 
 	s := &Site{
@@ -138,6 +171,10 @@ func NewSite(cfg Config) (*Site, error) {
 	s.objects.Register(ioo.ID(), ioo)
 	if err := s.objects.Bind("ioo", ioo.ID()); err != nil {
 		return nil, err
+	}
+	if cfg.ProbeInterval > 0 {
+		s.stopProbe = make(chan struct{})
+		go s.probeLoop()
 	}
 	return s, nil
 }
@@ -195,7 +232,7 @@ func (s *Site) ServeInProc(net *transport.InProcNet) error {
 	return nil
 }
 
-// Close tears the site down: listener and peer connections.
+// Close tears the site down: prober, listener and peer connections.
 func (s *Site) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -204,13 +241,17 @@ func (s *Site) Close() error {
 	}
 	s.closed = true
 	lis := s.listener
+	stop := s.stopProbe
 	conns := make([]transport.Conn, 0, len(s.peers))
 	for _, p := range s.peers {
-		if p.conn != nil {
-			conns = append(conns, p.conn)
+		if p.res != nil {
+			conns = append(conns, p.res)
 		}
 	}
 	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	for _, c := range conns {
 		c.Close()
 	}
@@ -383,16 +424,24 @@ func (s *Site) peerByName(name string) (*peer, error) {
 
 // callPeer performs one protocol round trip to a linked site, dialing the
 // peer lazily if this side accepted the link without a client connection.
+// An open circuit breaker fails fast with ErrPeerDown — the graceful
+// degradation Ambassadors rely on — instead of burning the call timeout
+// on a peer already known to be dead.
 func (s *Site) callPeer(peerName, verb string, req value.Value) (value.Value, error) {
 	conn, err := s.connTo(peerName)
 	if err != nil {
 		return value.Null, err
 	}
-	return callConn(conn, verb, req)
+	out, err := s.callConn(conn, verb, req)
+	if errors.Is(err, transport.ErrCircuitOpen) {
+		return value.Null, fmt.Errorf("%w: site %q: %v", ErrPeerDown, peerName, err)
+	}
+	return out, err
 }
 
-func callConn(conn transport.Conn, verb string, req value.Value) (value.Value, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+// callConn runs one round trip under the site's configured call timeout.
+func (s *Site) callConn(conn transport.Conn, verb string, req value.Value) (value.Value, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 	defer cancel()
 	out, err := conn.Call(ctx, verb, encodeReq(req))
 	if err != nil {

@@ -3,6 +3,8 @@ package transport
 import (
 	"context"
 	"errors"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -11,18 +13,83 @@ import (
 // from real transport failures in tests.
 var ErrInjected = errors.New("injected transport fault")
 
+// FaultRule is one failure-injection rule. Rules attach to specific verbs
+// (FaultConn.VerbRules) or to Ping (FaultConn.PingRule); the FaultConn's
+// own FailEvery/FailProb/Delay fields act as the default rule for calls
+// without a verb-specific one.
+type FaultRule struct {
+	// Fail makes every matching operation fail.
+	Fail bool
+	// FailEvery makes every Nth matching operation (1-based) fail.
+	FailEvery int
+	// FailProb fails each matching operation with this probability, drawn
+	// from the FaultConn's seeded source (deterministic per seed).
+	FailProb float64
+	// Delay is added before the operation.
+	Delay time.Duration
+
+	calls atomic.Int64
+}
+
+// Calls reports how many operations this rule has matched.
+func (r *FaultRule) Calls() int64 { return r.calls.Load() }
+
+// decide applies the rule: delay first, then the failure checks.
+func (r *FaultRule) decide(ctx context.Context, chance func(float64) bool) error {
+	n := r.calls.Add(1)
+	if r.Delay > 0 {
+		t := time.NewTimer(r.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if r.Fail {
+		return ErrInjected
+	}
+	if r.FailEvery > 0 && n%int64(r.FailEvery) == 0 {
+		return ErrInjected
+	}
+	if r.FailProb > 0 && chance(r.FailProb) {
+		return ErrInjected
+	}
+	return nil
+}
+
 // FaultConn wraps a Conn with deterministic failure injection for testing
-// partial failure: every Nth call errors, and an optional latency is added
-// to each call. A zero FailEvery never fails; a zero Delay adds nothing.
-// A nil Inner models a fully cut wire: every operation fails ErrInjected.
+// partial failure. The top-level FailEvery/FailProb/Delay fields form the
+// default rule for Call; VerbRules override it per verb and PingRule
+// governs Ping (so breaker half-open probes can be failed or healed
+// independently of calls). Probabilistic faults draw from a source seeded
+// by Seed, so a given seed yields one reproducible fault schedule.
+//
+// A nil Inner models a permanently cut wire: every operation fails
+// ErrInjected. Cut and Heal toggle the same condition dynamically,
+// mid-test, without touching the wrapped connection.
 type FaultConn struct {
 	Inner Conn
 	// FailEvery makes every Nth Call (1-based) return ErrInjected.
 	FailEvery int
+	// FailProb fails each Call with this probability (seeded by Seed).
+	FailProb float64
 	// Delay is added before each call.
 	Delay time.Duration
+	// Seed seeds the probabilistic fault source (zero is a valid seed).
+	Seed int64
+	// VerbRules, when a verb is present, replaces the default rule for
+	// that verb's calls.
+	VerbRules map[string]*FaultRule
+	// PingRule, when set, injects faults into Ping.
+	PingRule *FaultRule
 
+	cut   atomic.Bool
 	calls atomic.Int64
+	pings atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 var _ Conn = (*FaultConn)(nil)
@@ -30,18 +97,51 @@ var _ Conn = (*FaultConn)(nil)
 // Calls reports how many Call attempts were made (including failed ones).
 func (f *FaultConn) Calls() int64 { return f.calls.Load() }
 
+// Pings reports how many Ping attempts were made (including failed ones).
+func (f *FaultConn) Pings() int64 { return f.pings.Load() }
+
+// Cut severs the wire: every Call and Ping fails ErrInjected until Heal.
+func (f *FaultConn) Cut() { f.cut.Store(true) }
+
+// Heal restores a wire severed by Cut.
+func (f *FaultConn) Heal() { f.cut.Store(false) }
+
+// chance draws from the seeded source.
+func (f *FaultConn) chance(p float64) bool {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return f.rng.Float64() < p
+}
+
 // Call implements Conn with injection.
 func (f *FaultConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
 	n := f.calls.Add(1)
-	if f.Delay > 0 {
-		select {
-		case <-time.After(f.Delay):
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+	if f.cut.Load() {
 		return nil, ErrInjected
+	}
+	if rule := f.VerbRules[verb]; rule != nil {
+		if err := rule.decide(ctx, f.chance); err != nil {
+			return nil, err
+		}
+	} else {
+		if f.Delay > 0 {
+			t := time.NewTimer(f.Delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+			return nil, ErrInjected
+		}
+		if f.FailProb > 0 && f.chance(f.FailProb) {
+			return nil, ErrInjected
+		}
 	}
 	if f.Inner == nil {
 		return nil, ErrInjected
@@ -49,8 +149,17 @@ func (f *FaultConn) Call(ctx context.Context, verb string, payload []byte) ([]by
 	return f.Inner.Call(ctx, verb, payload)
 }
 
-// Ping implements Conn.
+// Ping implements Conn with injection (PingRule).
 func (f *FaultConn) Ping(ctx context.Context) error {
+	f.pings.Add(1)
+	if f.cut.Load() {
+		return ErrInjected
+	}
+	if f.PingRule != nil {
+		if err := f.PingRule.decide(ctx, f.chance); err != nil {
+			return err
+		}
+	}
 	if f.Inner == nil {
 		return ErrInjected
 	}

@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func faultWire(t *testing.T) Conn {
+	t.Helper()
+	net := NewInProcNet()
+	if _, err := net.Listen("w", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFaultConnSeededProbabilisticIsDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		fc := &FaultConn{Inner: faultWire(t), FailProb: 0.5, Seed: seed}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := fc.Call(context.Background(), "echo", nil)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	var fails int
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Errorf("p=0.5 over %d calls produced %d failures", len(a), fails)
+	}
+	// A different seed should give a different schedule (overwhelmingly).
+	c := outcomes(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultConnPerVerbRules(t *testing.T) {
+	fc := &FaultConn{
+		Inner: faultWire(t),
+		VerbRules: map[string]*FaultRule{
+			"flaky":  {FailEvery: 2},
+			"broken": {Fail: true},
+		},
+	}
+	// Unruled verbs never fail.
+	for i := 0; i < 6; i++ {
+		if _, err := fc.Call(context.Background(), "echo", nil); err != nil {
+			t.Fatalf("unruled verb failed: %v", err)
+		}
+	}
+	// "broken" always fails.
+	if _, err := fc.Call(context.Background(), "broken", nil); !errors.Is(err, ErrInjected) {
+		t.Errorf("broken verb: %v", err)
+	}
+	// "flaky" fails every 2nd call, on its own counter.
+	var fails int
+	for i := 0; i < 6; i++ {
+		if _, err := fc.Call(context.Background(), "flaky", nil); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("flaky failures = %d, want 3", fails)
+	}
+	if n := fc.VerbRules["flaky"].Calls(); n != 6 {
+		t.Errorf("flaky rule calls = %d, want 6", n)
+	}
+}
+
+func TestFaultConnPingInjection(t *testing.T) {
+	fc := &FaultConn{Inner: faultWire(t), PingRule: &FaultRule{FailEvery: 2}}
+	var fails int
+	for i := 0; i < 4; i++ {
+		if err := fc.Ping(context.Background()); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("ping error: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("ping failures = %d, want 2", fails)
+	}
+	if fc.Pings() != 4 {
+		t.Errorf("Pings() = %d", fc.Pings())
+	}
+	// Calls are unaffected by the ping rule.
+	if _, err := fc.Call(context.Background(), "echo", nil); err != nil {
+		t.Errorf("call with ping rule installed: %v", err)
+	}
+}
+
+func TestFaultConnCutAndHeal(t *testing.T) {
+	fc := &FaultConn{Inner: faultWire(t)}
+	if _, err := fc.Call(context.Background(), "echo", nil); err != nil {
+		t.Fatalf("pre-cut call: %v", err)
+	}
+	fc.Cut()
+	if _, err := fc.Call(context.Background(), "echo", nil); !errors.Is(err, ErrInjected) {
+		t.Errorf("cut call: %v", err)
+	}
+	if err := fc.Ping(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Errorf("cut ping: %v", err)
+	}
+	fc.Heal()
+	if _, err := fc.Call(context.Background(), "echo", nil); err != nil {
+		t.Errorf("healed call: %v", err)
+	}
+	if err := fc.Ping(context.Background()); err != nil {
+		t.Errorf("healed ping: %v", err)
+	}
+}
+
+// TestInProcRegisterAfterCloseRace is the in-process analogue of the
+// tcpConn register-after-close regression test: once Close has returned,
+// no handler invocation may begin, no matter how calls interleave with
+// the close. Late calls fail ErrClosed.
+func TestInProcRegisterAfterCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		net := NewInProcNet()
+		var closed atomic.Bool
+		lis, err := net.Listen("r", func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+			if closed.Load() {
+				t.Error("handler began after Close returned")
+			}
+			return []byte("ok"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const callers = 8
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < callers; i++ {
+			conn, err := net.Dial("r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 4; j++ {
+					_, err := conn.Call(context.Background(), "echo", nil)
+					if err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("racing call: %v", err)
+					}
+				}
+			}()
+		}
+		close(start)
+		time.Sleep(time.Duration(round%3) * 100 * time.Microsecond)
+		lis.Close()
+		closed.Store(true) // any handler entry after this is the race
+		wg.Wait()
+	}
+}
+
+// TestInProcListenerCloseDrains: Close must wait for in-flight handlers,
+// mirroring the TCP server's connection drain.
+func TestInProcListenerCloseDrains(t *testing.T) {
+	net := NewInProcNet()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var finished atomic.Bool
+	lis, err := net.Listen("d", func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+		close(entered)
+		<-release
+		finished.Store(true)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := net.Dial("d")
+	go conn.Call(context.Background(), "v", nil)
+	<-entered
+
+	closeDone := make(chan struct{})
+	go func() {
+		lis.Close()
+		close(closeDone)
+	}()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a handler was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closeDone:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not return after the handler finished")
+	}
+	if !finished.Load() {
+		t.Error("handler did not finish before Close returned")
+	}
+}

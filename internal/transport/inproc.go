@@ -11,13 +11,42 @@ import (
 // semantics (verbs, opaque payloads, remote errors) without sockets, which
 // makes multi-site tests fast and deterministic.
 type InProcNet struct {
-	mu    sync.RWMutex
-	peers map[string]Handler
+	mu    sync.Mutex
+	peers map[string]*inprocEndpoint
+}
+
+// inprocEndpoint is one binding of an address to a handler. Connections
+// capture the endpoint, not the address: a later rebind of the same
+// address is a different endpoint, so calls on old connections fail with
+// ErrClosed instead of silently reaching the new handler.
+type inprocEndpoint struct {
+	addr    string
+	handler Handler
+
+	// mu guards closed and makes "check closed + register in-flight" one
+	// atomic step — the same discipline tcpConn uses for its pending map,
+	// closing the register-after-close race: once Close has observed the
+	// flag set, no new call can begin, and Close waits out those already
+	// admitted.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// begin admits one call, failing if the endpoint has closed.
+func (e *inprocEndpoint) begin() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight.Add(1)
+	return nil
 }
 
 // NewInProcNet returns an empty in-process network.
 func NewInProcNet() *InProcNet {
-	return &InProcNet{peers: make(map[string]Handler)}
+	return &InProcNet{peers: make(map[string]*inprocEndpoint)}
 }
 
 // Listen binds addr to a handler.
@@ -27,72 +56,81 @@ func (n *InProcNet) Listen(addr string, h Handler) (Listener, error) {
 	if _, dup := n.peers[addr]; dup {
 		return nil, fmt.Errorf("inproc: address %q in use", addr)
 	}
-	n.peers[addr] = h
-	return &inprocListener{net: n, addr: addr}, nil
+	ep := &inprocEndpoint{addr: addr, handler: h}
+	n.peers[addr] = ep
+	return &inprocListener{net: n, ep: ep}, nil
 }
 
 // Dial connects to a bound address.
 func (n *InProcNet) Dial(addr string) (Conn, error) {
-	n.mu.RLock()
-	_, ok := n.peers[addr]
-	n.mu.RUnlock()
+	n.mu.Lock()
+	ep, ok := n.peers[addr]
+	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoPeer, addr)
 	}
-	return &inprocConn{net: n, addr: addr}, nil
+	return &inprocConn{ep: ep}, nil
 }
 
 type inprocListener struct {
-	net  *InProcNet
-	addr string
+	net *InProcNet
+	ep  *inprocEndpoint
 }
 
-func (l *inprocListener) Addr() string { return l.addr }
+func (l *inprocListener) Addr() string { return l.ep.addr }
 
+// Close unbinds the endpoint: calls that have not begun fail ErrClosed,
+// and Close returns only after in-flight handlers finish (mirroring the
+// TCP server's drain).
 func (l *inprocListener) Close() error {
+	e := l.ep
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
 	l.net.mu.Lock()
-	defer l.net.mu.Unlock()
-	delete(l.net.peers, l.addr)
+	if l.net.peers[e.addr] == e {
+		delete(l.net.peers, e.addr)
+	}
+	l.net.mu.Unlock()
+
+	e.inflight.Wait()
 	return nil
 }
 
 type inprocConn struct {
-	net    *InProcNet
-	addr   string
+	ep     *inprocEndpoint
 	mu     sync.Mutex
 	closed bool
 }
 
-func (c *inprocConn) handler() (Handler, error) {
+func (c *inprocConn) connClosed() bool {
 	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		return nil, ErrClosed
-	}
-	c.net.mu.RLock()
-	h, ok := c.net.peers[c.addr]
-	c.net.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoPeer, c.addr)
-	}
-	return h, nil
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // Call implements Conn. The payload is copied on both directions so the
 // caller and handler cannot alias each other's buffers — same isolation a
 // socket would give.
 func (c *inprocConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
-	h, err := c.handler()
-	if err != nil {
-		return nil, err
+	if c.connClosed() {
+		return nil, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := c.ep.begin(); err != nil {
+		return nil, err
+	}
+	defer c.ep.inflight.Done()
 	in := make([]byte, len(payload))
 	copy(in, payload)
-	out, err := h(ctx, verb, in)
+	out, err := c.ep.handler(ctx, verb, in)
 	if err != nil {
 		return nil, &RemoteError{Verb: verb, Msg: err.Error()}
 	}
@@ -103,10 +141,13 @@ func (c *inprocConn) Call(ctx context.Context, verb string, payload []byte) ([]b
 
 // Ping implements Conn.
 func (c *inprocConn) Ping(ctx context.Context) error {
-	_, err := c.handler()
-	if err != nil {
+	if c.connClosed() {
+		return ErrClosed
+	}
+	if err := c.ep.begin(); err != nil {
 		return err
 	}
+	c.ep.inflight.Done()
 	return ctx.Err()
 }
 

@@ -232,13 +232,35 @@ func TestInProcAddressing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Closing the listener makes the address unreachable.
+	// Closing the listener closes the binding: existing connections fail
+	// ErrClosed (aligned with the TCP server), and the address is gone.
 	lis.Close()
-	if _, err := conn.Call(context.Background(), "echo", nil); !errors.Is(err, ErrNoPeer) {
+	if _, err := conn.Call(context.Background(), "echo", nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("call after listener close: %v", err)
 	}
-	if err := conn.Ping(context.Background()); !errors.Is(err, ErrNoPeer) {
+	if err := conn.Ping(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Errorf("ping after listener close: %v", err)
+	}
+	if _, err := net.Dial("a"); !errors.Is(err, ErrNoPeer) {
+		t.Errorf("dial after listener close: %v", err)
+	}
+
+	// Rebinding the address is a fresh endpoint: old connections stay
+	// dead instead of silently reaching the new handler.
+	lis2, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis2.Close()
+	if _, err := conn.Call(context.Background(), "echo", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("old conn after rebind: %v", err)
+	}
+	conn2, err := net.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Call(context.Background(), "echo", nil); err != nil {
+		t.Errorf("new conn after rebind: %v", err)
 	}
 }
 
