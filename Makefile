@@ -1,18 +1,19 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench-smoke bench-record bench-check
+.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check
 
 # Benchmarks tracked for regressions across PRs (see cmd/benchguard).
 # Each is run BENCH_COUNT times and benchguard keeps the fastest
-# repetition, damping scheduler noise on shared machines.
-BENCH_TRACKED = E3|E5
+# repetition, damping scheduler noise on shared machines. E11 (agent hop
+# round trip) guards the journaled migration protocol's dispatch cost.
+BENCH_TRACKED = E3|E5|E11
 BENCH_TIME    = 100000x
 BENCH_COUNT   = 3
 
 # verify is the tier-1 gate: formatting, static checks, build, tests
 # (including the race detector), a one-iteration benchmark smoke run, and
 # a warn-only comparison of the tracked benchmarks against BENCH_PR.json.
-verify: fmt-check vet build test race bench-smoke bench-check
+verify: fmt-check vet build test verify-race bench-smoke bench-check
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -29,8 +30,12 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+# verify-race runs the whole suite under the race detector; part of the
+# tier-1 verify gate. `race` is kept as a shorthand alias.
+verify-race:
 	$(GO) test -race ./...
+
+race: verify-race
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -25,6 +25,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -109,17 +110,34 @@ func run(name, domain, listen, manifestPath, storeDir string,
 	}
 	log.Printf("site %s serving on %s (domain %s)", site.Name(), addr, site.Domain())
 
-	if manifestPath != "" {
-		if err := loadManifest(site, manifestPath); err != nil {
-			return err
-		}
-	}
 	for _, peer := range links {
 		peerName, err := site.Link(peer)
 		if err != nil {
 			return fmt.Errorf("link %s: %w", peer, err)
 		}
 		log.Printf("linked to %s at %s", peerName, peer)
+	}
+
+	// Recover before applying the manifest: the journal and the persisted
+	// Home are newer than the static manifest, and in-doubt agent
+	// migrations need the links above to query their destinations.
+	if cfg.Store != nil {
+		restored, err := site.BootstrapHome()
+		if err != nil && !errors.Is(err, persist.ErrNoSlot) {
+			return fmt.Errorf("bootstrap: %w", err)
+		}
+		if len(restored) > 0 {
+			log.Printf("restored %s from %s", strings.Join(restored, ", "), storeDir)
+		}
+		if pending := site.InDoubtMigrations(); len(pending) > 0 {
+			log.Printf("migrations still in doubt: %s", strings.Join(pending, ", "))
+		}
+	}
+
+	if manifestPath != "" {
+		if err := loadManifest(site, manifestPath); err != nil {
+			return err
+		}
 	}
 
 	if cfg.Store != nil {
@@ -153,6 +171,12 @@ func loadManifest(site *hadas.Site, path string) error {
 	for _, apo := range m.APOs {
 		if apo.Name == "" {
 			return fmt.Errorf("manifest: APO without a name")
+		}
+		if _, err := site.APO(apo.Name); err == nil {
+			// Recovery (journal or persisted Home) already installed a
+			// newer incarnation; the static manifest does not override it.
+			log.Printf("APO %s already installed (recovered); manifest entry skipped", apo.Name)
+			continue
 		}
 		class := apo.Class
 		if class == "" {

@@ -1,6 +1,7 @@
 package hadas
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -18,49 +19,149 @@ import (
 // removes it locally — the object exists in exactly one place — and the
 // receiving site installs it and invokes its onArrival method. An agent
 // continues its journey by invoking dispatchAgent on the hosting IOO.
+//
+// The hand-off runs the journaled two-phase protocol of migration.go, so
+// "exactly one place" holds across crashes, retries and partitions.
 
 const verbDispatch = "hadas.dispatch"
+
+// testHookPreBind, when non-nil, runs between the registry Unbind and Bind
+// of an arriving agent. The window is only reachable by a concurrent
+// rebind; tests use the hook to force that race deterministically and
+// exercise the installation unwind.
+var testHookPreBind func(s *Site, name string)
 
 // onArrival is the method a dispatched agent is invoked with on arrival
 // (if it has one): onArrival(hopContext).
 const onArrivalMethod = "onArrival"
 
 // DispatchAgent migrates a hosted object to a linked peer. The object is
-// snapshotted, shipped, and deregistered locally on success (migration, not
-// replication: "each Ambassador has exactly one origin" generalizes to the
-// agent existing at exactly one host). It returns the value produced by
-// the agent's onArrival at the destination, which — since arrivals can
-// chain further dispatches — is the result of the rest of the journey.
+// snapshotted, journaled (PREPARE), shipped under a migration ID, and
+// deregistered locally on success (migration, not replication: "each
+// Ambassador has exactly one origin" generalizes to the agent existing at
+// exactly one host). It returns the value produced by the agent's
+// onArrival at the destination, which — since arrivals can chain further
+// dispatches — is the result of the rest of the journey.
+//
+// Failure semantics:
+//   - definite failure (the peer answered with an error, or the call was
+//     refused before sending): the agent is reinstated here, ABORT journaled;
+//   - ambiguous transport failure: the migration goes IN-DOUBT and is
+//     resolved against the destination's dedup table via
+//     hadas.migration.status — committed if the agent landed, reinstated
+//     if not, or left in doubt (ErrMigrationInDoubt) when the destination
+//     cannot be reached; BootstrapHome/ResolveMigrations retries later;
+//   - an onArrival error at the destination is reported as an error but
+//     the migration still commits: installation was acknowledged first,
+//     so the agent lives at the destination, not here.
 func (s *Site) DispatchAgent(name, peerName string) (value.Value, error) {
+	// A destination already known down fails fast before the journal or
+	// the registries are touched — no in-doubt record to resolve later.
+	if st, err := s.PeerStatus(peerName); err != nil {
+		return value.Null, fmt.Errorf("dispatch %q to %q: %w", name, peerName, err)
+	} else if !st.Up() {
+		return value.Null, fmt.Errorf("dispatch %q to %q: %w: circuit open", name, peerName, ErrPeerDown)
+	}
+	// Claim the name: one migration of an agent at a time, so concurrent
+	// dispatches cannot both retire-and-ship the same object. The claim
+	// precedes the lookup — resolving first would let a second dispatch
+	// capture the object, wait out the first, and ship a copy of an agent
+	// that already left.
+	s.mu.Lock()
+	if s.migrating[name] {
+		s.mu.Unlock()
+		return value.Null, fmt.Errorf("dispatch %q: %w", name, ErrAgentMigrating)
+	}
+	s.migrating[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.migrating, name)
+		s.mu.Unlock()
+	}()
+
 	obj, err := s.ResolveObject(name)
 	if err != nil {
 		return value.Null, fmt.Errorf("dispatch %q: %w", name, err)
 	}
+	s.mu.Lock()
+	_, wasAPO := s.apos[name]
+	s.mu.Unlock()
+
 	img, err := obj.Snapshot()
 	if err != nil {
 		return value.Null, fmt.Errorf("dispatch %q: %w", name, err)
 	}
+
+	// PREPARE: the journal record (with the full image) is durable before
+	// the agent is retired, so a crash at any later point can reinstate it.
+	mid := s.gen.New().String()
+	rec := &migrationRecord{
+		MID:    mid,
+		Name:   name,
+		Dest:   peerName,
+		State:  migrationPrepared,
+		WasAPO: wasAPO,
+		Image:  wire.EncodeImage(img),
+	}
+	if err := s.putMigration(rec); err != nil {
+		return value.Null, fmt.Errorf("dispatch %q: journal: %w", name, err)
+	}
+	seqBefore := s.arrivalSeq() // watermark: arrivals after this are younger
 
 	// The agent leaves when it is shipped: retire it *before* the call.
 	// The journey is synchronous and may legally end back at this site
 	// (the itinerary loops home), in which case the arrival handler
 	// re-registers it here — retiring afterwards would erase the returned
 	// incarnation.
-	wasAPO := s.retireAgent(name, obj.ID())
+	s.retireAgent(name, obj.ID())
 	resp, err := s.callPeer(peerName, verbDispatch, value.NewMap(map[string]value.Value{
 		"site":  value.NewString(s.cfg.Name),
 		"name":  value.NewString(name),
-		"agent": value.NewBytes(wire.EncodeImage(img)),
+		"agent": value.NewBytes(rec.Image),
+		"mid":   value.NewString(mid),
 	}))
 	if err != nil {
-		// The agent never left; restore it.
-		s.reinstateAgent(name, obj, wasAPO)
-		return value.Null, fmt.Errorf("dispatch %q to %q: %w", name, peerName, err)
+		if definiteDispatchFailure(err) {
+			// The agent never left; restore it.
+			s.reinstateAgent(name, obj, wasAPO)
+			s.finishMigration(rec, migrationAborted)
+			return value.Null, fmt.Errorf("dispatch %q to %q: %w", name, peerName, err)
+		}
+		// Ambiguous: the peer may have installed the agent and only the
+		// reply was lost. Go in doubt and ask, instead of blindly
+		// reinstating a second copy.
+		rec.State = migrationInDoubt
+		if jerr := s.putMigration(rec); jerr != nil {
+			s.log("migration %s: journal in-doubt failed: %v", mid, jerr)
+		}
+		st, qerr := s.MigrationStatusAt(peerName, mid)
+		if qerr != nil {
+			return value.Null, fmt.Errorf("dispatch %q to %q: %w (migration %s): %v (status query: %v)",
+				name, peerName, ErrMigrationInDoubt, mid, err, qerr)
+		}
+		if !st.Landed {
+			s.reinstateAgent(name, obj, wasAPO)
+			s.finishMigration(rec, migrationAborted)
+			return value.Null, fmt.Errorf("dispatch %q to %q: %w", name, peerName, err)
+		}
+		s.commitMigration(rec, obj.ID(), seqBefore)
+		s.log("dispatched agent %s to %s (migration %s, resolved from in-doubt)", name, peerName, mid)
+		if st.ArrivalError != "" {
+			return value.Null, fmt.Errorf("dispatch %q to %q: %s", name, peerName, st.ArrivalError)
+		}
+		return st.Result, nil
 	}
-	s.log("dispatched agent %s to %s", name, peerName)
+	s.commitMigration(rec, obj.ID(), seqBefore)
+	s.log("dispatched agent %s to %s (migration %s)", name, peerName, mid)
 	m, ok := resp.Map()
 	if !ok {
 		return value.Null, nil
+	}
+	if msg := field(m, "arrivalError"); msg != "" {
+		// Installation was acknowledged before onArrival ran: the agent
+		// lives at the destination even though its arrival handler failed.
+		return value.Null, fmt.Errorf("dispatch %q to %q: %s", name, peerName, msg)
 	}
 	return m["result"], nil
 }
@@ -94,9 +195,17 @@ func (s *Site) reinstateAgent(name string, obj *core.Object, wasAPO bool) {
 }
 
 // handleDispatch receives a migrating agent: materialize under this host's
-// policy and budget, register it, and invoke its onArrival with a hop
-// context. The response carries onArrival's result (the journey's tail).
-func (s *Site) handleDispatch(m map[string]value.Value) (value.Value, error) {
+// policy and budget, register it, durably acknowledge the installation,
+// and only then invoke its onArrival with a hop context. The response
+// carries onArrival's result (the journey's tail) or its error — either
+// way "installed" is set, because by then the agent lives here.
+//
+// Receipt is idempotent: the migration ID claims a dedup-table entry, and
+// a retried dispatch (the origin's transport layer may replay the verb)
+// returns the recorded outcome without re-installing or re-running
+// onArrival. A concurrent retry waits for the first installation to
+// settle.
+func (s *Site) handleDispatch(ctx context.Context, m map[string]value.Value) (value.Value, error) {
 	fromSite := field(m, "site")
 	if _, err := s.peerByName(fromSite); err != nil {
 		return value.Null, err // agents only arrive over cooperation agreements
@@ -105,16 +214,24 @@ func (s *Site) handleDispatch(m map[string]value.Value) (value.Value, error) {
 	if name == "" {
 		return value.Null, fmt.Errorf("%w: agent needs a name", core.ErrArity)
 	}
+	var arr *arrival
+	if mid := field(m, "mid"); mid != "" {
+		prev, owner := s.claimArrival(mid, name, fromSite)
+		if !owner {
+			return s.arrivalOutcome(ctx, prev)
+		}
+		arr = prev
+	}
 	raw, _ := m["agent"].Bytes()
 	img, err := wire.DecodeImage(raw)
 	if err != nil {
-		return value.Null, fmt.Errorf("arriving agent: %w", err)
+		return value.Null, s.failArrival(arr, fmt.Errorf("arriving agent: %w", err))
 	}
 	agent, err := core.FromImage(img, s.behaviors,
 		core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
 		core.HostResolver(s), core.HostBudget(s.cfg.Budget))
 	if err != nil {
-		return value.Null, fmt.Errorf("arriving agent: %w", err)
+		return value.Null, s.failArrival(arr, fmt.Errorf("arriving agent: %w", err))
 	}
 	if s.cfg.Output != nil {
 		agent.SetOutput(s.cfg.Output)
@@ -123,17 +240,36 @@ func (s *Site) handleDispatch(m map[string]value.Value) (value.Value, error) {
 	s.mu.Lock()
 	if prev, taken := s.apos[name]; taken && prev.ID() != agent.ID() {
 		s.mu.Unlock()
-		return value.Null, fmt.Errorf("%w: agent name %q", core.ErrExists, name)
+		return value.Null, s.failArrival(arr, fmt.Errorf("%w: agent name %q", core.ErrExists, name))
 	}
 	s.apos[name] = agent
 	s.mu.Unlock()
 	s.objects.Register(agent.ID(), agent)
 	s.objects.Unbind(name) // replace a stale binding from a previous visit
+	if testHookPreBind != nil {
+		testHookPreBind(s, name)
+	}
 	if err := s.objects.Bind(name, agent.ID()); err != nil {
-		return value.Null, err
+		// Unwind the partial installation: the agent must not linger in
+		// Home or the registry when the dispatch reports failure.
+		s.mu.Lock()
+		if cur, ok := s.apos[name]; ok && cur == agent {
+			delete(s.apos, name)
+		}
+		s.mu.Unlock()
+		s.objects.Deregister(agent.ID())
+		s.refreshIOOViews()
+		return value.Null, s.failArrival(arr, err)
 	}
 	s.refreshIOOViews()
 	s.log("agent %s arrived from %s", name, fromSite)
+
+	// ACK point: the installation is recorded durably before onArrival
+	// runs. From here the origin commits; an arrival handler's error (or
+	// a crash during it) can no longer resurrect the origin copy.
+	if arr != nil {
+		s.recordInstalled(arr, agent.ID(), raw)
+	}
 
 	hop := value.NewMap(map[string]value.Value{
 		"hostSite": value.NewString(s.cfg.Name),
@@ -141,13 +277,20 @@ func (s *Site) handleDispatch(m map[string]value.Value) (value.Value, error) {
 		"agent":    value.NewString(name),
 	})
 	result := value.Null
+	var arrivalErr error
 	if hasMethod(agent, onArrivalMethod) {
-		result, err = agent.Invoke(s.ioo.Principal(), onArrivalMethod, hop)
-		if err != nil {
-			return value.Null, fmt.Errorf("agent %q onArrival: %w", name, err)
-		}
+		result, arrivalErr = agent.Invoke(s.ioo.Principal(), onArrivalMethod, hop)
 	}
-	return value.NewMap(map[string]value.Value{"result": result}), nil
+	if arr != nil {
+		s.completeArrival(arr, result, arrivalErr)
+	}
+	out := map[string]value.Value{"installed": value.NewBool(true)}
+	if arrivalErr != nil {
+		out["arrivalError"] = value.NewString(fmt.Sprintf("agent %q onArrival: %v", name, arrivalErr))
+	} else {
+		out["result"] = result
+	}
+	return value.NewMap(out), nil
 }
 
 // hasMethod reports whether the object lists a method under name for its

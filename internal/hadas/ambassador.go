@@ -162,6 +162,7 @@ const (
 	behaviorRelay         = "hadas.relay"
 	behaviorAPOs          = "hadas.apos"
 	behaviorPeers         = "hadas.peers"
+	behaviorUpPeers       = "hadas.upPeers"
 	behaviorRunProgram    = "hadas.runProgram"
 	behaviorLink          = "hadas.link"
 	behaviorImport        = "hadas.import"
@@ -186,6 +187,13 @@ func registerBehaviors(reg *core.BehaviorRegistry) {
 			return value.Null, err
 		}
 		return stringList(site.PeerNames()), nil
+	})
+	reg.Register(behaviorUpPeers, func(inv *core.Invocation, _ []value.Value) (value.Value, error) {
+		site, err := siteOf(inv)
+		if err != nil {
+			return value.Null, err
+		}
+		return stringList(site.UpPeerNames()), nil
 	})
 	reg.Register(behaviorRunProgram, func(inv *core.Invocation, args []value.Value) (value.Value, error) {
 		if len(args) == 0 {

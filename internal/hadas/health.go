@@ -61,6 +61,19 @@ func (s *Site) PeerHealth() []PeerStatus {
 	return out
 }
 
+// UpPeerNames lists the linked peers currently admitting calls (breaker
+// not open), sorted. Interop programs and other fan-outs route with this
+// instead of rediscovering dead peers one timeout at a time.
+func (s *Site) UpPeerNames() []string {
+	var out []string
+	for _, ps := range s.PeerHealth() {
+		if ps.Up() {
+			out = append(out, ps.Peer)
+		}
+	}
+	return out
+}
+
 func peerRow(name string, res *transport.ResilientConn) PeerStatus {
 	ps := PeerStatus{Peer: name, State: transport.BreakerClosed}
 	if res != nil {

@@ -48,6 +48,10 @@ func buildIOO(s *Site) (*core.Object, error) {
 	}
 	b.FixedMethod("apos", lookup(behaviorAPOs))
 	b.FixedMethod("peers", lookup(behaviorPeers))
+	// upPeers filters peers through the health table (breaker not open),
+	// so interop programs fan out over reachable sites instead of paying a
+	// timeout per dead peer.
+	b.FixedMethod("upPeers", lookup(behaviorUpPeers))
 	b.FixedMethod("runProgram", lookup(behaviorRunProgram))
 	b.FixedMethod("link", lookup(behaviorLink), core.WithACL(adminACL))
 	b.FixedMethod("importAPO", lookup(behaviorImport), core.WithACL(adminACL))

@@ -1,0 +1,720 @@
+package hadas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/naming"
+	"repro/internal/persist"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// This file implements the journaled two-phase agent-migration protocol.
+// The paper's agents "exist in exactly one place" (§1, §5); a bare
+// ship-and-deregister cannot guarantee that across crashes, retries and
+// partitions, so migration state is reified (in the spirit of meta-data
+// objects as the basis for evolution) and made durable:
+//
+// Origin (DispatchAgent):
+//
+//	PREPARE   journal {mid, name, dest, image} before retiring the agent
+//	COMMIT    peer acknowledged installation → the agent lives there
+//	ABORT     definite failure (peer answered with an error, or the call
+//	          was never sent) → reinstate the local copy
+//	IN-DOUBT  ambiguous transport failure (the peer may or may not have
+//	          installed the agent) → resolved by the hadas.migration.status
+//	          query instead of blindly reinstating
+//
+// Destination (handleDispatch):
+//
+//	a durable dedup table keyed by migration ID makes receipt idempotent —
+//	a retried dispatch returns the recorded outcome, never double-installs
+//	or re-runs onArrival — and installation is ACKed (recorded durably)
+//	*before* onArrival runs, so an arrival handler's failure can no longer
+//	resurrect the origin copy.
+//
+// Recovery (BootstrapHome):
+//
+//	arrival records are replayed (agents that had landed are reinstalled),
+//	in-doubt PREPAREs are resolved against the peer (commit if the agent
+//	landed, reinstate from the journaled image if not), and completed
+//	records are pruned.
+
+// ErrMigrationInDoubt reports a dispatch whose outcome is unknown: the
+// transport failed ambiguously and the destination could not be queried.
+// The agent is intentionally NOT reinstated — it may be alive at the
+// destination — and the journaled record resolves the migration on the
+// next ResolveMigrations/BootstrapHome (or manually via MigrationStatus).
+var ErrMigrationInDoubt = errors.New("migration in doubt")
+
+// ErrAgentMigrating reports a dispatch refused because another dispatch
+// of the same agent is already in flight.
+var ErrAgentMigrating = errors.New("agent migration already in flight")
+
+// verbMigrationStatus is the status-query verb: the origin of an in-doubt
+// migration asks the destination what became of a migration ID. It is a
+// pure read, so it is retry-safe.
+const verbMigrationStatus = "hadas.migration.status"
+
+// Journal slot namespaces inside the site store. Slot names are opaque to
+// persist.Store; the prefixes keep protocol state apart from object slots.
+const (
+	migrationSlotPrefix = "_migration/"
+	arrivalSlotPrefix   = "_arrival/"
+)
+
+// Migration states recorded in the origin journal.
+const (
+	migrationPrepared  = "prepared"
+	migrationInDoubt   = "indoubt"
+	migrationCommitted = "committed"
+	migrationAborted   = "aborted"
+)
+
+// Arrival states recorded in the destination dedup table.
+const (
+	arrivalPending   = "pending"   // in flight, not yet registered (memory only)
+	arrivalInstalled = "installed" // registered and ACKed; onArrival may be running
+	arrivalDone      = "done"      // onArrival finished (errMsg holds its error, if any)
+	arrivalFailed    = "failed"    // installation failed; errMsg holds why
+	arrivalDeparted  = "departed"  // landed here, then migrated onward
+)
+
+// migrationRecord is one origin-journal entry.
+type migrationRecord struct {
+	MID    string
+	Name   string
+	Dest   string
+	State  string
+	WasAPO bool
+	Image  []byte // the agent's wire image, for reinstatement after a crash
+}
+
+func migrationSlot(mid string) string { return migrationSlotPrefix + mid }
+func arrivalSlot(mid string) string   { return arrivalSlotPrefix + mid }
+
+func encodeMigrationRecord(r *migrationRecord) []byte {
+	return encodeReq(value.NewMap(map[string]value.Value{
+		"mid":    value.NewString(r.MID),
+		"name":   value.NewString(r.Name),
+		"dest":   value.NewString(r.Dest),
+		"state":  value.NewString(r.State),
+		"wasAPO": value.NewBool(r.WasAPO),
+		"image":  value.NewBytes(r.Image),
+	}))
+}
+
+func decodeMigrationRecord(raw []byte) (*migrationRecord, error) {
+	v, err := decodeReq(raw)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.Map()
+	if !ok {
+		return nil, fmt.Errorf("migration record is not a map")
+	}
+	img, _ := m["image"].Bytes()
+	wasAPO, _ := m["wasAPO"].Bool()
+	return &migrationRecord{
+		MID:    field(m, "mid"),
+		Name:   field(m, "name"),
+		Dest:   field(m, "dest"),
+		State:  field(m, "state"),
+		WasAPO: wasAPO,
+		Image:  img,
+	}, nil
+}
+
+// putMigration writes (or rewrites) a journal record durably.
+func (s *Site) putMigration(r *migrationRecord) error {
+	return s.journal.Put(migrationSlot(r.MID), encodeMigrationRecord(r))
+}
+
+// finishMigration records the final outcome, then prunes the slot. The
+// write-then-delete order means a crash between the two leaves a record
+// whose state is final — recovery prunes it locally, no peer query needed.
+func (s *Site) finishMigration(r *migrationRecord, state string) {
+	r.State = state
+	if err := s.putMigration(r); err != nil {
+		s.log("migration %s: journal %s failed: %v", r.MID, state, err)
+		return // keep the prepared/in-doubt record; recovery re-resolves
+	}
+	if err := s.journal.Delete(migrationSlot(r.MID)); err != nil {
+		s.log("migration %s: journal prune failed: %v", r.MID, err)
+	}
+}
+
+// commitMigration finalizes a successful hand-off: the journal records
+// COMMIT, any arrival record that carried the agent *into* this site is
+// marked departed (so a restart does not resurrect it), and the agent's
+// persisted image is scrubbed from the store and Home manifest (so a stale
+// PersistAll snapshot cannot either). seqBefore is the arrival-table
+// watermark captured when the dispatch began: an itinerary that loops home
+// re-arrives *during* the dispatch call, and that younger record must
+// survive the departure marking.
+func (s *Site) commitMigration(r *migrationRecord, id naming.ID, seqBefore int64) {
+	s.finishMigration(r, migrationCommitted)
+	s.markAgentDeparted(id, seqBefore)
+	s.scrubPersisted(r.Name, id)
+}
+
+// InDoubtMigrations lists the IDs of journaled migrations not yet resolved
+// (state prepared or in-doubt), sorted.
+func (s *Site) InDoubtMigrations() []string {
+	slots, err := s.journal.List()
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, slot := range slots {
+		if !strings.HasPrefix(slot, migrationSlotPrefix) {
+			continue
+		}
+		raw, err := s.journal.Get(slot)
+		if err != nil {
+			continue
+		}
+		rec, err := decodeMigrationRecord(raw)
+		if err != nil {
+			continue
+		}
+		if rec.State == migrationPrepared || rec.State == migrationInDoubt {
+			out = append(out, rec.MID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- destination: durable dedup table ----
+
+// arrival is one dedup-table entry: everything known about a migration
+// that targeted this site. Entries are created when the dispatch claims
+// its migration ID and completed when onArrival returns; done closes when
+// the outcome (including failure) is recorded, so concurrent retries of
+// the same migration wait instead of re-installing.
+type arrival struct {
+	mid     string
+	name    string
+	from    string
+	agentID naming.ID
+	image   []byte
+	seq     int64
+	state   string
+	result  value.Value
+	errMsg  string
+	done    chan struct{}
+}
+
+func (s *Site) encodeArrival(a *arrival) []byte {
+	return encodeReq(value.NewMap(map[string]value.Value{
+		"mid":    value.NewString(a.mid),
+		"name":   value.NewString(a.name),
+		"from":   value.NewString(a.from),
+		"agent":  value.NewString(a.agentID.String()),
+		"image":  value.NewBytes(a.image),
+		"seq":    value.NewInt(a.seq),
+		"state":  value.NewString(a.state),
+		"result": a.result,
+		"err":    value.NewString(a.errMsg),
+	}))
+}
+
+func decodeArrival(raw []byte) (*arrival, error) {
+	v, err := decodeReq(raw)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.Map()
+	if !ok {
+		return nil, fmt.Errorf("arrival record is not a map")
+	}
+	id, err := naming.ParseID(field(m, "agent"))
+	if err != nil {
+		return nil, fmt.Errorf("arrival record agent id: %w", err)
+	}
+	img, _ := m["image"].Bytes()
+	seq, _ := m["seq"].Int()
+	done := make(chan struct{})
+	close(done) // replayed records are settled by definition
+	return &arrival{
+		mid:     field(m, "mid"),
+		name:    field(m, "name"),
+		from:    field(m, "from"),
+		agentID: id,
+		image:   img,
+		seq:     seq,
+		state:   field(m, "state"),
+		result:  m["result"],
+		errMsg:  field(m, "err"),
+		done:    done,
+	}, nil
+}
+
+// claimArrival registers interest in a migration ID. The first caller owns
+// the installation (owner true); later callers get the existing entry and
+// must report its recorded outcome instead of re-installing.
+func (s *Site) claimArrival(mid, name, from string) (*arrival, bool) {
+	s.arrMu.Lock()
+	defer s.arrMu.Unlock()
+	if a, ok := s.arrivals[mid]; ok {
+		return a, false
+	}
+	s.arrSeq++
+	a := &arrival{
+		mid:   mid,
+		name:  name,
+		from:  from,
+		seq:   s.arrSeq,
+		state: arrivalPending,
+		done:  make(chan struct{}),
+	}
+	s.arrivals[mid] = a
+	s.arrOrder = append(s.arrOrder, a)
+	return a, true
+}
+
+// recordInstalled durably ACKs an installation *before* onArrival runs:
+// from this point the origin must commit, whatever the arrival handler
+// does. A journal write failure is logged, not fatal — the in-memory entry
+// still dedups retries; only crash durability is lost.
+func (s *Site) recordInstalled(a *arrival, id naming.ID, image []byte) {
+	s.arrMu.Lock()
+	a.agentID = id
+	a.image = image
+	a.state = arrivalInstalled
+	raw := s.encodeArrival(a)
+	s.arrMu.Unlock()
+	if err := s.journal.Put(arrivalSlot(a.mid), raw); err != nil {
+		s.log("arrival %s: journal write failed: %v", a.mid, err)
+	}
+}
+
+// completeArrival records onArrival's outcome and releases waiters.
+func (s *Site) completeArrival(a *arrival, result value.Value, arrivalErr error) {
+	s.arrMu.Lock()
+	a.state = arrivalDone
+	a.result = result
+	if arrivalErr != nil {
+		a.errMsg = fmt.Sprintf("agent %q onArrival: %v", a.name, arrivalErr)
+	}
+	raw := s.encodeArrival(a)
+	close(a.done)
+	s.arrMu.Unlock()
+	if err := s.journal.Put(arrivalSlot(a.mid), raw); err != nil {
+		s.log("arrival %s: journal write failed: %v", a.mid, err)
+	}
+	s.pruneArrivals()
+}
+
+// failArrival records an installation failure (nil a — a legacy dispatch
+// without a migration ID — is a no-op) and returns err for convenience.
+// Failures are kept in memory only: a crashed destination has nothing to
+// replay, and the origin's status query correctly reads absence as "the
+// agent never landed".
+func (s *Site) failArrival(a *arrival, err error) error {
+	if a == nil {
+		return err
+	}
+	s.arrMu.Lock()
+	a.state = arrivalFailed
+	a.errMsg = err.Error()
+	close(a.done)
+	s.arrMu.Unlock()
+	s.pruneArrivals()
+	return err
+}
+
+// arrivalOutcome reports a recorded (or in-flight) migration's outcome as
+// the dispatch response, waiting for a concurrent installation to settle.
+func (s *Site) arrivalOutcome(ctx context.Context, a *arrival) (value.Value, error) {
+	select {
+	case <-a.done:
+	case <-ctx.Done():
+		return value.Null, ctx.Err()
+	}
+	s.arrMu.Lock()
+	defer s.arrMu.Unlock()
+	if a.state == arrivalFailed {
+		return value.Null, errors.New(a.errMsg)
+	}
+	out := map[string]value.Value{"installed": value.NewBool(true)}
+	if a.errMsg != "" {
+		out["arrivalError"] = value.NewString(a.errMsg)
+	} else {
+		out["result"] = a.result
+	}
+	return value.NewMap(out), nil
+}
+
+// arrivalSeq returns the dedup-table watermark (the seq of the youngest
+// entry); arrivals claimed later have a larger seq.
+func (s *Site) arrivalSeq() int64 {
+	s.arrMu.Lock()
+	defer s.arrMu.Unlock()
+	return s.arrSeq
+}
+
+// markAgentDeparted marks arrival records of an agent that just migrated
+// onward, so a restart does not resurrect a copy that lives elsewhere.
+// Only records claimed before the dispatch began (seq ≤ watermark) are
+// touched: an itinerary looping home re-arrives mid-dispatch with a
+// younger record, and that incarnation stays.
+func (s *Site) markAgentDeparted(id naming.ID, watermark int64) {
+	s.arrMu.Lock()
+	var updated [][2]any
+	for _, a := range s.arrivals {
+		if a.agentID == id && a.seq <= watermark &&
+			(a.state == arrivalInstalled || a.state == arrivalDone) {
+			a.state = arrivalDeparted
+			updated = append(updated, [2]any{arrivalSlot(a.mid), s.encodeArrival(a)})
+		}
+	}
+	s.arrMu.Unlock()
+	for _, u := range updated {
+		if err := s.journal.Put(u[0].(string), u[1].([]byte)); err != nil {
+			s.log("arrival journal update failed: %v", err)
+		}
+	}
+}
+
+// pruneArrivals caps the dedup table at Config.MaxArrivalRecords, evicting
+// the oldest settled entries (memory and journal slot). In-flight entries
+// are never evicted. The cap bounds table growth; it must comfortably
+// exceed the window in which an origin might still retry or status-query a
+// migration, or a pruned record would read as "never landed".
+func (s *Site) pruneArrivals() {
+	var evicted []string
+	s.arrMu.Lock()
+	for len(s.arrOrder) > s.maxArrivals() {
+		oldest := s.arrOrder[0]
+		if oldest.state == arrivalPending {
+			break // still in flight; try again when it settles
+		}
+		s.arrOrder = s.arrOrder[1:]
+		delete(s.arrivals, oldest.mid)
+		evicted = append(evicted, oldest.mid)
+	}
+	s.arrMu.Unlock()
+	for _, mid := range evicted {
+		if err := s.journal.Delete(arrivalSlot(mid)); err != nil {
+			s.log("arrival %s: journal prune failed: %v", mid, err)
+		}
+	}
+}
+
+func (s *Site) maxArrivals() int {
+	if s.cfg.MaxArrivalRecords > 0 {
+		return s.cfg.MaxArrivalRecords
+	}
+	return DefaultMaxArrivalRecords
+}
+
+// ArrivalRecords reports the dedup table's current migration IDs, sorted
+// (diagnostics and pruning tests).
+func (s *Site) ArrivalRecords() []string {
+	s.arrMu.Lock()
+	defer s.arrMu.Unlock()
+	out := make([]string, 0, len(s.arrivals))
+	for mid := range s.arrivals {
+		out = append(out, mid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- status query ----
+
+// MigrationStatus is the destination's answer about one migration ID.
+type MigrationStatus struct {
+	// Landed reports whether the agent was installed at the destination
+	// (it may since have moved on; the migration itself still happened).
+	Landed bool
+	// State is the raw arrival state ("unknown" when never seen).
+	State string
+	// Result is onArrival's recorded result, when it has one.
+	Result value.Value
+	// ArrivalError is onArrival's recorded failure message, if any.
+	ArrivalError string
+}
+
+// MigrationStatusAt queries a linked peer for a migration's outcome.
+func (s *Site) MigrationStatusAt(peerName, mid string) (MigrationStatus, error) {
+	resp, err := s.callPeer(peerName, verbMigrationStatus, value.NewMap(map[string]value.Value{
+		"site": value.NewString(s.cfg.Name),
+		"mid":  value.NewString(mid),
+	}))
+	if err != nil {
+		return MigrationStatus{}, err
+	}
+	m, ok := resp.Map()
+	if !ok {
+		return MigrationStatus{}, fmt.Errorf("migration status %s: malformed response", mid)
+	}
+	st := MigrationStatus{State: field(m, "state"), Result: m["result"], ArrivalError: field(m, "arrivalError")}
+	switch st.State {
+	case arrivalInstalled, arrivalDone, arrivalDeparted:
+		st.Landed = true
+	}
+	return st, nil
+}
+
+// handleMigrationStatus answers a status query from the dedup table. An
+// in-flight installation is waited for (bounded by the request context),
+// so the origin learns the settled outcome, not a racing snapshot.
+func (s *Site) handleMigrationStatus(ctx context.Context, m map[string]value.Value) (value.Value, error) {
+	if _, err := s.peerByName(field(m, "site")); err != nil {
+		return value.Null, err // only linked sites may probe migration state
+	}
+	mid := field(m, "mid")
+	if mid == "" {
+		return value.Null, fmt.Errorf("%w: status query needs a migration id", core.ErrArity)
+	}
+	s.arrMu.Lock()
+	a := s.arrivals[mid]
+	s.arrMu.Unlock()
+	if a == nil {
+		// Not in memory — maybe this site restarted without a replay; the
+		// journal is the source of truth.
+		if raw, err := s.journal.Get(arrivalSlot(mid)); err == nil {
+			if rec, derr := decodeArrival(raw); derr == nil {
+				a = rec
+			}
+		}
+	}
+	if a == nil {
+		return value.NewMap(map[string]value.Value{"state": value.NewString("unknown")}), nil
+	}
+	select {
+	case <-a.done:
+	case <-ctx.Done():
+		return value.Null, ctx.Err()
+	}
+	s.arrMu.Lock()
+	defer s.arrMu.Unlock()
+	out := map[string]value.Value{"state": value.NewString(a.state)}
+	if a.state == arrivalFailed || a.errMsg != "" {
+		out["arrivalError"] = value.NewString(a.errMsg)
+	}
+	if a.state == arrivalDone {
+		out["result"] = a.result
+	}
+	return value.NewMap(out), nil
+}
+
+// ---- recovery ----
+
+// replayArrivals reloads the destination dedup table from the journal and
+// reinstalls agents that had landed here (installed or done) but are not
+// in memory — the destination half of crash recovery. onArrival is NOT
+// re-run: it already ran (or was cut short by the crash) in the acked
+// incarnation. Returns the names reinstalled.
+func (s *Site) replayArrivals() ([]string, error) {
+	slots, err := s.journal.List()
+	if err != nil {
+		return nil, fmt.Errorf("replay arrivals: %w", err)
+	}
+	var recs []*arrival
+	for _, slot := range slots {
+		if !strings.HasPrefix(slot, arrivalSlotPrefix) {
+			continue
+		}
+		raw, err := s.journal.Get(slot)
+		if err != nil {
+			s.log("replay arrival %s: %v", slot, err)
+			continue
+		}
+		a, err := decodeArrival(raw)
+		if err != nil {
+			s.log("replay arrival %s: %v", slot, err)
+			continue
+		}
+		recs = append(recs, a)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+
+	var restored []string
+	for _, a := range recs {
+		s.arrMu.Lock()
+		if _, dup := s.arrivals[a.mid]; dup {
+			s.arrMu.Unlock()
+			continue // already live in memory
+		}
+		if a.seq > s.arrSeq {
+			s.arrSeq = a.seq
+		}
+		s.arrivals[a.mid] = a
+		s.arrOrder = append(s.arrOrder, a)
+		s.arrMu.Unlock()
+
+		if a.state != arrivalInstalled && a.state != arrivalDone {
+			continue // departed or failed: nothing lives here
+		}
+		if _, err := s.ResolveObject(a.name); err == nil {
+			continue // a live (or newer) incarnation is already installed
+		}
+		if err := s.installArrivedImage(a.name, a.image); err != nil {
+			s.log("replay arrival %s (%s): %v", a.mid, a.name, err)
+			continue
+		}
+		restored = append(restored, a.name)
+	}
+	sort.Strings(restored)
+	return restored, nil
+}
+
+// installArrivedImage materializes a journaled agent image into Home.
+func (s *Site) installArrivedImage(name string, image []byte) error {
+	img, err := wire.DecodeImage(image)
+	if err != nil {
+		return err
+	}
+	agent, err := core.FromImage(img, s.behaviors,
+		core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
+		core.HostResolver(s), core.HostBudget(s.cfg.Budget))
+	if err != nil {
+		return err
+	}
+	if s.cfg.Output != nil {
+		agent.SetOutput(s.cfg.Output)
+	}
+	return s.AddAPO(name, agent)
+}
+
+// ResolveMigrations drives every pending journal record to an outcome —
+// the origin half of crash recovery, also callable any time to retry
+// in-doubt migrations. Completed records are pruned; prepared/in-doubt
+// records are resolved against the destination: if the agent landed the
+// migration commits (retiring any local copy a replayed arrival record
+// reinstalled), otherwise the agent is reinstated from the journaled
+// image. Destinations that cannot be reached leave their records in doubt.
+// Returns the names reinstated locally.
+func (s *Site) ResolveMigrations() ([]string, error) {
+	slots, err := s.journal.List()
+	if err != nil {
+		return nil, fmt.Errorf("resolve migrations: %w", err)
+	}
+	var reinstated []string
+	for _, slot := range slots {
+		if !strings.HasPrefix(slot, migrationSlotPrefix) {
+			continue
+		}
+		raw, err := s.journal.Get(slot)
+		if err != nil {
+			s.log("resolve migration %s: %v", slot, err)
+			continue
+		}
+		rec, err := decodeMigrationRecord(raw)
+		if err != nil {
+			s.log("resolve migration %s: %v", slot, err)
+			continue
+		}
+		switch rec.State {
+		case migrationCommitted, migrationAborted:
+			// Crash landed between the outcome write and the prune.
+			if err := s.journal.Delete(slot); err != nil {
+				s.log("prune migration %s: %v", rec.MID, err)
+			}
+			continue
+		case migrationPrepared, migrationInDoubt:
+			// fall through to peer resolution
+		default:
+			s.log("migration %s: unknown state %q left in journal", rec.MID, rec.State)
+			continue
+		}
+		img, err := wire.DecodeImage(rec.Image)
+		if err != nil {
+			s.log("resolve migration %s: corrupt image: %v", rec.MID, err)
+			continue
+		}
+		st, qerr := s.MigrationStatusAt(rec.Dest, rec.MID)
+		if qerr != nil {
+			s.log("migration %s to %s still in doubt: %v", rec.MID, rec.Dest, qerr)
+			continue
+		}
+		if st.Landed {
+			// The agent lives (or lived) at the destination. A replayed
+			// arrival record may have reinstalled a stale local copy of the
+			// same incarnation — retire it.
+			if obj, err := s.ResolveObject(rec.Name); err == nil && obj.ID() == img.ID {
+				s.retireAgent(rec.Name, img.ID)
+			}
+			s.commitMigration(rec, img.ID, s.arrivalSeq())
+			s.log("migration %s: resolved committed (agent at %s)", rec.MID, rec.Dest)
+			continue
+		}
+		// Never landed: reinstate from the journaled image, unless a live
+		// incarnation is already installed.
+		if _, err := s.ResolveObject(rec.Name); err != nil {
+			agent, err := core.FromImage(img, s.behaviors,
+				core.HostPolicy(s.policy), core.HostAuditor(s.auditor),
+				core.HostResolver(s), core.HostBudget(s.cfg.Budget))
+			if err != nil {
+				s.log("resolve migration %s: reinstate: %v", rec.MID, err)
+				continue
+			}
+			if s.cfg.Output != nil {
+				agent.SetOutput(s.cfg.Output)
+			}
+			s.reinstateAgent(rec.Name, agent, rec.WasAPO)
+			reinstated = append(reinstated, rec.Name)
+		}
+		s.finishMigration(rec, migrationAborted)
+		s.log("migration %s: resolved aborted (reinstated %s)", rec.MID, rec.Name)
+	}
+	sort.Strings(reinstated)
+	return reinstated, nil
+}
+
+// scrubPersisted removes a departed agent's image from the site store and
+// its entry from the Home manifest, so a stale PersistAll snapshot cannot
+// resurrect a copy that now lives at another site.
+func (s *Site) scrubPersisted(name string, id naming.ID) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := persist.DeleteObject(s.cfg.Store, id); err != nil {
+		s.log("scrub %s: %v", name, err)
+	}
+	raw, err := s.cfg.Store.Get(homeManifestSlot)
+	if err != nil {
+		return // no manifest, nothing to scrub
+	}
+	man, err := decodeReq(raw)
+	if err != nil {
+		return
+	}
+	m, ok := man.Map()
+	if !ok {
+		return
+	}
+	if cur, present := m[name]; !present || cur.String() != id.String() {
+		return // the manifest names a different incarnation; leave it
+	}
+	delete(m, name)
+	if err := s.cfg.Store.Put(homeManifestSlot, encodeReq(value.NewMap(m))); err != nil {
+		s.log("scrub %s: manifest rewrite: %v", name, err)
+	}
+}
+
+// definiteDispatchFailure classifies a dispatch error: true means the
+// request demonstrably did NOT install the agent (the peer answered with
+// an error, or the call was refused before anything was sent), so the
+// origin may reinstate immediately. Anything else is ambiguous — the peer
+// may have installed the agent and only the reply was lost.
+func definiteDispatchFailure(err error) bool {
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return true // the peer executed the handler and it failed pre-ACK
+	}
+	return errors.Is(err, ErrPeerDown) ||
+		errors.Is(err, transport.ErrCircuitOpen) ||
+		errors.Is(err, ErrNotLinked) ||
+		errors.Is(err, transport.ErrNoPeer)
+}

@@ -1,0 +1,972 @@
+package hadas
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/transport"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// migPolicy is a fast, patient resilience policy for migration tests:
+// millisecond retries and a breaker that effectively never opens. Tests
+// that need an open circuit configure their own threshold.
+func migPolicy() transport.ResilientPolicy {
+	return transport.ResilientPolicy{
+		BaseBackoff:      time.Millisecond,
+		FailureThreshold: 100,
+		Cooldown:         50 * time.Millisecond,
+	}
+}
+
+func newMigSiteCfg(t *testing.T, net *transport.InProcNet, cfg Config) *Site {
+	t.Helper()
+	cfg.Dial = func(addr string) (transport.Conn, error) { return net.Dial(addr) }
+	s, err := NewSite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ServeInProc(net); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newMigSite(t *testing.T, net *transport.InProcNet, name string, store persist.Store) *Site {
+	t.Helper()
+	return newMigSiteCfg(t, net, Config{Name: name, Store: store, Resilience: migPolicy()})
+}
+
+// restartSite simulates a process crash and restart: the old site's
+// listener and connections die with it, and a fresh Site is built over the
+// same store and re-linked — the same startup sequence hadasd runs.
+func restartSite(t *testing.T, net *transport.InProcNet, old *Site, peers ...string) *Site {
+	t.Helper()
+	store := old.cfg.Store
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := newMigSiteCfg(t, net, Config{
+		Name:              old.cfg.Name,
+		Store:             store,
+		Resilience:        migPolicy(),
+		MaxArrivalRecords: old.cfg.MaxArrivalRecords,
+	})
+	for _, p := range peers {
+		if _, err := s.Link(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// bootstrap runs BootstrapHome tolerating a missing Home manifest (the site
+// crashed before its first PersistAll), exactly as hadasd does.
+func bootstrap(t *testing.T, s *Site) []string {
+	t.Helper()
+	restored, err := s.BootstrapHome()
+	if err != nil && !errors.Is(err, persist.ErrNoSlot) {
+		t.Fatal(err)
+	}
+	return restored
+}
+
+// counterAgent installs an agent whose onArrival counts its invocations —
+// the probe for "a retried dispatch never runs onArrival twice".
+func counterAgent(t *testing.T, s *Site, name string) *core.Object {
+	t.Helper()
+	b := s.NewAPOBuilder("Counter")
+	b.ExtData("count", value.NewInt(0))
+	b.FixedScriptMethod("onArrival", `fn(hop) {
+		self.count = self.count + 1;
+		return self.count;
+	}`)
+	agent := b.MustBuild()
+	if err := s.AddAPO(name, agent); err != nil {
+		t.Fatal(err)
+	}
+	return agent
+}
+
+// inertAgent installs an agent without an onArrival method.
+func inertAgent(t *testing.T, s *Site, name string) *core.Object {
+	t.Helper()
+	b := s.NewAPOBuilder("Inert")
+	b.ExtData("payload", value.NewString("cargo"))
+	agent := b.MustBuild()
+	if err := s.AddAPO(name, agent); err != nil {
+		t.Fatal(err)
+	}
+	return agent
+}
+
+func agentCount(t *testing.T, s *Site, name string) int64 {
+	t.Helper()
+	obj, err := s.ResolveObject(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := obj.Get(obj.Principal(), "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := v.Int()
+	return n
+}
+
+// copies counts how many sites currently host an object under name — the
+// exactly-once invariant asserts this is 1.
+func copies(name string, sites ...*Site) int {
+	n := 0
+	for _, s := range sites {
+		if _, err := s.ResolveObject(name); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// journalMigrations lists the origin-journal migration slots still present.
+func journalMigrations(t *testing.T, s *Site) []string {
+	t.Helper()
+	slots, err := s.journal.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, slot := range slots {
+		if strings.HasPrefix(slot, migrationSlotPrefix) {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// injectFaults wraps the connection to peer in a FaultConn with the given
+// per-verb rules, keeping the resilient wrapper (and breaker) in place.
+func injectFaults(t *testing.T, s *Site, peer string, rules map[string]*transport.FaultRule) *transport.FaultConn {
+	t.Helper()
+	inner, err := s.cfg.Dial(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &transport.FaultConn{Inner: inner, VerbRules: rules}
+	if err := s.SetPeerConn(peer, fc); err != nil {
+		t.Fatal(err)
+	}
+	return fc
+}
+
+// healFaults restores a clean connection to peer.
+func healFaults(t *testing.T, s *Site, peer string) {
+	t.Helper()
+	inner, err := s.cfg.Dial(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPeerConn(peer, inner); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func link(t *testing.T, a *Site, peer string) {
+	t.Helper()
+	if _, err := a.Link(peer); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatchJournalLifecycle is the happy path: a clean hand-off leaves
+// no migration record at the origin and a settled arrival record at the
+// destination.
+func TestDispatchJournalLifecycle(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	counterAgent(t, a, "scout")
+	result, err := a.DispatchAgent("scout", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := result.Int(); n != 1 {
+		t.Errorf("onArrival result = %v", result)
+	}
+	if got := copies("scout", a, b); got != 1 {
+		t.Fatalf("agent copies = %d", got)
+	}
+	if _, err := b.ResolveObject("scout"); err != nil {
+		t.Errorf("agent not at destination: %v", err)
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("origin journal not pruned: %v", slots)
+	}
+	if ids := a.InDoubtMigrations(); len(ids) != 0 {
+		t.Errorf("in-doubt after clean dispatch: %v", ids)
+	}
+	if recs := b.ArrivalRecords(); len(recs) != 1 {
+		t.Errorf("arrival records = %v", recs)
+	}
+}
+
+// TestDispatchRetryDeliversOnce drops the first dispatch response only
+// (the request executes remotely); the transport retry must hit the dedup
+// table, not a second installation.
+func TestDispatchRetryDeliversOnce(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	counterAgent(t, a, "scout")
+	rule := &transport.FaultRule{FailFirst: 1, FailAfter: true}
+	injectFaults(t, a, "b", map[string]*transport.FaultRule{verbDispatch: rule})
+
+	result, err := a.DispatchAgent("scout", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := result.Int(); n != 1 {
+		t.Errorf("result after retry = %v", result)
+	}
+	if rule.Calls() < 2 {
+		t.Fatalf("dispatch was not retried (calls=%d)", rule.Calls())
+	}
+	if got := agentCount(t, b, "scout"); got != 1 {
+		t.Errorf("onArrival ran %d times", got)
+	}
+	if got := copies("scout", a, b); got != 1 {
+		t.Errorf("agent copies = %d", got)
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("origin journal not pruned: %v", slots)
+	}
+	if recs := b.ArrivalRecords(); len(recs) != 1 {
+		t.Errorf("arrival records = %v", recs)
+	}
+}
+
+// TestDispatchInDoubtLanded: every dispatch response is lost (but requests
+// execute) and the status query is also cut — the origin must go in doubt
+// WITHOUT reinstating, because the agent is alive at the destination.
+// Healing the link and resolving commits the migration.
+func TestDispatchInDoubtLanded(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	counterAgent(t, a, "scout")
+	injectFaults(t, a, "b", map[string]*transport.FaultRule{
+		verbDispatch:        {Fail: true, FailAfter: true},
+		verbMigrationStatus: {Fail: true},
+	})
+
+	_, err := a.DispatchAgent("scout", "b")
+	if !errors.Is(err, ErrMigrationInDoubt) {
+		t.Fatalf("dispatch error = %v, want ErrMigrationInDoubt", err)
+	}
+	// The agent landed; the origin must NOT hold a second copy.
+	if _, err := a.ResolveObject("scout"); err == nil {
+		t.Fatal("origin reinstated an agent that landed remotely")
+	}
+	if got := agentCount(t, b, "scout"); got != 1 {
+		t.Errorf("onArrival ran %d times", got)
+	}
+	if ids := a.InDoubtMigrations(); len(ids) != 1 {
+		t.Fatalf("in-doubt migrations = %v", ids)
+	}
+
+	healFaults(t, a, "b")
+	reinstated, err := a.ResolveMigrations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reinstated) != 0 {
+		t.Errorf("resolve reinstated %v for a landed migration", reinstated)
+	}
+	if ids := a.InDoubtMigrations(); len(ids) != 0 {
+		t.Errorf("still in doubt after resolve: %v", ids)
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("journal not pruned: %v", slots)
+	}
+	if got := copies("scout", a, b); got != 1 {
+		t.Errorf("agent copies = %d", got)
+	}
+	if got := agentCount(t, b, "scout"); got != 1 {
+		t.Errorf("onArrival re-ran during resolve: count = %d", got)
+	}
+}
+
+// TestDispatchInDoubtNotLanded: the dispatch is cut before delivery and the
+// status query fails too. The origin must not blindly reinstate while in
+// doubt; once the link heals, resolution reinstates the journaled image.
+func TestDispatchInDoubtNotLanded(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	counterAgent(t, a, "scout")
+	injectFaults(t, a, "b", map[string]*transport.FaultRule{
+		verbDispatch:        {Fail: true},
+		verbMigrationStatus: {Fail: true},
+	})
+
+	_, err := a.DispatchAgent("scout", "b")
+	if !errors.Is(err, ErrMigrationInDoubt) {
+		t.Fatalf("dispatch error = %v, want ErrMigrationInDoubt", err)
+	}
+	// While in doubt the agent exists nowhere live — but its image is
+	// journaled, so it is not lost.
+	if got := copies("scout", a, b); got != 0 {
+		t.Fatalf("agent copies while in doubt = %d", got)
+	}
+	if ids := a.InDoubtMigrations(); len(ids) != 1 {
+		t.Fatalf("in-doubt migrations = %v", ids)
+	}
+
+	healFaults(t, a, "b")
+	reinstated, err := a.ResolveMigrations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reinstated) != 1 || reinstated[0] != "scout" {
+		t.Fatalf("reinstated = %v", reinstated)
+	}
+	if _, err := a.ResolveObject("scout"); err != nil {
+		t.Errorf("agent not reinstated at origin: %v", err)
+	}
+	if got := copies("scout", a, b); got != 1 {
+		t.Errorf("agent copies = %d", got)
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("journal not pruned: %v", slots)
+	}
+}
+
+// TestCrashMatrix kills and restarts a site at every step of the protocol
+// and asserts the federation converges to exactly one live copy.
+func TestCrashMatrix(t *testing.T) {
+	t.Run("origin-crash-prepared", func(t *testing.T) {
+		// Crash between the PREPARE write and the dispatch call: the record
+		// is journaled, the agent retired, nothing was sent.
+		net := transport.NewInProcNet()
+		store, err := persist.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := newMigSite(t, net, "a", store)
+		b := newMigSite(t, net, "b", persist.NewMemStore())
+		link(t, a, "b")
+
+		agent := counterAgent(t, a, "scout")
+		img, err := agent.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &migrationRecord{
+			MID:    a.gen.New().String(),
+			Name:   "scout",
+			Dest:   "b",
+			State:  migrationPrepared,
+			WasAPO: true,
+			Image:  wire.EncodeImage(img),
+		}
+		if err := a.putMigration(rec); err != nil {
+			t.Fatal(err)
+		}
+		a.retireAgent("scout", agent.ID())
+
+		a2 := restartSite(t, net, a, "b")
+		restored := bootstrap(t, a2)
+		if len(restored) != 1 || restored[0] != "scout" {
+			t.Fatalf("restored = %v", restored)
+		}
+		if got := copies("scout", a2, b); got != 1 {
+			t.Fatalf("agent copies = %d", got)
+		}
+		if _, err := a2.ResolveObject("scout"); err != nil {
+			t.Errorf("agent not reinstated at origin: %v", err)
+		}
+		if ids := a2.InDoubtMigrations(); len(ids) != 0 {
+			t.Errorf("still in doubt: %v", ids)
+		}
+	})
+
+	t.Run("origin-crash-before-commit", func(t *testing.T) {
+		// The dispatch succeeded but the origin crashed before finalizing
+		// its journal record (simulated by re-journaling the prepared
+		// record after the fact). Recovery must commit, not resurrect.
+		net := transport.NewInProcNet()
+		store, err := persist.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := newMigSite(t, net, "a", store)
+		b := newMigSite(t, net, "b", persist.NewMemStore())
+		link(t, a, "b")
+
+		agent := counterAgent(t, a, "scout")
+		img, err := agent.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.DispatchAgent("scout", "b"); err != nil {
+			t.Fatal(err)
+		}
+		// Re-create the journal state a crash before COMMIT leaves behind.
+		// The migration ID must be one the destination recorded; fetch it
+		// from the destination's dedup table.
+		mids := b.ArrivalRecords()
+		if len(mids) != 1 {
+			t.Fatalf("arrival records = %v", mids)
+		}
+		rec := &migrationRecord{
+			MID:    mids[0],
+			Name:   "scout",
+			Dest:   "b",
+			State:  migrationPrepared,
+			WasAPO: true,
+			Image:  wire.EncodeImage(img),
+		}
+		if err := a.putMigration(rec); err != nil {
+			t.Fatal(err)
+		}
+
+		a2 := restartSite(t, net, a, "b")
+		bootstrap(t, a2)
+		if _, err := a2.ResolveObject("scout"); err == nil {
+			t.Fatal("recovery resurrected a committed agent at the origin")
+		}
+		if got := copies("scout", a2, b); got != 1 {
+			t.Fatalf("agent copies = %d", got)
+		}
+		if got := agentCount(t, b, "scout"); got != 1 {
+			t.Errorf("onArrival ran %d times", got)
+		}
+		if slots := journalMigrations(t, a2); len(slots) != 0 {
+			t.Errorf("journal not pruned: %v", slots)
+		}
+	})
+
+	t.Run("origin-crash-indoubt", func(t *testing.T) {
+		// The migration went in doubt (agent landed, all replies lost) and
+		// the origin crashed. Restart must resolve against the destination
+		// and commit — exactly one copy, no re-run of onArrival.
+		net := transport.NewInProcNet()
+		store, err := persist.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := newMigSite(t, net, "a", store)
+		b := newMigSite(t, net, "b", persist.NewMemStore())
+		link(t, a, "b")
+
+		counterAgent(t, a, "scout")
+		injectFaults(t, a, "b", map[string]*transport.FaultRule{
+			verbDispatch:        {Fail: true, FailAfter: true},
+			verbMigrationStatus: {Fail: true},
+		})
+		if _, err := a.DispatchAgent("scout", "b"); !errors.Is(err, ErrMigrationInDoubt) {
+			t.Fatalf("dispatch error = %v, want ErrMigrationInDoubt", err)
+		}
+
+		a2 := restartSite(t, net, a, "b")
+		restored := bootstrap(t, a2)
+		if len(restored) != 0 {
+			t.Errorf("recovery reinstated %v for a landed migration", restored)
+		}
+		if got := copies("scout", a2, b); got != 1 {
+			t.Fatalf("agent copies = %d", got)
+		}
+		if got := agentCount(t, b, "scout"); got != 1 {
+			t.Errorf("onArrival ran %d times", got)
+		}
+		if ids := a2.InDoubtMigrations(); len(ids) != 0 {
+			t.Errorf("still in doubt after restart: %v", ids)
+		}
+	})
+
+	t.Run("origin-crash-indoubt-not-landed", func(t *testing.T) {
+		// The dispatch never reached the destination and the origin crashed
+		// while in doubt. Restart queries the destination ("unknown") and
+		// reinstates the journaled image.
+		net := transport.NewInProcNet()
+		store, err := persist.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := newMigSite(t, net, "a", store)
+		b := newMigSite(t, net, "b", persist.NewMemStore())
+		link(t, a, "b")
+
+		counterAgent(t, a, "scout")
+		injectFaults(t, a, "b", map[string]*transport.FaultRule{
+			verbDispatch:        {Fail: true},
+			verbMigrationStatus: {Fail: true},
+		})
+		if _, err := a.DispatchAgent("scout", "b"); !errors.Is(err, ErrMigrationInDoubt) {
+			t.Fatalf("dispatch error = %v, want ErrMigrationInDoubt", err)
+		}
+
+		a2 := restartSite(t, net, a, "b")
+		restored := bootstrap(t, a2)
+		if len(restored) != 1 || restored[0] != "scout" {
+			t.Fatalf("restored = %v", restored)
+		}
+		if got := copies("scout", a2, b); got != 1 {
+			t.Fatalf("agent copies = %d", got)
+		}
+		if _, err := a2.ResolveObject("scout"); err != nil {
+			t.Errorf("agent not reinstated: %v", err)
+		}
+		if slots := journalMigrations(t, a2); len(slots) != 0 {
+			t.Errorf("journal not pruned: %v", slots)
+		}
+	})
+
+	t.Run("stale-final-record-pruned", func(t *testing.T) {
+		// Crash between the COMMIT write and the prune: the record's state
+		// is final, so recovery prunes it locally without querying anyone —
+		// and without resurrecting the agent.
+		net := transport.NewInProcNet()
+		store, err := persist.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := newMigSite(t, net, "a", store)
+		b := newMigSite(t, net, "b", persist.NewMemStore())
+		link(t, a, "b")
+
+		agent := counterAgent(t, a, "scout")
+		img, err := agent.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.DispatchAgent("scout", "b"); err != nil {
+			t.Fatal(err)
+		}
+		rec := &migrationRecord{
+			MID:    a.gen.New().String(),
+			Name:   "scout",
+			Dest:   "b",
+			State:  migrationCommitted,
+			WasAPO: true,
+			Image:  wire.EncodeImage(img),
+		}
+		if err := a.putMigration(rec); err != nil {
+			t.Fatal(err)
+		}
+
+		a2 := restartSite(t, net, a, "b")
+		bootstrap(t, a2)
+		if slots := journalMigrations(t, a2); len(slots) != 0 {
+			t.Errorf("final record not pruned: %v", slots)
+		}
+		if _, err := a2.ResolveObject("scout"); err == nil {
+			t.Error("committed migration resurrected at origin")
+		}
+		if got := copies("scout", a2, b); got != 1 {
+			t.Errorf("agent copies = %d", got)
+		}
+	})
+
+	t.Run("dest-crash-after-install", func(t *testing.T) {
+		// The destination acknowledged the installation, then crashed. Its
+		// restart must reinstall the agent from the arrival journal without
+		// re-running onArrival.
+		net := transport.NewInProcNet()
+		store, err := persist.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := newMigSite(t, net, "a", persist.NewMemStore())
+		b := newMigSite(t, net, "b", store)
+		link(t, a, "b")
+
+		counterAgent(t, a, "scout")
+		if _, err := a.DispatchAgent("scout", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if got := agentCount(t, b, "scout"); got != 1 {
+			t.Fatalf("onArrival ran %d times before crash", got)
+		}
+
+		b2 := restartSite(t, net, b, "a")
+		restored := bootstrap(t, b2)
+		if len(restored) != 1 || restored[0] != "scout" {
+			t.Fatalf("restored = %v", restored)
+		}
+		if got := copies("scout", a, b2); got != 1 {
+			t.Fatalf("agent copies = %d", got)
+		}
+		// The replayed image is the one that was acked — onArrival was not
+		// re-run during replay, so the restored count is the pre-arrival 0.
+		if got := agentCount(t, b2, "scout"); got != 0 {
+			t.Errorf("onArrival re-ran during replay: count = %d", got)
+		}
+	})
+}
+
+// TestDispatchArrivalError: an onArrival failure is reported to the caller
+// but the migration still commits — installation was acknowledged first,
+// so the agent lives at the destination.
+func TestDispatchArrivalError(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	bld := a.NewAPOBuilder("Faulty")
+	bld.FixedScriptMethod("onArrival", `fn(hop) { return ctx.lookup("no-such-object"); }`)
+	if err := a.AddAPO("scout", bld.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.DispatchAgent("scout", "b")
+	if err == nil || !strings.Contains(err.Error(), "onArrival") {
+		t.Fatalf("dispatch error = %v, want onArrival failure", err)
+	}
+	if _, err := b.ResolveObject("scout"); err != nil {
+		t.Errorf("agent not installed at destination: %v", err)
+	}
+	if _, err := a.ResolveObject("scout"); err == nil {
+		t.Error("origin kept a copy despite the commit")
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("journal not pruned: %v", slots)
+	}
+}
+
+// TestDispatchBindRollback forces a name-binding race during installation
+// and verifies the partial install is fully unwound: the agent must not
+// linger in Home or the object registry, and the origin reinstates it.
+func TestDispatchBindRollback(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	agent := inertAgent(t, a, "box")
+	squatter := b.NewAPOBuilder("Squatter").MustBuild()
+	b.objects.Register(squatter.ID(), squatter)
+
+	testHookPreBind = func(s *Site, name string) {
+		if s == b && name == "box" {
+			_ = s.objects.Bind(name, squatter.ID())
+		}
+	}
+	defer func() { testHookPreBind = nil }()
+
+	_, err := a.DispatchAgent("box", "b")
+	if err == nil {
+		t.Fatal("dispatch succeeded despite bind failure")
+	}
+	// Definite failure (the peer answered): the origin reinstates.
+	if _, err := a.ResolveObject("box"); err != nil {
+		t.Errorf("agent not reinstated at origin: %v", err)
+	}
+	// The destination unwound completely: not in Home, not in the registry;
+	// the name still resolves to the squatter.
+	if _, err := b.APO("box"); err == nil {
+		t.Error("partial install left the agent in Home")
+	}
+	if _, err := b.objects.LookupID(agent.ID()); err == nil {
+		t.Error("partial install left the agent in the object registry")
+	}
+	if obj, err := b.ResolveObject("box"); err != nil || obj.ID() != squatter.ID() {
+		t.Errorf("name binding = %v, %v; want squatter", obj, err)
+	}
+	if got := copies("box", a, b); got != 2 {
+		// a's reinstated agent + b's squatter under the same name.
+		t.Errorf("bindings under name = %d", got)
+	}
+}
+
+// TestAgentLoopHomeJourney sends an agent A→B→A. The loop-home arrival
+// record must survive the outer dispatch's commit (it is younger than the
+// departure watermark), so a restarted origin still hosts the returned
+// agent.
+func TestAgentLoopHomeJourney(t *testing.T) {
+	net := transport.NewInProcNet()
+	store, err := persist.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newMigSite(t, net, "a", store)
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+
+	surveyAgent(t, a, "a") // itinerary: a → b → a
+	result, err := a.DispatchAgent("scout", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(result.String(), "done at a after 2 hops") {
+		t.Errorf("journey result = %v", result)
+	}
+	if got := copies("scout", a, b); got != 1 {
+		t.Fatalf("agent copies = %d", got)
+	}
+	back, err := a.ResolveObject("scout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited, err := back.Get(back.Principal(), "visited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited.String() != `["b", "a"]` {
+		t.Errorf("visited = %v", visited)
+	}
+	// The loop-home arrival record is still live (not marked departed).
+	if recs := a.ArrivalRecords(); len(recs) != 1 {
+		t.Fatalf("origin arrival records = %v", recs)
+	}
+
+	// Restart the origin: the journaled loop-home arrival reinstalls the
+	// returned incarnation (with the state it had when shipped from b).
+	a2 := restartSite(t, net, a, "b")
+	restored := bootstrap(t, a2)
+	if len(restored) != 1 || restored[0] != "scout" {
+		t.Fatalf("restored = %v", restored)
+	}
+	if got := copies("scout", a2, b); got != 1 {
+		t.Fatalf("agent copies after restart = %d", got)
+	}
+	back2, err := a2.ResolveObject("scout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := back2.Get(back2.Principal(), "visited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != `["b"]` {
+		t.Errorf("replayed visited = %v (want the as-shipped image)", v)
+	}
+}
+
+// TestConcurrentDispatchSameName races two dispatches of one agent to two
+// different destinations: exactly one may win, and exactly one copy may
+// exist afterwards.
+func TestConcurrentDispatchSameName(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	c := newMigSite(t, net, "c", persist.NewMemStore())
+	link(t, a, "b")
+	link(t, a, "c")
+
+	inertAgent(t, a, "box")
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, dest := range []string{"b", "c"} {
+		wg.Add(1)
+		go func(i int, dest string) {
+			defer wg.Done()
+			_, errs[i] = a.DispatchAgent("box", dest)
+		}(i, dest)
+	}
+	wg.Wait()
+
+	wins := 0
+	for _, err := range errs {
+		if err == nil {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("concurrent dispatches: %d succeeded (errs: %v)", wins, errs)
+	}
+	if got := copies("box", a, b, c); got != 1 {
+		t.Fatalf("agent copies = %d", got)
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("journal not pruned: %v", slots)
+	}
+}
+
+// TestArrivalDedupPruning caps the destination dedup table and verifies
+// settled records (memory and journal slots) are evicted oldest-first.
+func TestArrivalDedupPruning(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSiteCfg(t, net, Config{
+		Name:              "b",
+		Store:             persist.NewMemStore(),
+		Resilience:        migPolicy(),
+		MaxArrivalRecords: 2,
+	})
+	link(t, a, "b")
+
+	names := []string{"box0", "box1", "box2", "box3"}
+	for _, n := range names {
+		inertAgent(t, a, n)
+		if _, err := a.DispatchAgent(n, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := b.ArrivalRecords()
+	if len(recs) != 2 {
+		t.Fatalf("arrival records after pruning = %v", recs)
+	}
+	// The journal mirrors the table: evicted slots are deleted.
+	slots, err := b.journal.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrSlots []string
+	for _, slot := range slots {
+		if strings.HasPrefix(slot, arrivalSlotPrefix) {
+			arrSlots = append(arrSlots, strings.TrimPrefix(slot, arrivalSlotPrefix))
+		}
+	}
+	if len(arrSlots) != 2 {
+		t.Errorf("journal arrival slots = %v", arrSlots)
+	}
+	for _, mid := range arrSlots {
+		found := false
+		for _, r := range recs {
+			if r == mid {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("journal slot %s not in live table %v", mid, recs)
+		}
+	}
+}
+
+// TestUpdateAmbassadorsSkipsDownPeers: the fan-out consults the health
+// table — a host with an open breaker is skipped (no call attempted, error
+// reported) while healthy hosts still update.
+func TestUpdateAmbassadorsSkipsDownPeers(t *testing.T) {
+	net := transport.NewInProcNet()
+	hq := newMigSiteCfg(t, net, Config{
+		Name:       "hq",
+		Resilience: transport.ResilientPolicy{BaseBackoff: time.Millisecond, FailureThreshold: 1, Cooldown: time.Minute},
+	})
+	hostB := newMigSite(t, net, "b", nil)
+	hostC := newMigSite(t, net, "c", nil)
+	link(t, hq, "b")
+	link(t, hq, "c")
+
+	bld := hq.NewAPOBuilder("Payroll")
+	bld.FixedScriptMethod("hello", `fn() { return "hi"; }`)
+	if err := hq.AddAPO("payroll", bld.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hostB.Import("hq", "payroll"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hostC.Import("hq", "payroll"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the wire to c and open its breaker with one failed call.
+	fc := &transport.FaultConn{}
+	if err := hq.SetPeerConn("c", fc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hq.callPeer("c", verbInvoke, value.NewMap(nil)); err == nil {
+		t.Fatal("call over cut wire succeeded")
+	}
+	if st, err := hq.PeerStatus("c"); err != nil || st.Up() {
+		t.Fatalf("peer c status = %+v, %v; want open breaker", st, err)
+	}
+	if up := hq.UpPeerNames(); len(up) != 1 || up[0] != "b" {
+		t.Fatalf("UpPeerNames = %v", up)
+	}
+
+	before := fc.Calls()
+	updated, err := hq.UpdateAmbassadors("payroll", "addDataItem",
+		value.NewString("note"), value.NewString("updated"))
+	if updated != 1 {
+		t.Errorf("updated = %d, want 1 (b only)", updated)
+	}
+	if !errors.Is(err, ErrPeerDown) {
+		t.Errorf("error = %v, want ErrPeerDown", err)
+	}
+	if fc.Calls() != before {
+		t.Errorf("skipped peer was still called (%d → %d)", before, fc.Calls())
+	}
+
+	// The IOO's upPeers view reflects the same health filter.
+	v, err := hq.IOO().InvokeSelf("upPeers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != `["b"]` {
+		t.Errorf("ioo.upPeers = %v", v)
+	}
+	_ = hostC
+}
+
+// TestDispatchFailsFastWhenPeerDown: a destination with an open breaker is
+// refused before any journal record is written.
+func TestDispatchFailsFastWhenPeerDown(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSiteCfg(t, net, Config{
+		Name:       "a",
+		Store:      persist.NewMemStore(),
+		Resilience: transport.ResilientPolicy{BaseBackoff: time.Millisecond, FailureThreshold: 1, Cooldown: time.Minute},
+	})
+	b := newMigSite(t, net, "b", nil)
+	link(t, a, "b")
+	_ = b
+
+	inertAgent(t, a, "box")
+	fc := &transport.FaultConn{}
+	if err := a.SetPeerConn("b", fc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.callPeer("b", verbInvoke, value.NewMap(nil)); err == nil {
+		t.Fatal("call over cut wire succeeded")
+	}
+
+	calls := fc.Calls()
+	_, err := a.DispatchAgent("box", "b")
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("dispatch error = %v, want ErrPeerDown", err)
+	}
+	if fc.Calls() != calls {
+		t.Error("fail-fast dispatch still hit the wire")
+	}
+	if _, err := a.ResolveObject("box"); err != nil {
+		t.Errorf("agent lost on fail-fast refusal: %v", err)
+	}
+	if slots := journalMigrations(t, a); len(slots) != 0 {
+		t.Errorf("fail-fast dispatch journaled %v", slots)
+	}
+	if ids := a.InDoubtMigrations(); len(ids) != 0 {
+		t.Errorf("fail-fast dispatch left doubt: %v", ids)
+	}
+}
+
+// TestMigrationStatusUnknown: a status query for a migration the
+// destination never saw answers "unknown", not an error.
+func TestMigrationStatusUnknown(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", nil)
+	b := newMigSite(t, net, "b", nil)
+	link(t, a, "b")
+	_ = b
+
+	st, err := a.MigrationStatusAt("b", "never-happened")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Landed || st.State != "unknown" {
+		t.Errorf("status = %+v, want unknown/not landed", st)
+	}
+}

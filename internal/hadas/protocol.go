@@ -40,7 +40,7 @@ func field(m map[string]value.Value, key string) string {
 }
 
 // handle is the site's protocol endpoint.
-func (s *Site) handle(_ context.Context, verb string, payload []byte) ([]byte, error) {
+func (s *Site) handle(ctx context.Context, verb string, payload []byte) ([]byte, error) {
 	req, err := decodeReq(payload)
 	if err != nil {
 		return nil, err
@@ -58,7 +58,9 @@ func (s *Site) handle(_ context.Context, verb string, payload []byte) ([]byte, e
 	case verbInvoke:
 		resp, err = s.handleInvoke(m)
 	case verbDispatch:
-		resp, err = s.handleDispatch(m)
+		resp, err = s.handleDispatch(ctx, m)
+	case verbMigrationStatus:
+		resp, err = s.handleMigrationStatus(ctx, m)
 	default:
 		return nil, fmt.Errorf("%w: unknown verb %q", core.ErrNotFound, verb)
 	}
@@ -213,10 +215,16 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 }
 
 // retrySafeVerb reports whether a protocol verb may be replayed after a
-// transport failure. Only the link handshake is idempotent: re-linking
-// overwrites the same Vicinity entry, whereas export appends a deployment
-// record at the origin and invoke/dispatch run arbitrary method bodies.
-func retrySafeVerb(verb string) bool { return verb == verbLink }
+// transport failure. The link handshake is idempotent (re-linking
+// overwrites the same Vicinity entry), the migration status query is a
+// pure read, and dispatch became retry-safe once receipt dedups on the
+// migration ID (a replayed hadas.dispatch returns the recorded outcome,
+// it never double-installs or re-runs onArrival). hadas.export still
+// appends a deployment record at the origin and hadas.invoke runs
+// arbitrary method bodies — a duplicate could double a side effect.
+func retrySafeVerb(verb string) bool {
+	return verb == verbLink || verb == verbDispatch || verb == verbMigrationStatus
+}
 
 // newPeerConn wraps conn (possibly nil — then dialed on first use) in the
 // site's resilience policy. The redialer re-reads the peer's advertised
@@ -489,7 +497,11 @@ func (s *Site) handleInvoke(m map[string]value.Value) (value.Value, error) {
 // setMethod or addMethod) on every deployed ambassador of an APO, acting
 // as the APO itself — the §5 dynamic-update mechanism ("updates in APO's
 // functionality can be done dynamically … by adding methods and data items
-// to the APO and its Ambassador on the fly"). It returns the number of
+// to the APO and its Ambassador on the fly"). The fan-out consults the
+// peer-health table first: hosts whose circuit breaker is open are skipped
+// (logged, and reported through the returned error) instead of being
+// rediscovered down one call at a time, and healthy hosts are updated
+// first so one dead peer never delays the rest. It returns the number of
 // ambassadors updated; the error, if any, is the first failure.
 func (s *Site) UpdateAmbassadors(apoName, method string, args ...value.Value) (int, error) {
 	apo, err := s.APO(apoName)
@@ -505,9 +517,25 @@ func (s *Site) UpdateAmbassadors(apoName, method string, args ...value.Value) (i
 	}
 	s.mu.Unlock()
 
-	updated := 0
+	up := make(map[string]bool, len(targets))
+	for _, ps := range s.PeerHealth() {
+		up[ps.Peer] = ps.Up()
+	}
+	live := make([]deployment, 0, len(targets))
 	var firstErr error
 	for _, d := range targets {
+		if healthy, known := up[d.hostSite]; known && !healthy {
+			s.log("skipping ambassador update at %s: peer down", d.hostSite)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("update ambassador at %s: %w: circuit open", d.hostSite, ErrPeerDown)
+			}
+			continue
+		}
+		live = append(live, d)
+	}
+
+	updated := 0
+	for _, d := range live {
 		_, err := s.InvokeRemote(d.hostSite, apo.Principal(), d.ambassadorID.String(), method, args...)
 		if err != nil {
 			if firstErr == nil {

@@ -46,6 +46,12 @@ var (
 // Config.CallTimeout is zero (previously a hardcoded constant).
 const DefaultCallTimeout = 30 * time.Second
 
+// DefaultMaxArrivalRecords caps the destination-side migration dedup table
+// when Config.MaxArrivalRecords is zero. The cap must comfortably exceed
+// the window in which an origin might still retry or status-query a
+// migration (see Site.pruneArrivals).
+const DefaultMaxArrivalRecords = 4096
+
 // DialFunc connects to a remote site address.
 type DialFunc func(addr string) (transport.Conn, error)
 
@@ -81,6 +87,10 @@ type Config struct {
 	// half-open probe so Ambassadors recover without waiting for a caller
 	// to pay for the discovery. Zero disables probing.
 	ProbeInterval time.Duration
+	// MaxArrivalRecords caps the migration dedup table (arrival records
+	// kept so a retried dispatch returns its recorded outcome). Zero uses
+	// DefaultMaxArrivalRecords.
+	MaxArrivalRecords int
 }
 
 // peer is one Vicinity entry: a linked remote site. Its connection is
@@ -111,6 +121,13 @@ type Site struct {
 	auditor   *security.Auditor
 	ioo       *core.Object
 
+	// journal holds migration protocol state (origin journal records and
+	// the destination dedup table). It is the configured Store when one is
+	// set — records then survive a crash — and an in-memory store
+	// otherwise, so the protocol behaves identically either way and only
+	// durability follows the store.
+	journal persist.Store
+
 	mu              sync.Mutex
 	peers           map[string]*peer // by site name
 	apos            map[string]*core.Object
@@ -118,10 +135,16 @@ type Site struct {
 	ambassadorSpecs map[string]AmbassadorSpec // apoName → split
 	ambassadors     map[string]*core.Object   // hosted ambassadors, by registry name
 	deployments     []deployment
-	programs        []string // interop program names, install order
+	programs        []string        // interop program names, install order
+	migrating       map[string]bool // agent names with a dispatch in flight
 	listener        transport.Listener
 	stopProbe       chan struct{} // closes to stop the background prober
 	closed          bool
+
+	arrMu    sync.Mutex
+	arrivals map[string]*arrival // dedup table, by migration ID
+	arrOrder []*arrival          // claim order, oldest first (for pruning)
+	arrSeq   int64               // monotonically increasing claim sequence
 }
 
 // NewSite constructs a site, its behavior registry and its IOO.
@@ -159,6 +182,13 @@ func NewSite(cfg Config) (*Site, error) {
 		apos:        make(map[string]*core.Object),
 		exportACL:   make(map[string]security.ACL),
 		ambassadors: make(map[string]*core.Object),
+		migrating:   make(map[string]bool),
+		arrivals:    make(map[string]*arrival),
+	}
+	if cfg.Store != nil {
+		s.journal = cfg.Store
+	} else {
+		s.journal = persist.NewMemStore()
 	}
 	s.policy.GradeDomain(cfg.Domain, security.Local)
 	registerBehaviors(s.behaviors)
@@ -483,26 +513,46 @@ func (s *Site) PersistAll() error {
 	return s.cfg.Store.Put(homeManifestSlot, encodeReq(value.NewMap(manifest)))
 }
 
-// BootstrapHome restores every APO recorded by the last PersistAll. APOs
-// already present under their manifest name are skipped. It returns the
-// names restored.
+// BootstrapHome restores the site after a restart. It replays the
+// migration journal first — arrival records reinstall agents that had
+// landed here, and in-doubt outgoing migrations are resolved against
+// their destinations (committed if the agent landed, reinstated from the
+// journaled image if not; unreachable destinations stay in doubt for a
+// later ResolveMigrations) — then restores every APO recorded by the last
+// PersistAll. APOs already present under their name are skipped. It
+// returns the names restored.
 func (s *Site) BootstrapHome() ([]string, error) {
 	if s.cfg.Store == nil {
 		return nil, fmt.Errorf("%w: site has no store", core.ErrNotFound)
 	}
-	raw, err := s.cfg.Store.Get(homeManifestSlot)
+	arrived, err := s.replayArrivals()
 	if err != nil {
 		return nil, fmt.Errorf("bootstrap home: %w", err)
+	}
+	reinstated, err := s.ResolveMigrations()
+	if err != nil {
+		return arrived, fmt.Errorf("bootstrap home: %w", err)
+	}
+	restored := append(arrived, reinstated...)
+	raw, err := s.cfg.Store.Get(homeManifestSlot)
+	if err != nil {
+		if len(restored) > 0 && errors.Is(err, persist.ErrNoSlot) {
+			// The journal recovered agents but the site never persisted a
+			// manifest (it crashed before its first PersistAll) — that is
+			// a successful bootstrap, not a failure.
+			sort.Strings(restored)
+			return restored, nil
+		}
+		return restored, fmt.Errorf("bootstrap home: %w", err)
 	}
 	man, err := decodeReq(raw)
 	if err != nil {
-		return nil, fmt.Errorf("bootstrap home: %w", err)
+		return restored, fmt.Errorf("bootstrap home: %w", err)
 	}
 	m, ok := man.Map()
 	if !ok {
-		return nil, fmt.Errorf("bootstrap home: manifest is not a map")
+		return restored, fmt.Errorf("bootstrap home: manifest is not a map")
 	}
-	var restored []string
 	for name, idV := range m {
 		if _, err := s.APO(name); err == nil {
 			continue // already installed

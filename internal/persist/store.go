@@ -160,7 +160,24 @@ func (s *FileStore) Put(slot string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("put %q: %w", slot, err)
 	}
+	// The rename is atomic against a process crash, but the directory
+	// entry itself is not durable until the directory is fsynced — without
+	// this a power loss can forget the replace entirely.
+	if err := s.syncDir(); err != nil {
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs the store directory, making renames and removals durable
+// against power loss (not just process crashes).
+func (s *FileStore) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Get implements Store, verifying the integrity header.
@@ -187,10 +204,19 @@ func (s *FileStore) Get(slot string) ([]byte, error) {
 	return data, nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The removal is fsynced into the directory so a
+// deleted slot cannot reappear after power loss.
 func (s *FileStore) Delete(slot string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	err := os.Remove(s.slotFile(slot))
-	if err != nil && !os.IsNotExist(err) {
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("delete %q: %w", slot, err)
+	}
+	if err := s.syncDir(); err != nil {
 		return fmt.Errorf("delete %q: %w", slot, err)
 	}
 	return nil

@@ -20,6 +20,10 @@ var ErrInjected = errors.New("injected transport fault")
 type FaultRule struct {
 	// Fail makes every matching operation fail.
 	Fail bool
+	// FailFirst makes the first N matching operations (1-based) fail,
+	// after which the rule passes — the shape of a transient outage that
+	// heals mid-retry.
+	FailFirst int
 	// FailEvery makes every Nth matching operation (1-based) fail.
 	FailEvery int
 	// FailProb fails each matching operation with this probability, drawn
@@ -27,6 +31,11 @@ type FaultRule struct {
 	FailProb float64
 	// Delay is added before the operation.
 	Delay time.Duration
+	// FailAfter changes *when* a selected failure strikes: the operation
+	// is delivered to the inner connection first and only the response is
+	// dropped — modeling a request that executed remotely while the caller
+	// sees a transport failure (the ambiguous half of partial failure).
+	FailAfter bool
 
 	calls atomic.Int64
 }
@@ -34,28 +43,36 @@ type FaultRule struct {
 // Calls reports how many operations this rule has matched.
 func (r *FaultRule) Calls() int64 { return r.calls.Load() }
 
-// decide applies the rule: delay first, then the failure checks.
-func (r *FaultRule) decide(ctx context.Context, chance func(float64) bool) error {
-	n := r.calls.Add(1)
-	if r.Delay > 0 {
-		t := time.NewTimer(r.Delay)
-		defer t.Stop()
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			return ctx.Err()
-		}
+// delay applies the rule's delay, honoring cancellation.
+func (r *FaultRule) delay(ctx context.Context) error {
+	if r.Delay <= 0 {
+		return nil
 	}
+	t := time.NewTimer(r.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// shouldFail decides whether matching operation n (1-based) fails.
+func (r *FaultRule) shouldFail(n int64, chance func(float64) bool) bool {
 	if r.Fail {
-		return ErrInjected
+		return true
+	}
+	if r.FailFirst > 0 && n <= int64(r.FailFirst) {
+		return true
 	}
 	if r.FailEvery > 0 && n%int64(r.FailEvery) == 0 {
-		return ErrInjected
+		return true
 	}
 	if r.FailProb > 0 && chance(r.FailProb) {
-		return ErrInjected
+		return true
 	}
-	return nil
+	return false
 }
 
 // FaultConn wraps a Conn with deterministic failure injection for testing
@@ -123,9 +140,23 @@ func (f *FaultConn) Call(ctx context.Context, verb string, payload []byte) ([]by
 		return nil, ErrInjected
 	}
 	if rule := f.VerbRules[verb]; rule != nil {
-		if err := rule.decide(ctx, f.chance); err != nil {
+		rn := rule.calls.Add(1)
+		if err := rule.delay(ctx); err != nil {
 			return nil, err
 		}
+		fail := rule.shouldFail(rn, f.chance)
+		if fail && !rule.FailAfter {
+			return nil, ErrInjected
+		}
+		if f.Inner == nil {
+			return nil, ErrInjected
+		}
+		out, err := f.Inner.Call(ctx, verb, payload)
+		if fail {
+			// The request executed remotely; only the response is lost.
+			return nil, ErrInjected
+		}
+		return out, err
 	} else {
 		if f.Delay > 0 {
 			t := time.NewTimer(f.Delay)
@@ -155,10 +186,23 @@ func (f *FaultConn) Ping(ctx context.Context) error {
 	if f.cut.Load() {
 		return ErrInjected
 	}
-	if f.PingRule != nil {
-		if err := f.PingRule.decide(ctx, f.chance); err != nil {
+	if rule := f.PingRule; rule != nil {
+		rn := rule.calls.Add(1)
+		if err := rule.delay(ctx); err != nil {
 			return err
 		}
+		fail := rule.shouldFail(rn, f.chance)
+		if fail && !rule.FailAfter {
+			return ErrInjected
+		}
+		if f.Inner == nil {
+			return ErrInjected
+		}
+		err := f.Inner.Ping(ctx)
+		if fail {
+			return ErrInjected
+		}
+		return err
 	}
 	if f.Inner == nil {
 		return ErrInjected
