@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check
+.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check bench-profile
 
 # Benchmarks tracked for regressions across PRs (see cmd/benchguard).
 # Each is run BENCH_COUNT times and benchguard keeps the fastest
@@ -40,14 +40,24 @@ race: verify-race
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# bench-record appends a snapshot of the tracked benchmarks to
-# BENCH_PR.json; run it once per PR so bench-check has a fresh baseline.
+# bench-record appends a snapshot of the tracked benchmarks (ns/op plus
+# allocs/op and B/op from -benchmem) to BENCH_PR.json; run it once per PR
+# so bench-check has a fresh baseline.
 bench-record:
-	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
+	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . \
 		| $(GO) run ./cmd/benchguard -mode record
 
 # bench-check warns (never fails) when a tracked benchmark runs >20%
-# slower than the latest BENCH_PR.json snapshot.
+# slower — or allocates more per op — than the latest BENCH_PR.json
+# snapshot.
 bench-check:
-	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) . \
+	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . \
 		| $(GO) run ./cmd/benchguard -mode check
+
+# bench-profile writes CPU and heap profiles of the warm dispatch (E3) and
+# security (E5) benchmarks to profiles/ for `go tool pprof`.
+bench-profile:
+	@mkdir -p profiles
+	$(GO) test -run='^$$' -bench='E3_MROM|E5_' -benchtime=$(BENCH_TIME) \
+		-cpuprofile=profiles/cpu.out -memprofile=profiles/heap.out .
+	@echo "wrote profiles/cpu.out and profiles/heap.out (inspect with: $(GO) tool pprof profiles/cpu.out)"

@@ -31,11 +31,15 @@ import (
 	"time"
 )
 
-// snapshot is one recorded benchmark run.
+// snapshot is one recorded benchmark run. The allocation maps are present
+// only for runs recorded with -benchmem output (older snapshots omit them,
+// and checks against such a baseline skip the allocation comparison).
 type snapshot struct {
-	Label string             `json:"label"`
-	When  string             `json:"when"`
-	NsOp  map[string]float64 `json:"ns_op"`
+	Label    string             `json:"label"`
+	When     string             `json:"when"`
+	NsOp     map[string]float64 `json:"ns_op"`
+	AllocsOp map[string]float64 `json:"allocs_op,omitempty"`
+	BytesOp  map[string]float64 `json:"bytes_op,omitempty"`
 }
 
 // history is the on-disk format of BENCH_PR.json.
@@ -43,16 +47,33 @@ type history struct {
 	Records []snapshot `json:"records"`
 }
 
-// parseBench extracts ns/op per benchmark from `go test -bench` output.
+// benchRun holds the numbers parsed from one `go test -bench` output:
+// ns/op always, allocs/op and B/op when the run used -benchmem.
+type benchRun struct {
+	ns     map[string]float64
+	allocs map[string]float64
+	bytes  map[string]float64
+}
+
+// parseBench extracts per-benchmark numbers from `go test -bench` output.
 // Lines look like:
 //
-//	BenchmarkE3_DirectGoCall-8   1000000000   0.25 ns/op
+//	BenchmarkE3_DirectGoCall-8   1000000000   0.25 ns/op   48 B/op   2 allocs/op
 //
 // The -N GOMAXPROCS suffix is stripped so records compare across machines.
-// A benchmark appearing more than once (`-count=N`) keeps its minimum —
-// the repetition least disturbed by scheduler noise.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
+// A benchmark appearing more than once (`-count=N`) keeps the minimum of
+// each metric — the repetition least disturbed by scheduler noise.
+func parseBench(r io.Reader) (benchRun, error) {
+	run := benchRun{
+		ns:     make(map[string]float64),
+		allocs: make(map[string]float64),
+		bytes:  make(map[string]float64),
+	}
+	keepMin := func(m map[string]float64, name string, v float64) {
+		if prev, seen := m[name]; !seen || v < prev {
+			m[name] = v
+		}
+	}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -66,19 +87,26 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 			}
 		}
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("benchmark %s: bad ns/op %q", name, fields[i])
-				}
-				if prev, seen := out[name]; !seen || v < prev {
-					out[name] = v
-				}
-				break
+			var m map[string]float64
+			switch fields[i+1] {
+			case "ns/op":
+				m = run.ns
+			case "B/op":
+				m = run.bytes
+			case "allocs/op":
+				m = run.allocs
+			default:
+				continue
 			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return run, fmt.Errorf("benchmark %s: bad %s %q", name, fields[i+1], fields[i])
+			}
+			keepMin(m, name, v)
+			i++
 		}
 	}
-	return out, sc.Err()
+	return run, sc.Err()
 }
 
 // regressions compares a run against a baseline: benchmarks slower by more
@@ -96,6 +124,25 @@ func regressions(base, cur map[string]float64, threshold float64) []string {
 			warns = append(warns, fmt.Sprintf(
 				"%s: %.4g ns/op vs %.4g recorded (%.0f%% slower)",
 				name, now, was, (ratio-1)*100))
+		}
+	}
+	sort.Strings(warns)
+	return warns
+}
+
+// allocRegressions flags any benchmark allocating more per op than the
+// baseline. Allocation counts are deterministic (no scheduler noise), so
+// any increase is a real change — most of the warm paths assert 0.
+func allocRegressions(base, cur map[string]float64) []string {
+	var warns []string
+	for name, now := range cur {
+		was, ok := base[name]
+		if !ok {
+			continue
+		}
+		if now > was {
+			warns = append(warns, fmt.Sprintf(
+				"%s: %g allocs/op vs %g recorded", name, now, was))
 		}
 	}
 	sort.Strings(warns)
@@ -130,7 +177,7 @@ func run(mode, file, label string, threshold float64, in io.Reader, out io.Write
 	if err != nil {
 		return err
 	}
-	if len(cur) == 0 {
+	if len(cur.ns) == 0 {
 		fmt.Fprintln(out, "benchguard: no benchmark lines on stdin")
 		return nil
 	}
@@ -143,11 +190,16 @@ func run(mode, file, label string, threshold float64, in io.Reader, out io.Write
 		if label == "" {
 			label = defaultLabel()
 		}
-		h.Records = append(h.Records, snapshot{
+		snap := snapshot{
 			Label: label,
 			When:  time.Now().UTC().Format(time.RFC3339),
-			NsOp:  cur,
-		})
+			NsOp:  cur.ns,
+		}
+		if len(cur.allocs) > 0 {
+			snap.AllocsOp = cur.allocs
+			snap.BytesOp = cur.bytes
+		}
+		h.Records = append(h.Records, snap)
 		raw, err := json.MarshalIndent(h, "", "  ")
 		if err != nil {
 			return err
@@ -156,14 +208,15 @@ func run(mode, file, label string, threshold float64, in io.Reader, out io.Write
 			return err
 		}
 		fmt.Fprintf(out, "benchguard: recorded %d benchmarks as %q (%d records in %s)\n",
-			len(cur), label, len(h.Records), file)
+			len(cur.ns), label, len(h.Records), file)
 	case "check":
 		if len(h.Records) == 0 {
 			fmt.Fprintf(out, "benchguard: no baseline in %s; run `make bench-record` first\n", file)
 			return nil
 		}
 		base := h.Records[len(h.Records)-1]
-		warns := regressions(base.NsOp, cur, threshold)
+		warns := regressions(base.NsOp, cur.ns, threshold)
+		warns = append(warns, allocRegressions(base.AllocsOp, cur.allocs)...)
 		if len(warns) == 0 {
 			fmt.Fprintf(out, "benchguard: no regression >%.0f%% vs %q\n", threshold*100, base.Label)
 			return nil

@@ -27,27 +27,64 @@ func TestParseBench(t *testing.T) {
 		"E3_MROMFixedMethod": 265.3,
 		"E5_ACLScan":         99.81,
 	}
-	if len(got) != len(want) {
-		t.Fatalf("parsed %v, want %v", got, want)
+	if len(got.ns) != len(want) {
+		t.Fatalf("parsed %v, want %v", got.ns, want)
 	}
 	for name, v := range want {
-		if got[name] != v {
-			t.Errorf("%s = %v, want %v", name, got[name], v)
+		if got.ns[name] != v {
+			t.Errorf("%s = %v, want %v", name, got.ns[name], v)
 		}
+	}
+	// The one -benchmem line contributes allocation metrics.
+	if got.allocs["E3_MROMFixedMethod"] != 2 || got.bytes["E3_MROMFixedMethod"] != 48 {
+		t.Errorf("allocs/bytes = %v/%v, want 2/48",
+			got.allocs["E3_MROMFixedMethod"], got.bytes["E3_MROMFixedMethod"])
+	}
+	if len(got.allocs) != 1 {
+		t.Errorf("allocs parsed for %d benchmarks, want 1", len(got.allocs))
 	}
 }
 
 func TestParseBenchKeepsMinOfRepetitions(t *testing.T) {
-	in := `BenchmarkE5_ACLScan-8  1000  150.0 ns/op
-BenchmarkE5_ACLScan-8  1000  99.5 ns/op
-BenchmarkE5_ACLScan-8  1000  210.0 ns/op
+	in := `BenchmarkE5_ACLScan-8  1000  150.0 ns/op  24 B/op  1 allocs/op
+BenchmarkE5_ACLScan-8  1000  99.5 ns/op  0 B/op  0 allocs/op
+BenchmarkE5_ACLScan-8  1000  210.0 ns/op  24 B/op  1 allocs/op
 `
 	got, err := parseBench(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["E5_ACLScan"] != 99.5 {
-		t.Errorf("E5_ACLScan = %v, want min 99.5", got["E5_ACLScan"])
+	if got.ns["E5_ACLScan"] != 99.5 {
+		t.Errorf("E5_ACLScan = %v, want min 99.5", got.ns["E5_ACLScan"])
+	}
+	if got.allocs["E5_ACLScan"] != 0 {
+		t.Errorf("E5_ACLScan allocs = %v, want min 0", got.allocs["E5_ACLScan"])
+	}
+}
+
+func TestAllocRegressions(t *testing.T) {
+	base := map[string]float64{"A": 0, "B": 2, "Gone": 0}
+	cur := map[string]float64{"A": 1, "B": 2, "New": 7}
+	warns := allocRegressions(base, cur)
+	if len(warns) != 1 || !strings.HasPrefix(warns[0], "A:") {
+		t.Fatalf("warns = %v, want exactly one for A", warns)
+	}
+}
+
+func TestCheckFlagsAllocIncrease(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_PR.json")
+	var out strings.Builder
+	if err := run("record", file, "seed", 0.20, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Same speed, one extra allocation: still a warning.
+	leaky := strings.Replace(sampleBench, "2 allocs/op", "3 allocs/op", 1)
+	out.Reset()
+	if err := run("check", file, "", 0.20, strings.NewReader(leaky), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARNING") || !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("alloc-regressed check output = %q", out.String())
 	}
 }
 

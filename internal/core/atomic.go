@@ -77,7 +77,6 @@ func (o *Object) restoreExt(cp checkpoint) {
 	}
 	o.invokeLevels = append(o.invokeLevels[:0:0], cp.invokeLevels...)
 	o.bumpStruct()
-	o.bumpACL()
 	o.levelCount.Store(int32(len(o.invokeLevels)))
 	// Drop handles that may now point at rolled-back items.
 	for tok := range o.handles {
@@ -107,8 +106,9 @@ func metaAtomic(inv *Invocation, args []value.Value) (value.Value, error) {
 	}
 	o := inv.self
 	cp := o.checkpointExt()
-	child := &Invocation{self: o, caller: inv.caller, depth: inv.depth + 1, chain: inv.chain}
+	child := getInvocation(o, inv.caller, "", 0, inv.depth+1, inv.chain)
 	v, err := o.invokeFrom(child, name, argList(args, 1))
+	putInvocation(child)
 	if err != nil {
 		o.restoreExt(cp)
 		return value.Null, fmt.Errorf("atomic %q rolled back: %w", name, err)

@@ -17,28 +17,37 @@ import (
 // mutation — repeat invocations by the same principal skip both the
 // container search and the ACL scan.
 //
-// Validity rules (documented for users in DESIGN.md §7):
+// Invalidation is per entry, not per object (documented for users in
+// DESIGN.md §7 and §10): every DataItem and Method carries its own
+// generation counter, and every cached entry records the counter pointer
+// plus the value it was filled against. An entry is valid while
 //
-//   - every entry is valid only while the object's structGen and aclGen
-//     equal the values captured when the entry was filled;
-//   - a Match entry whose decision fell through to the site Policy is
-//     additionally valid only while Policy.Generation is unchanged.
+//   - the object's structGen equals the value captured at fill time
+//     (structGen now advances only on dispatch-shape changes: meta-invoke
+//     level push/pop, atomic rollback, policy/auditor attachment, and
+//     manual cache flushes);
+//   - the source item's generation is unchanged (item generations advance
+//     on body/pre/post replacement, rename, visibility and ACL edits, and
+//     deletion — all the per-item mutations);
+//   - for a Match decision that fell through to the site Policy,
+//     Policy.Generation is also unchanged.
 //
-// structGen advances on any structural mutation: add/delete/rename of data
-// items or methods, body/pre/post replacement, meta-invoke level push/pop,
-// atomic rollback, and policy/auditor attachment. aclGen advances on any
-// ACL or visibility edit. Bumps happen inside the object lock and fills
-// read their generations under that same lock, so a fill can never tag a
-// stale snapshot with a current generation: either the fill observed the
+// Adding a new item needs no invalidation at all: misses are never
+// memoized, and the duplicate check prevents an add from shadowing an
+// existing name. Bumps happen inside the object lock and fills read their
+// generations under that same lock, so a fill can never tag a stale
+// snapshot with a current generation: either the fill observed the
 // mutation, or its entry is dead on arrival. The guarantee that matters:
 // once a revoke (ACL edit, policy change, method deletion) returns, the
 // very next invocation re-evaluates Match from scratch — a cached allow is
-// never served after a revoke.
+// never served after a revoke. What fine granularity adds: a mutation of
+// one item no longer evicts warm entries for its neighbors.
 
 // methodSnap is an immutable snapshot of a method, taken under the object
 // lock. The Apply phase works from snapshots so a concurrent setMethod is
 // never observed mid-edit: an in-flight invocation finishes on the body it
-// started with, and the next dispatch sees the replacement.
+// started with, and the next dispatch sees the replacement. src/srcGen
+// pin the snapshot to the method state it was taken from.
 type methodSnap struct {
 	name    string
 	body    Body
@@ -46,31 +55,120 @@ type methodSnap struct {
 	post    Body
 	acl     security.ACL
 	visible bool
+	src     *atomic.Uint64 // the method's generation counter
+	srcGen  uint64         // its value when the snapshot was taken
 }
+
+// fresh reports whether the snapshotted method is unedited.
+func (s *methodSnap) fresh() bool { return s.src.Load() == s.srcGen }
 
 // snapshotMethod copies the dispatch-relevant fields. Callers hold o.mu.
 func snapshotMethod(m *Method) *methodSnap {
 	return &methodSnap{name: m.name, body: m.body, pre: m.pre, post: m.post,
-		acl: m.acl, visible: m.visible}
+		acl: m.acl, visible: m.visible, src: m.gen, srcGen: m.gen.Load()}
+}
+
+// levelsSnap is an immutable snapshot of the whole meta-invoke chain plus
+// the policy/auditor captured with it, published through Object.levelCache
+// so runLevel needs the object lock only on the first call after an edit.
+// Validity mirrors the other cache entries: the snapshot holds while
+// structGen still equals gen (level push/pop and policy changes bump it)
+// and the used level's methodSnap is fresh (editing a level method through
+// its getMethod handle bumps that method's own counter).
+type levelsSnap struct {
+	gen   uint64
+	snaps []*methodSnap // index k-1 holds level k
+	pol   *security.Policy
+	aud   *security.Auditor
+}
+
+// snapshotLevels fills and publishes the level cache. The store happens
+// under the object lock, where structGen is bumped, so a stale snapshot can
+// never overwrite a fresher one.
+func (o *Object) snapshotLevels() *levelsSnap {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ls := &levelsSnap{
+		gen:   o.structGen.Load(),
+		snaps: make([]*methodSnap, len(o.invokeLevels)),
+		pol:   o.policy,
+		aud:   o.auditor,
+	}
+	for i, m := range o.invokeLevels {
+		ls.snaps[i] = snapshotMethod(m)
+	}
+	o.levelCache.Store(ls)
+	return ls
+}
+
+// currentLevels returns the published level-chain snapshot, refilling it
+// when the dispatch shape has changed since it was taken.
+func (o *Object) currentLevels() *levelsSnap {
+	if ls := o.levelCache.Load(); ls != nil && ls.gen == o.structGen.Load() {
+		return ls
+	}
+	return o.snapshotLevels()
+}
+
+// levelDecision returns the Match decision for caller invoking the level-k
+// meta-invoke, memoized in the match map under the level number (the whole
+// chain shares one method name, so the name alone cannot key it). Callers
+// have already short-circuited self access.
+func (o *Object) levelDecision(caller security.Principal, ls *levelsSnap, k int, meta *methodSnap) error {
+	key := matchKey{object: caller.Object, domain: caller.Domain,
+		action: security.ActionInvoke, item: meta.name, level: k}
+	c := &o.cache
+	var ent *matchEntry
+	c.mu.RLock()
+	if c.gen == ls.gen {
+		ent = c.match[key]
+	}
+	c.mu.RUnlock()
+	if ent != nil && ent.fresh() &&
+		!(ent.polDep && ls.pol != nil && ls.pol.Generation() != ent.polGen) {
+		if ls.aud != nil {
+			ls.aud.Record(caller, security.ActionInvoke, meta.name, ent.allowed)
+		}
+		return ent.err
+	}
+	var polGen uint64
+	if ls.pol != nil {
+		polGen = ls.pol.Generation()
+	}
+	decision, polDep := o.matchDecide(caller, meta.acl, meta.visible, ls.pol, ls.aud,
+		security.ActionInvoke, meta.name)
+	c.store(ls.gen, ls.pol, ls.aud, "", nil, key,
+		&matchEntry{err: decision, allowed: decision == nil, polDep: polDep,
+			polGen: polGen, src: meta.src, srcGen: meta.srcGen})
+	return decision
 }
 
 // matchKey identifies one memoized Match decision: who asked to do what to
-// which item.
+// which item. level is 0 for ordinary items; a level-k meta-invoke decision
+// is keyed by its level so it can never collide with a stored method that
+// happens to share the name.
 type matchKey struct {
 	object naming.ID
 	domain string
 	action security.Action
 	item   string
+	level  int
 }
 
 // matchEntry is one memoized Match decision. err is the exact (immutable)
-// error a cold Match would produce, nil on allow.
+// error a cold Match would produce, nil on allow. src/srcGen pin the
+// decision to the generation of the item it was computed against.
 type matchEntry struct {
 	err     error
 	allowed bool
-	polDep  bool   // decision fell through to the policy default
-	polGen  uint64 // Policy.Generation the decision was computed against
+	polDep  bool           // decision fell through to the policy default
+	polGen  uint64         // Policy.Generation the decision was computed against
+	src     *atomic.Uint64 // the item's generation counter
+	srcGen  uint64         // its value when the decision was computed
 }
+
+// fresh reports whether the decided-against item is unedited.
+func (e *matchEntry) fresh() bool { return e.src.Load() == e.srcGen }
 
 // Cache maps are reset wholesale when they outgrow these bounds, so caller
 // churn cannot grow an object's memory without bound.
@@ -82,10 +180,10 @@ const (
 // hotEntry is the monomorphic L1 of the dispatch cache: the full outcome of
 // the last level-0 dispatch (snapshot + decision), published as one
 // immutable value so the repeat-caller hot path needs no lock and no map
-// hash — just an atomic load and a handful of comparisons.
+// hash — just an atomic load and a handful of comparisons. The snapshot's
+// own src/srcGen validate the entry against per-item edits.
 type hotEntry struct {
 	gen     uint64
-	aclGen  uint64
 	name    string
 	obj     naming.ID
 	domain  string
@@ -98,27 +196,35 @@ type hotEntry struct {
 	aud     *security.Auditor
 }
 
+// hotKey identifies one composed dispatch outcome: caller × method.
+type hotKey struct {
+	name   string
+	obj    naming.ID
+	domain string
+}
+
 // dispatchCache memoizes Lookup and Match for level-0 dispatch. One lives
 // inline in every Object; the zero value is an empty cache. hot is the
 // single-entry lock-free L1; the maps are the shared L2 behind a RWMutex.
+// hots holds composed hotEntry values per caller × method, so workloads
+// that alternate between methods republish the same immutable entry into
+// the L1 instead of allocating a fresh one on every switch.
 type dispatchCache struct {
 	hot     atomic.Pointer[hotEntry]
 	mu      sync.RWMutex
 	gen     uint64            // Object.structGen the entries were filled against
-	aclGen  uint64            // Object.aclGen the entries were filled against
 	pol     *security.Policy  // captured policy (changing it bumps structGen)
 	aud     *security.Auditor // captured auditor (changing it bumps structGen)
 	methods map[string]*methodSnap
 	match   map[matchKey]*matchEntry
+	hots    map[hotKey]*hotEntry
 }
 
 // bumpStruct invalidates every dispatch-cache entry of the object. Called
-// (under o.mu) by every structural mutation.
+// (under o.mu) by mutations that change the dispatch shape wholesale:
+// level push/pop, atomic rollback, policy/auditor attachment. Per-item
+// edits bump the item's own counter instead (see item.go).
 func (o *Object) bumpStruct() { o.structGen.Add(1) }
-
-// bumpACL invalidates every memoized Match decision of the object. Called
-// (under o.mu) by every ACL or visibility edit.
-func (o *Object) bumpACL() { o.aclGen.Add(1) }
 
 // FlushDispatchCache drops every memoized lookup and Match decision. The
 // caches invalidate themselves on reflective mutation; manual flushing
@@ -133,11 +239,11 @@ func (o *Object) FlushDispatchCache() {
 // objects still record every decision served from the cache.
 func (o *Object) fastLookup(caller security.Principal, name string) (snap *methodSnap, decision error, ok bool) {
 	c := &o.cache
-	sg, ag := o.structGen.Load(), o.aclGen.Load()
+	sg := o.structGen.Load()
 
 	// L1: the last dispatch, revalidated with plain comparisons.
 	if hot := c.hot.Load(); hot != nil &&
-		hot.gen == sg && hot.aclGen == ag &&
+		hot.gen == sg && hot.snap.fresh() &&
 		hot.name == name && hot.obj == caller.Object && hot.domain == caller.Domain &&
 		(!hot.polDep || hot.pol == nil || hot.pol.Generation() == hot.polGen) {
 		if hot.aud != nil {
@@ -147,14 +253,26 @@ func (o *Object) fastLookup(caller security.Principal, name string) (snap *metho
 	}
 
 	self := caller.Object == o.id
+	hk := hotKey{name: name, obj: caller.Object, domain: caller.Domain}
 	var ent *matchEntry
 	c.mu.RLock()
-	if c.gen != sg || c.aclGen != ag {
+	if c.gen != sg {
 		c.mu.RUnlock()
 		return nil, nil, false
 	}
+	// Composed entry for this caller × method: republish it to the L1
+	// unchanged — no allocation when a workload alternates methods.
+	if he := c.hots[hk]; he != nil && he.snap.fresh() &&
+		(!he.polDep || he.pol == nil || he.pol.Generation() == he.polGen) {
+		c.mu.RUnlock()
+		if he.aud != nil {
+			he.aud.Record(caller, security.ActionInvoke, name, he.allowed)
+		}
+		c.hot.Store(he)
+		return he.snap, he.err, true
+	}
 	snap = c.methods[name]
-	if snap == nil {
+	if snap == nil || !snap.fresh() {
 		c.mu.RUnlock()
 		return nil, nil, false
 	}
@@ -164,27 +282,35 @@ func (o *Object) fastLookup(caller security.Principal, name string) (snap *metho
 			action: security.ActionInvoke, item: name}]
 	}
 	c.mu.RUnlock()
+	var he *hotEntry
 	if self {
 		// Self-containment: an object always controls itself.
-		c.hot.Store(&hotEntry{gen: sg, aclGen: ag, name: name,
-			obj: caller.Object, domain: caller.Domain, snap: snap,
-			allowed: true, pol: pol, aud: aud})
-		return snap, nil, true
-	}
-	if ent == nil {
-		return nil, nil, false
-	}
-	if ent.polDep && pol != nil && pol.Generation() != ent.polGen {
-		return nil, nil, false
+		he = &hotEntry{gen: sg, name: name, obj: caller.Object, domain: caller.Domain,
+			snap: snap, allowed: true, pol: pol, aud: aud}
+	} else {
+		if ent == nil || !ent.fresh() {
+			return nil, nil, false
+		}
+		if ent.polDep && pol != nil && pol.Generation() != ent.polGen {
+			return nil, nil, false
+		}
+		he = &hotEntry{gen: sg, name: name, obj: caller.Object, domain: caller.Domain,
+			snap: snap, err: ent.err, allowed: ent.allowed, polDep: ent.polDep,
+			polGen: ent.polGen, pol: pol, aud: aud}
 	}
 	if aud != nil {
-		aud.Record(caller, security.ActionInvoke, name, ent.allowed)
+		aud.Record(caller, security.ActionInvoke, name, he.allowed)
 	}
-	c.hot.Store(&hotEntry{gen: sg, aclGen: ag, name: name,
-		obj: caller.Object, domain: caller.Domain, snap: snap,
-		err: ent.err, allowed: ent.allowed, polDep: ent.polDep, polGen: ent.polGen,
-		pol: pol, aud: aud})
-	return snap, ent.err, true
+	c.hot.Store(he)
+	c.mu.Lock()
+	if c.gen == sg {
+		if c.hots == nil || len(c.hots) >= maxMatchEntries {
+			c.hots = make(map[hotKey]*hotEntry)
+		}
+		c.hots[hk] = he
+	}
+	c.mu.Unlock()
+	return he.snap, he.err, true
 }
 
 // fastDecision returns the memoized Match decision for (caller, action,
@@ -195,16 +321,16 @@ func (o *Object) fastDecision(caller security.Principal, action security.Action,
 		return nil, true
 	}
 	c := &o.cache
-	sg, ag := o.structGen.Load(), o.aclGen.Load()
+	sg := o.structGen.Load()
 	c.mu.RLock()
-	if c.gen != sg || c.aclGen != ag {
+	if c.gen != sg {
 		c.mu.RUnlock()
 		return nil, false
 	}
 	ent := c.match[matchKey{object: caller.Object, domain: caller.Domain, action: action, item: item}]
 	pol, aud := c.pol, c.aud
 	c.mu.RUnlock()
-	if ent == nil {
+	if ent == nil || !ent.fresh() {
 		return nil, false
 	}
 	if ent.polDep && pol != nil && pol.Generation() != ent.polGen {
@@ -216,21 +342,25 @@ func (o *Object) fastDecision(caller security.Principal, action security.Action,
 	return ent.err, true
 }
 
-// store fills cache entries computed against the given generations. A nil
+// store fills cache entries computed against the given structGen. A nil
 // snap stores only the match entry (data access); a nil ent stores only the
-// snapshot (self calls bypass Match). If the cache was filled against other
-// generations it is reset and re-tagged — entries tagged with a superseded
-// generation fail the use-time comparison, so a racing stale fill can only
-// waste a refill, never revive a revoked allow.
-func (c *dispatchCache) store(gen, aclGen uint64, pol *security.Policy, aud *security.Auditor,
+// snapshot (self calls bypass Match). Fills tagged with a generation older
+// than the cache's are dropped — their entries would fail the use-time
+// comparison anyway, and keeping them out means a racing stale fill cannot
+// evict the fresh map. A fill from a newer generation resets the maps.
+func (c *dispatchCache) store(gen uint64, pol *security.Policy, aud *security.Auditor,
 	name string, snap *methodSnap, key matchKey, ent *matchEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.gen != gen || c.aclGen != aclGen || c.methods == nil {
-		c.gen, c.aclGen = gen, aclGen
+	if gen < c.gen {
+		return
+	}
+	if c.gen != gen || c.methods == nil {
+		c.gen = gen
 		c.pol, c.aud = pol, aud
 		c.methods = make(map[string]*methodSnap)
 		c.match = make(map[matchKey]*matchEntry)
+		c.hots = nil // recreated lazily on the next compose
 	}
 	if snap != nil {
 		if len(c.methods) >= maxMethodEntries {

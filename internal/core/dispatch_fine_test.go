@@ -1,0 +1,278 @@
+package core
+
+// Tests for the per-entry granularity of dispatch-cache invalidation:
+// editing one item must be observed on the very next call (freshness) while
+// leaving cached entries for every other item untouched (warmth). Warmth is
+// asserted white-box — the neighbor's snapshot pointer survives the edit —
+// and via structGen, which per-item edits must not advance.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/security"
+	"repro/internal/value"
+)
+
+// neighborObject builds an object with two ext methods and two ext data
+// items, invocable by anyone via an allow-all policy.
+func neighborObject(t *testing.T) *Object {
+	t.Helper()
+	b := NewBuilder(gen, "Neighbors", WithPolicy(allowAllPolicy()))
+	b.ExtScriptMethod("a", `fn() { return "a1"; }`)
+	b.ExtScriptMethod("b", `fn() { return "b1"; }`)
+	b.ExtData("x", value.NewInt(1))
+	b.ExtData("y", value.NewInt(2))
+	return b.MustBuild()
+}
+
+// cachedMethodSnap reads the L2 snapshot cached for name, if any.
+func cachedMethodSnap(o *Object, name string) *methodSnap {
+	o.cache.mu.RLock()
+	defer o.cache.mu.RUnlock()
+	return o.cache.methods[name]
+}
+
+// TestPerItemInvalidationKeepsMethodNeighborsWarm: editing method "a" must
+// be visible immediately, while the cached snapshot for "b" survives the
+// edit — and the object's structural generation does not move.
+func TestPerItemInvalidationKeepsMethodNeighborsWarm(t *testing.T) {
+	obj := neighborObject(t)
+	caller := callerFor("elsewhere")
+	for i := 0; i < 10; i++ {
+		if _, err := obj.Invoke(caller, "a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obj.Invoke(caller, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapB := cachedMethodSnap(obj, "b")
+	if snapB == nil {
+		t.Fatal("no cached snapshot for b after warming")
+	}
+	sg := obj.structGen.Load()
+
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("a"),
+		value.NewMap(map[string]value.Value{"body": value.NewString(`fn() { return "a2"; }`)})); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := obj.structGen.Load(); got != sg {
+		t.Errorf("structGen moved on a per-item edit: %d -> %d", sg, got)
+	}
+	v, err := obj.Invoke(caller, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "a2" {
+		t.Errorf("stale body for edited method: got %v, want a2", v)
+	}
+	if got := cachedMethodSnap(obj, "b"); got != snapB {
+		t.Errorf("neighbor b's snapshot was evicted by an edit of a")
+	} else if !got.fresh() {
+		t.Errorf("neighbor b's snapshot went stale without an edit")
+	}
+	if v, err := obj.Invoke(caller, "b"); err != nil || v.String() != "b1" {
+		t.Errorf("neighbor b = (%v, %v), want b1", v, err)
+	}
+}
+
+// TestPerItemInvalidationKeepsDataNeighborsWarm: revoking access to data
+// item "y" denies the next get on y, while x's cached Match decision stays
+// in place and keeps serving.
+func TestPerItemInvalidationKeepsDataNeighborsWarm(t *testing.T) {
+	obj := neighborObject(t)
+	caller := callerFor("elsewhere")
+	for i := 0; i < 10; i++ {
+		if _, err := obj.Get(caller, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obj.Get(caller, "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sg := obj.structGen.Load()
+	keyX := matchKey{object: caller.Object, domain: caller.Domain,
+		action: security.ActionGet, item: "x"}
+	obj.cache.mu.RLock()
+	entX := obj.cache.match[keyX]
+	obj.cache.mu.RUnlock()
+	if entX == nil {
+		t.Fatal("no cached Match decision for x after warming")
+	}
+
+	if _, err := obj.InvokeSelf("setDataItem", value.NewString("y"),
+		value.NewMap(map[string]value.Value{"aclDeny": value.NewString("domain:elsewhere")})); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := obj.structGen.Load(); got != sg {
+		t.Errorf("structGen moved on a per-item edit: %d -> %d", sg, got)
+	}
+	if _, err := obj.Get(caller, "y"); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("stale allow on y after revoke: err = %v, want ErrDenied", err)
+	}
+	obj.cache.mu.RLock()
+	got := obj.cache.match[keyX]
+	obj.cache.mu.RUnlock()
+	if got != entX {
+		t.Errorf("neighbor x's Match decision was evicted by an edit of y")
+	} else if !got.fresh() {
+		t.Errorf("neighbor x's Match decision went stale without an edit")
+	}
+	if v, err := obj.Get(caller, "x"); err != nil || !v.Equal(value.NewInt(1)) {
+		t.Errorf("neighbor x = (%v, %v), want 1", v, err)
+	}
+}
+
+// TestDispatchCacheConcurrentNeighborEdit races readers of method "b" and
+// data item "x" against a mutator that keeps editing method "a" and data
+// item "y". The neighbors must never miss a beat, and their cached entries
+// must survive the whole storm.
+func TestDispatchCacheConcurrentNeighborEdit(t *testing.T) {
+	obj := neighborObject(t)
+	warm := callerFor("elsewhere")
+	for i := 0; i < 5; i++ {
+		if _, err := obj.Invoke(warm, "b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obj.Get(warm, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapB := cachedMethodSnap(obj, "b")
+	if snapB == nil {
+		t.Fatal("no cached snapshot for b after warming")
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			caller := callerFor("elsewhere")
+			for !stop.Load() {
+				if v, err := obj.Invoke(caller, "b"); err != nil || v.String() != "b1" {
+					t.Errorf("worker %d: b = (%v, %v)", w, v, err)
+					return
+				}
+				if v, err := obj.Get(caller, "x"); err != nil || !v.Equal(value.NewInt(1)) {
+					t.Errorf("worker %d: x = (%v, %v)", w, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	bodies := []string{`fn() { return "a2"; }`, `fn() { return "a3"; }`}
+	for i := 0; i < 100; i++ {
+		if _, err := obj.InvokeSelf("setMethod", value.NewString("a"),
+			value.NewMap(map[string]value.Value{"body": value.NewString(bodies[i%2])})); err != nil {
+			t.Error(err)
+			break
+		}
+		if _, err := obj.InvokeSelf("setDataItem", value.NewString("y"),
+			value.NewMap(map[string]value.Value{"visible": value.NewBool(i%2 == 0)})); err != nil {
+			t.Error(err)
+			break
+		}
+		if _, err := obj.Invoke(warm, "a"); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got := cachedMethodSnap(obj, "b"); got != snapB {
+		t.Errorf("neighbor b's snapshot was evicted during the edit storm")
+	} else if !got.fresh() {
+		t.Errorf("neighbor b's snapshot went stale during the edit storm")
+	}
+}
+
+// TestLevelCacheObservesHandleEdit: the cached meta-invoke chain must pick
+// up an edit of a level method made through its getMethod handle on the
+// very next call.
+func TestLevelCacheObservesHandleEdit(t *testing.T) {
+	obj := revocableObject(t)
+	caller := callerFor("elsewhere")
+	// The meta body rewrites only "probe" results: the test's own meta
+	// calls (getMethod/setMethod) descend the chain too and must pass
+	// through untouched.
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, args) {
+				if name == "probe" { return "L1:" + self.invokeNext(name, args); }
+				return self.invokeNext(name, args);
+			}`),
+		})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v, err := obj.Invoke(caller, "probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.String() != "L1:v1" {
+			t.Fatalf("call %d = %v, want L1:v1", i, v)
+		}
+	}
+
+	desc, err := obj.InvokeSelf("getMethod", value.NewString("invoke"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := desc.Map()
+	handle := m["handle"].String()
+	if _, err := obj.InvokeSelf("setMethod", value.NewString(handle),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, args) {
+				if name == "probe" { return "L2:" + self.invokeNext(name, args); }
+				return self.invokeNext(name, args);
+			}`),
+		})); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := obj.Invoke(caller, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "L2:v1" {
+		t.Errorf("stale level body after handle edit: got %v, want L2:v1", v)
+	}
+}
+
+// TestLevelCachePushPopObserved: installing and removing meta-invoke levels
+// must be visible on the next call (the level cache revalidates against the
+// structural generation).
+func TestLevelCachePushPopObserved(t *testing.T) {
+	obj := revocableObject(t)
+	caller := callerFor("elsewhere")
+	for i := 0; i < 5; i++ {
+		if v, err := obj.Invoke(caller, "probe"); err != nil || v.String() != "v1" {
+			t.Fatalf("plain call = (%v, %v)", v, err)
+		}
+	}
+	if _, err := obj.InvokeSelf("setMethod", value.NewString("invoke"),
+		value.NewMap(map[string]value.Value{
+			"body": value.NewString(`fn(name, args) { return "meta:" + self.invokeNext(name, args); }`),
+		})); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := obj.Invoke(caller, "probe"); err != nil || v.String() != "meta:v1" {
+		t.Fatalf("after push = (%v, %v), want meta:v1", v, err)
+	}
+	if _, err := obj.InvokeSelf("deleteMethod", value.NewString("invoke")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := obj.Invoke(caller, "probe"); err != nil || v.String() != "v1" {
+		t.Fatalf("after pop = (%v, %v), want v1", v, err)
+	}
+}

@@ -221,6 +221,7 @@ func rebuildMethod(mi MethodImage, fixed bool, reg *BehaviorRegistry) (*Method, 
 		visible: mi.Visible,
 		fixed:   fixed,
 		acl:     ACLFromImage(mi.ACL),
+		gen:     newItemGen(),
 	}
 	if mi.Pre.Kind != 0 {
 		if m.pre, err = RebuildBody(mi.Pre, reg); err != nil {
@@ -280,6 +281,7 @@ func FromImage(img Image, reg *BehaviorRegistry, opts ...MaterializeOption) (*Ob
 				visible: di.Visible,
 				fixed:   fixed,
 				acl:     ACLFromImage(di.ACL),
+				gen:     newItemGen(),
 			}
 			if err := d.setValue(di.Value.Clone()); err != nil {
 				return err

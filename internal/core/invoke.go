@@ -18,14 +18,18 @@ const maxReentry = 128
 // (self-calls, descending the invoke chain, reaching other objects).
 //
 // An Invocation is valid only for the duration of the call it describes:
-// bodies must not retain it after returning (entry invocations are pooled).
+// bodies must not retain it after returning (invocation frames are pooled).
+// The same holds for the args slice a body receives — it may be a pooled
+// scratch buffer; bodies that want to keep arguments must copy the Values
+// out (keeping individual Values is fine, keeping the slice is not).
 type Invocation struct {
 	self   *Object
 	caller security.Principal
 	method string
 	level  int
 	depth  int
-	chain  *callChain // admissions to Serialized objects held by this call chain
+	chain  *callChain    // admissions to Serialized objects held by this call chain
+	argbuf []value.Value // pooled scratch holding this frame's argument copies
 }
 
 // Caller returns the requesting principal.
@@ -64,13 +68,10 @@ func (inv *Invocation) ctxHandle() mscript.HostObject {
 // Invoke re-enters the full invocation mechanism (from the top of the
 // meta-invoke chain) as the executing object. Bodies use it for self-calls.
 func (inv *Invocation) Invoke(name string, args ...value.Value) (value.Value, error) {
-	child := &Invocation{
-		self:   inv.self,
-		caller: inv.self.Principal(),
-		depth:  inv.depth + 1,
-		chain:  inv.chain,
-	}
-	return inv.self.invokeFrom(child, name, args)
+	child := getInvocation(inv.self, inv.self.Principal(), "", 0, inv.depth+1, inv.chain)
+	v, err := inv.self.invokeFrom(child, name, child.captureArgs(args))
+	putInvocation(child)
+	return v, err
 }
 
 // InvokeNext descends one meta level: from the body of the level-k
@@ -81,30 +82,58 @@ func (inv *Invocation) InvokeNext(name string, args ...value.Value) (value.Value
 	if inv.level <= 0 {
 		return value.Null, fmt.Errorf("%w: invokeNext outside a meta-invoke body", ErrArity)
 	}
-	child := &Invocation{
-		self:   inv.self,
-		caller: inv.caller, // the original requester flows through the chain
-		depth:  inv.depth + 1,
-		chain:  inv.chain,
-	}
-	return inv.self.runLevel(child, inv.level-1, name, args)
+	// The original requester flows through the chain as the caller.
+	child := getInvocation(inv.self, inv.caller, "", 0, inv.depth+1, inv.chain)
+	v, err := inv.self.runLevel(child, inv.level-1, name, child.captureArgs(args))
+	putInvocation(child)
+	return v, err
 }
 
 // InvokeOn invokes a method on another object as the executing object
 // (used by bodies that hold references to peers).
 func (inv *Invocation) InvokeOn(target *Object, name string, args ...value.Value) (value.Value, error) {
-	child := &Invocation{
-		self:   target,
-		caller: inv.self.Principal(),
-		depth:  inv.depth + 1,
-		chain:  inv.chain,
-	}
-	return target.invokeFrom(child, name, args)
+	child := getInvocation(target, inv.self.Principal(), "", 0, inv.depth+1, inv.chain)
+	v, err := target.invokeFrom(child, name, child.captureArgs(args))
+	putInvocation(child)
+	return v, err
 }
 
-// invocationPool recycles entry Invocations: the public Invoke is the
-// model's hottest path, and the context it needs dies with the call.
-var invocationPool = sync.Pool{New: func() any { return new(Invocation) }}
+// invocationPool recycles invocation frames: Invoke is the model's hottest
+// path, the context it needs dies with the call, and the scratch buffer
+// lets every frame capture its arguments without allocating.
+var invocationPool = sync.Pool{
+	New: func() any { return &Invocation{argbuf: make([]value.Value, 0, 8)} },
+}
+
+// getInvocation takes a frame from the pool and initializes its context
+// fields. The argument scratch buffer carries over from the previous use.
+func getInvocation(self *Object, caller security.Principal, method string, level, depth int, chain *callChain) *Invocation {
+	inv := invocationPool.Get().(*Invocation)
+	inv.self, inv.caller, inv.method = self, caller, method
+	inv.level, inv.depth, inv.chain = level, depth, chain
+	return inv
+}
+
+// putInvocation returns a frame to the pool, dropping every reference it
+// holds — including the argument copies, so a pooled frame cannot keep
+// value payloads alive — while preserving the scratch buffer's capacity.
+func putInvocation(inv *Invocation) {
+	buf := inv.argbuf
+	for i := range buf {
+		buf[i] = value.Value{}
+	}
+	*inv = Invocation{argbuf: buf[:0]}
+	invocationPool.Put(inv)
+}
+
+// captureArgs copies args into inv's scratch buffer and returns the copy.
+// Dispatch entry points pass the copy down the chain so the caller's
+// variadic slice never escapes to the heap — the whole argument hand-off
+// stays on the caller's stack frame.
+func (inv *Invocation) captureArgs(args []value.Value) []value.Value {
+	inv.argbuf = append(inv.argbuf[:0], args...)
+	return inv.argbuf
+}
 
 // Invoke is the public entry of the invocation mechanism. If meta-invoke
 // levels are installed the call enters the highest level; otherwise it goes
@@ -120,29 +149,26 @@ func (o *Object) Invoke(caller security.Principal, name string, args ...value.Va
 			if decision != nil {
 				return value.Null, decision
 			}
-			inv := invocationPool.Get().(*Invocation)
-			*inv = Invocation{self: o, caller: caller, method: name, depth: 1}
+			inv := getInvocation(o, caller, name, 0, 1, nil)
+			argv := inv.captureArgs(args)
 			var v value.Value
 			var err error
 			if snap.pre == nil && snap.post == nil {
-				v, err = snap.body.Invoke(inv, args)
+				v, err = snap.body.Invoke(inv, argv)
 				if err != nil {
 					v, err = value.Null, fmt.Errorf("method %q: %w", name, err)
 				}
 			} else {
-				v, err = applyMethod(inv, snap, args)
+				v, err = applyMethod(inv, snap, argv)
 			}
-			*inv = Invocation{} // drop references before pooling
-			invocationPool.Put(inv)
+			putInvocation(inv)
 			return v, err
 		}
 	}
 
-	inv := invocationPool.Get().(*Invocation)
-	*inv = Invocation{self: o, caller: caller}
-	v, err := o.invokeFrom(inv, name, args)
-	*inv = Invocation{} // drop references before pooling
-	invocationPool.Put(inv)
+	inv := getInvocation(o, caller, "", 0, 0, nil)
+	v, err := o.invokeFrom(inv, name, inv.captureArgs(args))
+	putInvocation(inv)
 	return v, err
 }
 
@@ -189,34 +215,49 @@ func (o *Object) runLevel(inv *Invocation, k int, name string, args []value.Valu
 	if k == 0 {
 		return o.dispatchBase(inv, name, args)
 	}
-	o.mu.Lock()
-	if k > len(o.invokeLevels) {
-		k = len(o.invokeLevels)
+	// The chain snapshot is served from the level cache while the chain,
+	// policy and the used level method are all unedited.
+	ls := o.currentLevels()
+	if k > len(ls.snaps) {
+		k = len(ls.snaps)
 		if k == 0 {
-			o.mu.Unlock()
 			return o.dispatchBase(inv, name, args)
 		}
 	}
-	meta := snapshotMethod(o.invokeLevels[k-1])
-	pol, aud := o.policy, o.auditor
-	o.mu.Unlock()
+	meta := ls.snaps[k-1]
+	if !meta.fresh() {
+		// The level method was edited since the snapshot (through its
+		// getMethod handle); refill and re-bound k — the chain itself may
+		// have shrunk concurrently.
+		ls = o.snapshotLevels()
+		if k > len(ls.snaps) {
+			k = len(ls.snaps)
+			if k == 0 {
+				return o.dispatchBase(inv, name, args)
+			}
+		}
+		meta = ls.snaps[k-1]
+	}
 
 	// The meta-invoke is itself a method: Match applies to it, with the
-	// original requester as the checked principal.
-	if err, _ := o.matchDecide(inv.caller, meta.acl, meta.visible, pol, aud, security.ActionInvoke, meta.name); err != nil {
-		return value.Null, err
+	// original requester as the checked principal. Self-containment makes
+	// the object's own descent free.
+	if inv.caller.Object != o.id {
+		if err := o.levelDecision(inv.caller, ls, k, meta); err != nil {
+			return value.Null, err
+		}
 	}
 
-	metaArgs := []value.Value{value.NewString(name), value.NewList(args)}
-	metaInv := &Invocation{
-		self:   o,
-		caller: inv.caller,
-		method: meta.name,
-		level:  k,
-		depth:  inv.depth + 1,
-		chain:  inv.chain,
-	}
-	return applyMethod(metaInv, meta, metaArgs)
+	// The args list handed to the meta body must own its storage: args may
+	// be a pooled scratch buffer, and the body is free to keep the list.
+	// The two-element argument vector itself lives in the frame's scratch.
+	argCopy := make([]value.Value, len(args))
+	copy(argCopy, args)
+	metaInv := getInvocation(o, inv.caller, meta.name, k, inv.depth+1, inv.chain)
+	metaInv.argbuf = append(metaInv.argbuf[:0], value.NewString(name), value.NewList(argCopy))
+	v, err := applyMethod(metaInv, meta, metaInv.argbuf)
+	putInvocation(metaInv)
+	return v, err
 }
 
 // dispatchBase is the non-reflective level-0 invocation mechanism:
@@ -247,7 +288,7 @@ func (o *Object) dispatchBase(inv *Invocation, name string, args []value.Value) 
 		return value.Null, fmt.Errorf("%w: method %q", ErrNotFound, name)
 	}
 	snap := snapshotMethod(m)
-	gen, aclGen := o.structGen.Load(), o.aclGen.Load()
+	gen := o.structGen.Load()
 	pol, aud := o.policy, o.auditor
 	o.mu.Unlock()
 
@@ -262,9 +303,10 @@ func (o *Object) dispatchBase(inv *Invocation, name string, args []value.Value) 
 	key := matchKey{object: inv.caller.Object, domain: inv.caller.Domain,
 		action: security.ActionInvoke, item: name}
 	if inv.caller.Object != o.id {
-		ent = &matchEntry{err: decision, allowed: decision == nil, polDep: polDep, polGen: polGen}
+		ent = &matchEntry{err: decision, allowed: decision == nil, polDep: polDep, polGen: polGen,
+			src: snap.src, srcGen: snap.srcGen}
 	}
-	o.cache.store(gen, aclGen, pol, aud, name, snap, key, ent)
+	o.cache.store(gen, pol, aud, name, snap, key, ent)
 	if decision != nil {
 		return value.Null, decision
 	}

@@ -2,10 +2,19 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/security"
 	"repro/internal/value"
 )
+
+// Items carry their own generation counter so the dispatch cache can
+// invalidate per item instead of per object: editing item A's ACL, body or
+// visibility bumps only A's counter, and cached entries for item B stay
+// warm. The counter is a pointer so the struct copies taken for atomic
+// rollback (copyDataItem/copyMethod) share it — a counter, once attached to
+// a name, only ever moves forward.
+func newItemGen() *atomic.Uint64 { return new(atomic.Uint64) }
 
 // DataItem is a named, access-controlled datum of an object. Per the model,
 // controlled access serves "both for visibility purposes … as well as for
@@ -18,6 +27,7 @@ type DataItem struct {
 	acl     security.ACL
 	visible bool
 	fixed   bool
+	gen     *atomic.Uint64 // bumped (under the object lock) on any edit
 }
 
 // Name returns the item name.
@@ -78,6 +88,7 @@ type Method struct {
 	acl     security.ACL
 	visible bool
 	fixed   bool
+	gen     *atomic.Uint64 // bumped (under the object lock) on any edit
 }
 
 // Name returns the method name.

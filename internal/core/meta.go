@@ -77,6 +77,7 @@ func installMetaMethods(o *Object) {
 			acl:     acl,
 			visible: visible,
 			fixed:   true,
+			gen:     newItemGen(),
 		}
 		// Meta names are reserved, so add cannot collide.
 		_ = o.fixedMeth.add(name, m)
@@ -268,7 +269,7 @@ func metaAddDataItem(inv *Invocation, args []value.Value) (value.Value, error) {
 	if _, dup := o.lookupData(name); dup {
 		return value.Null, fmt.Errorf("%w: data item %q", ErrExists, name)
 	}
-	d := &DataItem{name: name, visible: true, fixed: false}
+	d := &DataItem{name: name, visible: true, fixed: false, gen: newItemGen()}
 	if err := d.setValue(argAt(args, 1)); err != nil {
 		return value.Null, err
 	}
@@ -277,7 +278,8 @@ func metaAddDataItem(inv *Invocation, args []value.Value) (value.Value, error) {
 			return value.Null, err
 		}
 	}
-	o.bumpStruct()
+	// No invalidation needed: misses are never memoized, and the duplicate
+	// check above means no live entry can exist under this name.
 	return value.Null, o.extData.add(d.name, d)
 }
 
@@ -297,7 +299,7 @@ func metaDeleteDataItem(inv *Invocation, args []value.Value) (value.Value, error
 		return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
 	}
 	o.dropHandles(d)
-	o.bumpStruct()
+	d.gen.Add(1)
 	return value.Null, o.extData.remove(name)
 }
 
@@ -319,11 +321,11 @@ func (o *Object) resolveDataRef(ref string) (*DataItem, error) {
 // edits within one call: aclClear, then aclDeny, then aclAllow (each
 // prepended, so later edits take priority). Callers hold o.mu.
 func (o *Object) applyDataProps(d *DataItem, props map[string]value.Value) error {
-	// Invalidate the dispatch cache up front: props may edit structure
-	// (rename), visibility, or the ACL, and a partial mutation on error must
-	// still invalidate.
-	o.bumpStruct()
-	o.bumpACL()
+	// Invalidate the item's cache entries up front: props may edit
+	// structure (rename), visibility, or the ACL, and a partial mutation on
+	// error must still invalidate. Only this item's entries go stale —
+	// cached dispatches of sibling items stay warm.
+	d.gen.Add(1)
 	if v, ok := props["rename"]; ok {
 		newName := v.String()
 		if newName != d.name { // self-rename is a no-op
@@ -489,13 +491,14 @@ func metaAddMethod(inv *Invocation, args []value.Value) (value.Value, error) {
 	if _, dup := o.lookupMethod(name); dup {
 		return value.Null, fmt.Errorf("%w: method %q", ErrExists, name)
 	}
-	m := &Method{name: name, body: body, visible: true, fixed: false}
+	m := &Method{name: name, body: body, visible: true, fixed: false, gen: newItemGen()}
 	if props := argMap(args, 2); props != nil {
 		if err := o.applyMethodProps(m, props); err != nil {
 			return value.Null, err
 		}
 	}
-	o.bumpStruct()
+	// No invalidation needed: misses are never memoized, and the duplicate
+	// check above means no live entry can exist under this name.
 	return value.Null, o.extMeth.add(m.name, m)
 }
 
@@ -518,7 +521,7 @@ func metaDeleteMethod(inv *Invocation, args []value.Value) (value.Value, error) 
 		return value.Null, fmt.Errorf("%w: method %q", ErrNotFound, name)
 	}
 	o.dropHandles(m)
-	o.bumpStruct()
+	m.gen.Add(1)
 	return value.Null, o.extMeth.remove(name)
 }
 
@@ -541,11 +544,11 @@ func (o *Object) resolveMethodRef(ref string) (*Method, error) {
 // to detach. Callers hold o.mu (buildBody re-locks, so it is called with
 // the descriptor extracted first).
 func (o *Object) applyMethodProps(m *Method, props map[string]value.Value) error {
-	// Invalidate the dispatch cache up front: props may edit the body,
-	// structure (rename), visibility, or the ACL, and a partial mutation on
-	// error must still invalidate.
-	o.bumpStruct()
-	o.bumpACL()
+	// Invalidate the method's cache entries up front: props may edit the
+	// body, structure (rename), visibility, or the ACL, and a partial
+	// mutation on error must still invalidate. Only this method's entries
+	// go stale — cached dispatches of sibling methods stay warm.
+	m.gen.Add(1)
 	setBody := func(key string, cur Body, detachable bool) (Body, error) {
 		v, ok := props[key]
 		if !ok {
@@ -630,6 +633,7 @@ func (o *Object) pushInvokeLevel(props map[string]value.Value) error {
 		body:    body,
 		visible: true,
 		fixed:   false,
+		gen:     newItemGen(),
 	}
 	if err := o.applyMethodProps(m, stripBodies(props)); err != nil {
 		return err
@@ -678,13 +682,10 @@ func metaInvoke(inv *Invocation, args []value.Value) (value.Value, error) {
 	if err != nil {
 		return value.Null, err
 	}
-	child := &Invocation{
-		self:   inv.self,
-		caller: inv.caller,
-		depth:  inv.depth + 1,
-		chain:  inv.chain,
-	}
-	return inv.self.invokeFrom(child, name, argList(args, 1))
+	child := getInvocation(inv.self, inv.caller, "", 0, inv.depth+1, inv.chain)
+	v, err := inv.self.invokeFrom(child, name, argList(args, 1))
+	putInvocation(child)
+	return v, err
 }
 
 func metaDescribe(inv *Invocation, _ []value.Value) (value.Value, error) {

@@ -62,14 +62,19 @@ type Object struct {
 	handles   map[string]any // handle token → *DataItem or *Method
 	handleSeq int
 
-	// structGen and aclGen version the object's structure and its
-	// access-control state for the dispatch cache (see dispatch.go); both
-	// are bumped under mu. levelCount mirrors len(invokeLevels) so the
-	// invocation entry point reads the chain depth without taking mu.
+	// structGen versions the object's dispatch shape for the dispatch
+	// cache (see dispatch.go); per-item edits bump the item's own counter
+	// instead. Both are bumped under mu. levelCount mirrors
+	// len(invokeLevels) so the invocation entry point reads the chain
+	// depth without taking mu.
 	structGen  atomic.Uint64
-	aclGen     atomic.Uint64
 	levelCount atomic.Int32
 	cache      dispatchCache
+
+	// levelCache is the published snapshot of the meta-invoke chain, so
+	// runLevel skips the lock and the per-call method snapshots while the
+	// chain is unedited (see dispatch.go).
+	levelCache atomic.Pointer[levelsSnap]
 }
 
 // ID returns the object's decentralized identity.
@@ -179,12 +184,13 @@ func (o *Object) getData(caller security.Principal, name string) (value.Value, e
 		o.mu.Unlock()
 		return value.Null, fmt.Errorf("%w: data item %q", ErrNotFound, name)
 	}
-	gen, aclGen := o.structGen.Load(), o.aclGen.Load()
+	gen := o.structGen.Load()
+	src, srcGen := d.gen, d.gen.Load()
 	pol, aud := o.policy, o.auditor
 	visible, acl := d.visible, d.acl
 	o.mu.Unlock()
 
-	if err := o.matchAndMemo(caller, acl, visible, gen, aclGen, pol, aud, security.ActionGet, name); err != nil {
+	if err := o.matchAndMemo(caller, acl, visible, gen, src, srcGen, pol, aud, security.ActionGet, name); err != nil {
 		return value.Null, err
 	}
 	o.mu.Lock()
@@ -219,12 +225,13 @@ func (o *Object) setData(caller security.Principal, name string, v value.Value) 
 		o.mu.Unlock()
 		return fmt.Errorf("%w: data item %q", ErrNotFound, name)
 	}
-	gen, aclGen := o.structGen.Load(), o.aclGen.Load()
+	gen := o.structGen.Load()
+	src, srcGen := d.gen, d.gen.Load()
 	pol, aud := o.policy, o.auditor
 	visible, acl := d.visible, d.acl
 	o.mu.Unlock()
 
-	if err := o.matchAndMemo(caller, acl, visible, gen, aclGen, pol, aud, security.ActionSet, name); err != nil {
+	if err := o.matchAndMemo(caller, acl, visible, gen, src, srcGen, pol, aud, security.ActionSet, name); err != nil {
 		return err
 	}
 	o.mu.Lock()
@@ -271,10 +278,11 @@ func (o *Object) matchDecide(caller security.Principal, acl security.ACL, visibl
 }
 
 // matchAndMemo runs matchDecide and memoizes the outcome in the dispatch
-// cache under the generations the item state was read at. Self access is
-// never memoized (it is already a single comparison).
+// cache under the generations the item state was read at (gen is the
+// structGen, src/srcGen the item's own counter). Self access is never
+// memoized (it is already a single comparison).
 func (o *Object) matchAndMemo(caller security.Principal, acl security.ACL, visible bool,
-	gen, aclGen uint64, pol *security.Policy, aud *security.Auditor,
+	gen uint64, src *atomic.Uint64, srcGen uint64, pol *security.Policy, aud *security.Auditor,
 	action security.Action, item string) error {
 	var polGen uint64
 	if pol != nil {
@@ -282,9 +290,10 @@ func (o *Object) matchAndMemo(caller security.Principal, acl security.ACL, visib
 	}
 	decision, polDep := o.matchDecide(caller, acl, visible, pol, aud, action, item)
 	if caller.Object != o.id {
-		o.cache.store(gen, aclGen, pol, aud, "", nil,
+		o.cache.store(gen, pol, aud, "", nil,
 			matchKey{object: caller.Object, domain: caller.Domain, action: action, item: item},
-			&matchEntry{err: decision, allowed: decision == nil, polDep: polDep, polGen: polGen})
+			&matchEntry{err: decision, allowed: decision == nil, polDep: polDep, polGen: polGen,
+				src: src, srcGen: srcGen})
 	}
 	return decision
 }
@@ -464,7 +473,7 @@ func (b *Builder) addData(c *container[*DataItem], fixed bool, name string, v va
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	d := &DataItem{name: name, acl: cfg.acl, visible: cfg.visible, dynKind: cfg.dynKind, fixed: fixed}
+	d := &DataItem{name: name, acl: cfg.acl, visible: cfg.visible, dynKind: cfg.dynKind, fixed: fixed, gen: newItemGen()}
 	if err := d.setValue(v); err != nil {
 		b.fail(err)
 		return
@@ -504,7 +513,7 @@ func (b *Builder) addMethod(c *container[*Method], fixed bool, name string, body
 		return
 	}
 	m := &Method{name: name, body: body, pre: cfg.pre, post: cfg.post,
-		acl: cfg.acl, visible: cfg.visible, fixed: fixed}
+		acl: cfg.acl, visible: cfg.visible, fixed: fixed, gen: newItemGen()}
 	if isReservedName(name) {
 		b.fail(fmt.Errorf("%w: %q is reserved", ErrExists, name))
 		return

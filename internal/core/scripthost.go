@@ -58,13 +58,9 @@ func (h *objectHandle) Call(name string, args []mscript.Val) (mscript.Val, error
 		return mscript.FromValue(out), nil
 	}
 
-	child := &Invocation{
-		self:   h.obj,
-		caller: h.caller,
-		depth:  childDepth(h.inv),
-		chain:  h.chainRef(),
-	}
+	child := getInvocation(h.obj, h.caller, "", 0, childDepth(h.inv), h.chainRef())
 	out, err := h.obj.invokeFrom(child, name, vals)
+	putInvocation(child)
 	if err != nil {
 		return mscript.NullVal, err
 	}

@@ -1,0 +1,126 @@
+package mscript
+
+// Golden vectors for interpreter arithmetic and coercion. Each expression
+// was evaluated under the pre-compaction value.Value layout and its
+// rendered result captured; the test requires the current representation
+// to produce identical results through the full lex→parse→eval path.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden testdata files")
+
+// arithExprs covers the operator and coercion surface: integer/float
+// promotion, division and modulo, string concatenation and markup
+// stripping, comparisons crossing kinds, list/map literals and indexing,
+// and the builtins that exercise value coercion.
+var arithExprs = []string{
+	"return 2 + 3;",
+	"return 2 + 3.5;",
+	"return 7 / 2;",
+	"return 7.0 / 2;",
+	"return 7 % 3;",
+	"return -7 % 3;",
+	"return 2 * 3.25;",
+	"return 10 - 4 - 3;",
+	"return -(5);",
+	"return -2.5;",
+	"return 9223372036854775807 + 0;",
+	"return 1 == 1.0;",
+	"return 1 < 1.5;",
+	"return 2.0 >= 2;",
+	`return "a" + "b" + 3;`,
+	`return "x" + 2.5;`,
+	`return "a" == "a";`,
+	`return "b" < "c";`,
+	`return int("42") + 1;`,
+	`return int("<b>12</b>") + 30;`,
+	`return float("0.5") * 4;`,
+	`return str(12.5) + "!";`,
+	`return int(3.9);`,
+	`return int(true);`,
+	`return len("héllo");`,
+	"return len([1, 2, 3]);",
+	"return [1, 2 + 3, \"x\"][1];",
+	`let m = {"a": 1, "b": 2.5}; return m["b"] + m["a"];`,
+	"return true && 1 < 2;",
+	"return !0;",
+	"return null == null;",
+	"let x = 0; let i = 0; while (i < 10) { x = x + i; i = i + 1; } return x;",
+	"let f = fn(a, b) { return a * 10 + b; }; return f(4, 2);",
+	"return 1000000 * 1000000;",
+	"return 0.1 + 0.2;",
+	"return 5 / 2 + 5 % 2;",
+}
+
+type arithGolden struct {
+	Src    string `json:"src"`
+	Result string `json:"result"` // value.Value.String() of the result, or "error: …"
+	Kind   string `json:"kind"`   // result kind, distinguishes 3 from "3" and 3.0
+}
+
+func evalGolden(src string) arithGolden {
+	g := arithGolden{Src: src}
+	p, err := Parse(src)
+	if err != nil {
+		g.Result = "error: " + err.Error()
+		return g
+	}
+	v, err := NewInterp().Run(p, NewEnv())
+	if err != nil {
+		g.Result = "error: " + err.Error()
+		return g
+	}
+	d, err := v.Data()
+	if err != nil {
+		g.Result = "error: " + err.Error()
+		return g
+	}
+	g.Result = d.String()
+	g.Kind = d.Kind().String()
+	return g
+}
+
+func TestArithmeticGoldenVectors(t *testing.T) {
+	path := filepath.Join("testdata", "arith_golden.json")
+	if *updateGolden {
+		var out []arithGolden
+		for _, src := range arithExprs {
+			out = append(out, evalGolden(src))
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("captured %d vectors", len(out))
+		return
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to capture): %v", err)
+	}
+	var want []arithGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(arithExprs) {
+		t.Fatalf("golden has %d entries, corpus has %d", len(want), len(arithExprs))
+	}
+	for i, src := range arithExprs {
+		got := evalGolden(src)
+		if got != want[i] {
+			t.Errorf("expr %q:\n got %+v\nwant %+v", src, got, want[i])
+		}
+	}
+}

@@ -17,12 +17,12 @@ func Add(a, b Value) (Value, error) {
 	if a.kind == KindString || b.kind == KindString {
 		as, _ := Coerce(a, KindString)
 		bs, _ := Coerce(b, KindString)
-		return NewString(as.s + bs.s), nil
+		return NewString(as.strRaw() + bs.strRaw()), nil
 	}
 	if a.kind == KindList && b.kind == KindList {
-		out := make([]Value, 0, len(a.list)+len(b.list))
-		out = append(out, a.list...)
-		out = append(out, b.list...)
+		out := make([]Value, 0, len(a.listRaw())+len(b.listRaw()))
+		out = append(out, a.listRaw()...)
+		out = append(out, b.listRaw()...)
 		return NewList(out), nil
 	}
 	return numericOp("+", a, b,
@@ -40,10 +40,10 @@ func Sub(a, b Value) (Value, error) {
 // Mul implements dynamic multiplication; string*int repeats the string.
 func Mul(a, b Value) (Value, error) {
 	if a.kind == KindString && b.kind == KindInt {
-		return repeatString(a.s, b.i)
+		return repeatString(a.strRaw(), b.intRaw())
 	}
 	if a.kind == KindInt && b.kind == KindString {
-		return repeatString(b.s, a.i)
+		return repeatString(b.strRaw(), a.intRaw())
 	}
 	return numericOp("*", a, b,
 		func(x, y int64) (int64, error) { return x * y, nil },
@@ -86,25 +86,25 @@ func Mod(a, b Value) (Value, error) {
 	if err != nil {
 		return Null, fmt.Errorf("%%: right operand: %w", err)
 	}
-	if bi.i == 0 {
+	if bi.intRaw() == 0 {
 		return Null, fmt.Errorf("%w: modulo by zero", ErrBadType)
 	}
-	return NewInt(ai.i % bi.i), nil
+	return NewInt(ai.intRaw() % bi.intRaw()), nil
 }
 
 // Neg negates a numeric value.
 func Neg(a Value) (Value, error) {
 	switch a.kind {
 	case KindInt:
-		return NewInt(-a.i), nil
+		return NewInt(-a.intRaw()), nil
 	case KindFloat:
-		return NewFloat(-a.f), nil
+		return NewFloat(-a.floatRaw()), nil
 	default:
 		ai, err := Coerce(a, KindFloat)
 		if err != nil {
 			return Null, fmt.Errorf("unary -: %w", err)
 		}
-		return NewFloat(-ai.f), nil
+		return NewFloat(-ai.floatRaw()), nil
 	}
 }
 
@@ -123,7 +123,7 @@ func numericOp(op string, a, b Value,
 		return Null, fmt.Errorf("%s: right operand: %w", op, err)
 	}
 	if an.kind == KindInt && bn.kind == KindInt {
-		r, err := intFn(an.i, bn.i)
+		r, err := intFn(an.intRaw(), bn.intRaw())
 		if err != nil {
 			return Null, err
 		}
@@ -131,7 +131,7 @@ func numericOp(op string, a, b Value,
 	}
 	af, _ := Coerce(an, KindFloat)
 	bf, _ := Coerce(bn, KindFloat)
-	r, err := floatFn(af.f, bf.f)
+	r, err := floatFn(af.floatRaw(), bf.floatRaw())
 	if err != nil {
 		return Null, err
 	}
@@ -151,8 +151,8 @@ func toNumeric(v Value) (Value, error) {
 		if err != nil {
 			return Null, err
 		}
-		if f.f == math.Trunc(f.f) && math.Abs(f.f) < 1<<53 && !strings.Contains(v.String(), ".") {
-			return NewInt(int64(f.f)), nil
+		if f.floatRaw() == math.Trunc(f.floatRaw()) && math.Abs(f.floatRaw()) < 1<<53 && !strings.Contains(v.String(), ".") {
+			return NewInt(int64(f.floatRaw())), nil
 		}
 		return f, nil
 	default:
@@ -169,9 +169,9 @@ func Compare(a, b Value) (int, error) {
 		af, _ := Coerce(a, KindFloat)
 		bf, _ := Coerce(b, KindFloat)
 		switch {
-		case af.f < bf.f:
+		case af.floatRaw() < bf.floatRaw():
 			return -1, nil
-		case af.f > bf.f:
+		case af.floatRaw() > bf.floatRaw():
 			return 1, nil
 		default:
 			return 0, nil
@@ -182,34 +182,34 @@ func Compare(a, b Value) (int, error) {
 	}
 	switch a.kind {
 	case KindString, KindRef:
-		return strings.Compare(a.s, b.s), nil
+		return strings.Compare(a.strRaw(), b.strRaw()), nil
 	case KindBytes:
-		return strings.Compare(string(a.bs), string(b.bs)), nil
+		return strings.Compare(string(a.bytesRaw()), string(b.bytesRaw())), nil
 	case KindBool:
 		switch {
-		case a.b == b.b:
+		case a.boolRaw() == b.boolRaw():
 			return 0, nil
-		case b.b:
+		case b.boolRaw():
 			return -1, nil
 		default:
 			return 1, nil
 		}
 	case KindTime:
 		switch {
-		case a.t.Before(b.t):
+		case a.timeRaw().Before(b.timeRaw()):
 			return -1, nil
-		case a.t.After(b.t):
+		case a.timeRaw().After(b.timeRaw()):
 			return 1, nil
 		default:
 			return 0, nil
 		}
 	case KindList:
-		n := len(a.list)
-		if len(b.list) < n {
-			n = len(b.list)
+		n := len(a.listRaw())
+		if len(b.listRaw()) < n {
+			n = len(b.listRaw())
 		}
 		for i := 0; i < n; i++ {
-			c, err := Compare(a.list[i], b.list[i])
+			c, err := Compare(a.listRaw()[i], b.listRaw()[i])
 			if err != nil {
 				return 0, err
 			}
@@ -218,9 +218,9 @@ func Compare(a, b Value) (int, error) {
 			}
 		}
 		switch {
-		case len(a.list) < len(b.list):
+		case len(a.listRaw()) < len(b.listRaw()):
 			return -1, nil
-		case len(a.list) > len(b.list):
+		case len(a.listRaw()) > len(b.listRaw()):
 			return 1, nil
 		default:
 			return 0, nil

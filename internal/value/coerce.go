@@ -48,12 +48,12 @@ func Coerce(v Value, k Kind) (Value, error) {
 		return coerceFloat(v)
 	case KindString:
 		if v.kind == KindBytes {
-			return NewString(string(v.bs)), nil
+			return NewString(string(v.bytesRaw())), nil
 		}
 		return NewString(v.String()), nil
 	case KindBytes:
 		if v.kind == KindString {
-			return NewBytes([]byte(v.s)), nil
+			return NewBytes([]byte(v.strRaw())), nil
 		}
 		return Null, coerceErr(v, k)
 	case KindList:
@@ -62,17 +62,17 @@ func Coerce(v Value, k Kind) (Value, error) {
 		return Null, coerceErr(v, k)
 	case KindRef:
 		if v.kind == KindString {
-			return NewRef(v.s), nil
+			return NewRef(v.strRaw()), nil
 		}
 		return Null, coerceErr(v, k)
 	case KindTime:
 		switch v.kind {
 		case KindInt:
-			return NewTime(time.Unix(0, v.i).UTC()), nil
+			return NewTime(time.Unix(0, v.intRaw()).UTC()), nil
 		case KindString:
-			t, err := time.Parse(time.RFC3339Nano, v.s)
+			t, err := time.Parse(time.RFC3339Nano, v.strRaw())
 			if err != nil {
-				return Null, fmt.Errorf("%w: %q is not an RFC 3339 time", ErrBadType, v.s)
+				return Null, fmt.Errorf("%w: %q is not an RFC 3339 time", ErrBadType, v.strRaw())
 			}
 			return NewTime(t), nil
 		default:
@@ -90,21 +90,21 @@ func coerceErr(v Value, k Kind) error {
 func coerceInt(v Value) (Value, error) {
 	switch v.kind {
 	case KindBool:
-		if v.b {
+		if v.boolRaw() {
 			return NewInt(1), nil
 		}
 		return NewInt(0), nil
 	case KindFloat:
-		if math.IsNaN(v.f) || math.IsInf(v.f, 0) {
-			return Null, fmt.Errorf("%w: cannot coerce %v to int", ErrBadType, v.f)
+		if math.IsNaN(v.floatRaw()) || math.IsInf(v.floatRaw(), 0) {
+			return Null, fmt.Errorf("%w: cannot coerce %v to int", ErrBadType, v.floatRaw())
 		}
-		return NewInt(int64(v.f)), nil
+		return NewInt(int64(v.floatRaw())), nil
 	case KindString:
-		return parseNumeric(v.s, KindInt)
+		return parseNumeric(v.strRaw(), KindInt)
 	case KindBytes:
-		return parseNumeric(string(v.bs), KindInt)
+		return parseNumeric(string(v.bytesRaw()), KindInt)
 	case KindTime:
-		return NewInt(v.t.UnixNano()), nil
+		return NewInt(v.timeRaw().UnixNano()), nil
 	default:
 		return Null, coerceErr(v, KindInt)
 	}
@@ -113,16 +113,16 @@ func coerceInt(v Value) (Value, error) {
 func coerceFloat(v Value) (Value, error) {
 	switch v.kind {
 	case KindBool:
-		if v.b {
+		if v.boolRaw() {
 			return NewFloat(1), nil
 		}
 		return NewFloat(0), nil
 	case KindInt:
-		return NewFloat(float64(v.i)), nil
+		return NewFloat(float64(v.intRaw())), nil
 	case KindString:
-		return parseNumeric(v.s, KindFloat)
+		return parseNumeric(v.strRaw(), KindFloat)
 	case KindBytes:
-		return parseNumeric(string(v.bs), KindFloat)
+		return parseNumeric(string(v.bytesRaw()), KindFloat)
 	default:
 		return Null, coerceErr(v, KindFloat)
 	}

@@ -1,0 +1,12 @@
+package value
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestValueSize(t *testing.T) {
+	if s := unsafe.Sizeof(Value{}); s > 24 {
+		t.Fatalf("Value is %d bytes, want <= 24", s)
+	}
+}

@@ -8,6 +8,15 @@
 // A Value is an immutable-by-convention tagged union over the kinds listed
 // in Kind. Composite kinds (List, Map) share underlying storage on copy;
 // use Clone for a deep copy at trust boundaries.
+//
+// Representation: a Value is a 24-byte tagged word — an 8-byte scalar
+// (bool/int/float bits, or the payload length), an 8-byte pointer (payload
+// data for string/bytes/list/map/time), and the kind tag. Scalars live
+// entirely inline; strings, bytes and lists point straight at their
+// backing arrays (length in num, so no header allocation); maps and times
+// box their header. Reconstructed byte/list slices have cap == len, so
+// appending to a retrieved payload always copies instead of scribbling on
+// shared storage. The zero Value is Null.
 package value
 
 import (
@@ -17,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 )
 
 // Kind identifies the dynamic type of a Value.
@@ -76,16 +86,67 @@ func KindFromString(s string) (Kind, bool) {
 }
 
 // Value is a dynamically-typed datum. The zero Value is Null.
+//
+// The leading zero-size func field makes Value non-comparable: the pointer
+// word identifies backing storage, not content, so == would be wrong —
+// use Equal (or LooseEqual).
 type Value struct {
+	_    [0]func()
+	num  uint64         // scalar bits, or payload length
+	ptr  unsafe.Pointer // payload data / boxed header
 	kind Kind
-	b    bool
-	i    int64
-	f    float64
-	s    string // String and Ref payloads
-	bs   []byte
-	list []Value
-	m    map[string]Value
-	t    time.Time
+}
+
+// emptyPayload anchors the non-nil empty Bytes payload, distinguishing
+// NewBytes([]byte{}) from NewBytes(nil) without depending on what
+// unsafe.SliceData returns for zero-capacity slices.
+var emptyPayload byte
+
+// emptyList is the shared read-only payload of every empty List (cap 0,
+// so growing it always reallocates).
+var emptyList = []Value{}
+
+// Raw payload readers. Callers must have checked the kind; they exist so
+// the package's own arithmetic and coercion code reads payloads without
+// re-branching on kind.
+
+func (v Value) boolRaw() bool     { return v.num != 0 }
+func (v Value) intRaw() int64     { return int64(v.num) }
+func (v Value) floatRaw() float64 { return math.Float64frombits(v.num) }
+
+func (v Value) strRaw() string {
+	if v.num == 0 {
+		return ""
+	}
+	return unsafe.String((*byte)(v.ptr), int(v.num))
+}
+
+func (v Value) bytesRaw() []byte {
+	if v.ptr == nil {
+		return nil
+	}
+	return unsafe.Slice((*byte)(v.ptr), int(v.num))
+}
+
+func (v Value) listRaw() []Value {
+	if v.ptr == nil {
+		return emptyList
+	}
+	return unsafe.Slice((*Value)(v.ptr), int(v.num))
+}
+
+func (v Value) mapRaw() map[string]Value {
+	if v.ptr == nil {
+		return nil
+	}
+	return *(*map[string]Value)(v.ptr)
+}
+
+func (v Value) timeRaw() time.Time {
+	if v.ptr == nil {
+		return time.Time{}
+	}
+	return *(*time.Time)(v.ptr)
 }
 
 // Null is the null value.
@@ -93,8 +154,8 @@ var Null = Value{kind: KindNull}
 
 // True and False are the boolean values.
 var (
-	True  = Value{kind: KindBool, b: true}
-	False = Value{kind: KindBool, b: false}
+	True  = Value{kind: KindBool, num: 1}
+	False = Value{kind: KindBool, num: 0}
 )
 
 // NewBool returns a Bool value.
@@ -106,23 +167,34 @@ func NewBool(b bool) Value {
 }
 
 // NewInt returns an Int value.
-func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+func NewInt(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
 
 // NewFloat returns a Float value.
-func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+func NewFloat(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
 
 // NewString returns a String value.
-func NewString(s string) Value { return Value{kind: KindString, s: s} }
+func NewString(s string) Value {
+	return Value{kind: KindString, num: uint64(len(s)), ptr: unsafe.Pointer(unsafe.StringData(s))}
+}
 
-// NewBytes returns a Bytes value. The slice is not copied.
-func NewBytes(b []byte) Value { return Value{kind: KindBytes, bs: b} }
+// NewBytes returns a Bytes value. The slice is not copied; nil stays
+// distinguishable from empty.
+func NewBytes(b []byte) Value {
+	if b == nil {
+		return Value{kind: KindBytes}
+	}
+	if len(b) == 0 {
+		return Value{kind: KindBytes, ptr: unsafe.Pointer(&emptyPayload)}
+	}
+	return Value{kind: KindBytes, num: uint64(len(b)), ptr: unsafe.Pointer(unsafe.SliceData(b))}
+}
 
 // NewList returns a List value. The slice is not copied.
 func NewList(vs []Value) Value {
-	if vs == nil {
-		vs = []Value{}
+	if len(vs) == 0 {
+		return Value{kind: KindList}
 	}
-	return Value{kind: KindList, list: vs}
+	return Value{kind: KindList, num: uint64(len(vs)), ptr: unsafe.Pointer(unsafe.SliceData(vs))}
 }
 
 // NewListOf builds a List from its arguments.
@@ -133,14 +205,18 @@ func NewMap(m map[string]Value) Value {
 	if m == nil {
 		m = map[string]Value{}
 	}
-	return Value{kind: KindMap, m: m}
+	return Value{kind: KindMap, ptr: unsafe.Pointer(&m)}
 }
 
 // NewRef returns a Ref value naming an object by its decentralized name.
-func NewRef(name string) Value { return Value{kind: KindRef, s: name} }
+func NewRef(name string) Value {
+	return Value{kind: KindRef, num: uint64(len(name)), ptr: unsafe.Pointer(unsafe.StringData(name))}
+}
 
 // NewTime returns a Time value.
-func NewTime(t time.Time) Value { return Value{kind: KindTime, t: t} }
+func NewTime(t time.Time) Value {
+	return Value{kind: KindTime, ptr: unsafe.Pointer(&t)}
+}
 
 // Kind reports the dynamic kind of v.
 func (v Value) Kind() Kind { return v.kind }
@@ -149,31 +225,61 @@ func (v Value) Kind() Kind { return v.kind }
 func (v Value) IsNull() bool { return v.kind == KindNull }
 
 // Bool returns the boolean payload; ok is false if v is not a Bool.
-func (v Value) Bool() (b, ok bool) { return v.b, v.kind == KindBool }
+func (v Value) Bool() (b, ok bool) { return v.boolRaw(), v.kind == KindBool }
 
 // Int returns the integer payload; ok is false if v is not an Int.
-func (v Value) Int() (int64, bool) { return v.i, v.kind == KindInt }
+func (v Value) Int() (int64, bool) { return v.intRaw(), v.kind == KindInt }
 
 // Float returns the float payload; ok is false if v is not a Float.
-func (v Value) Float() (float64, bool) { return v.f, v.kind == KindFloat }
+func (v Value) Float() (float64, bool) { return v.floatRaw(), v.kind == KindFloat }
 
 // Str returns the string payload; ok is false if v is not a String.
-func (v Value) Str() (string, bool) { return v.s, v.kind == KindString }
+func (v Value) Str() (string, bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.strRaw(), true
+}
 
 // Bytes returns the bytes payload; ok is false if v is not Bytes.
-func (v Value) Bytes() ([]byte, bool) { return v.bs, v.kind == KindBytes }
+func (v Value) Bytes() ([]byte, bool) {
+	if v.kind != KindBytes {
+		return nil, false
+	}
+	return v.bytesRaw(), true
+}
 
 // List returns the list payload; ok is false if v is not a List.
-func (v Value) List() ([]Value, bool) { return v.list, v.kind == KindList }
+func (v Value) List() ([]Value, bool) {
+	if v.kind != KindList {
+		return nil, false
+	}
+	return v.listRaw(), true
+}
 
 // Map returns the map payload; ok is false if v is not a Map.
-func (v Value) Map() (map[string]Value, bool) { return v.m, v.kind == KindMap }
+func (v Value) Map() (map[string]Value, bool) {
+	if v.kind != KindMap {
+		return nil, false
+	}
+	return v.mapRaw(), true
+}
 
 // Ref returns the referenced object name; ok is false if v is not a Ref.
-func (v Value) Ref() (string, bool) { return v.s, v.kind == KindRef }
+func (v Value) Ref() (string, bool) {
+	if v.kind != KindRef {
+		return "", false
+	}
+	return v.strRaw(), true
+}
 
 // Time returns the time payload; ok is false if v is not a Time.
-func (v Value) Time() (time.Time, bool) { return v.t, v.kind == KindTime }
+func (v Value) Time() (time.Time, bool) {
+	if v.kind != KindTime {
+		return time.Time{}, false
+	}
+	return v.timeRaw(), true
+}
 
 // Truthy reports the boolean interpretation of v used by control flow:
 // Null and zero/empty values are false, everything else is true.
@@ -182,23 +288,17 @@ func (v Value) Truthy() bool {
 	case KindNull:
 		return false
 	case KindBool:
-		return v.b
+		return v.boolRaw()
 	case KindInt:
-		return v.i != 0
+		return v.num != 0
 	case KindFloat:
-		return v.f != 0
-	case KindString:
-		return v.s != ""
-	case KindBytes:
-		return len(v.bs) != 0
-	case KindList:
-		return len(v.list) != 0
+		return v.floatRaw() != 0
+	case KindString, KindRef, KindBytes, KindList:
+		return v.num != 0
 	case KindMap:
-		return len(v.m) != 0
-	case KindRef:
-		return v.s != ""
+		return len(v.mapRaw()) != 0
 	case KindTime:
-		return !v.t.IsZero()
+		return !v.timeRaw().IsZero()
 	default:
 		return false
 	}
@@ -207,14 +307,10 @@ func (v Value) Truthy() bool {
 // Len returns the length of a String, Bytes, List or Map, and -1 otherwise.
 func (v Value) Len() int {
 	switch v.kind {
-	case KindString:
-		return len(v.s)
-	case KindBytes:
-		return len(v.bs)
-	case KindList:
-		return len(v.list)
+	case KindString, KindBytes, KindList:
+		return int(v.num)
 	case KindMap:
-		return len(v.m)
+		return len(v.mapRaw())
 	default:
 		return -1
 	}
@@ -224,20 +320,23 @@ func (v Value) Len() int {
 func (v Value) Index(i int) (Value, error) {
 	switch v.kind {
 	case KindList:
-		if i < 0 || i >= len(v.list) {
-			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(v.list))
+		list := v.listRaw()
+		if i < 0 || i >= len(list) {
+			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(list))
 		}
-		return v.list[i], nil
+		return list[i], nil
 	case KindBytes:
-		if i < 0 || i >= len(v.bs) {
-			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(v.bs))
+		bs := v.bytesRaw()
+		if i < 0 || i >= len(bs) {
+			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(bs))
 		}
-		return NewInt(int64(v.bs[i])), nil
+		return NewInt(int64(bs[i])), nil
 	case KindString:
-		if i < 0 || i >= len(v.s) {
-			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(v.s))
+		s := v.strRaw()
+		if i < 0 || i >= len(s) {
+			return Null, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadType, i, len(s))
 		}
-		return NewString(string(v.s[i])), nil
+		return NewString(string(s[i])), nil
 	default:
 		return Null, fmt.Errorf("%w: cannot index %s", ErrBadType, v.kind)
 	}
@@ -248,7 +347,7 @@ func (v Value) Get(key string) (Value, bool) {
 	if v.kind != KindMap {
 		return Null, false
 	}
-	e, ok := v.m[key]
+	e, ok := v.mapRaw()[key]
 	return e, ok
 }
 
@@ -259,18 +358,24 @@ func (v Value) Get(key string) (Value, bool) {
 func (v Value) Clone() Value {
 	switch v.kind {
 	case KindBytes:
-		bs := make([]byte, len(v.bs))
-		copy(bs, v.bs)
+		src := v.bytesRaw()
+		if src == nil {
+			return v
+		}
+		bs := make([]byte, len(src))
+		copy(bs, src)
 		return NewBytes(bs)
 	case KindList:
-		list := make([]Value, len(v.list))
-		for i, e := range v.list {
+		src := v.listRaw()
+		list := make([]Value, len(src))
+		for i, e := range src {
 			list[i] = e.Clone()
 		}
 		return NewList(list)
 	case KindMap:
-		m := make(map[string]Value, len(v.m))
-		for k, e := range v.m {
+		src := v.mapRaw()
+		m := make(map[string]Value, len(src))
+		for k, e := range src {
 			m[k] = e.Clone()
 		}
 		return NewMap(m)
@@ -289,39 +394,40 @@ func (v Value) Equal(o Value) bool {
 	switch v.kind {
 	case KindNull:
 		return true
-	case KindBool:
-		return v.b == o.b
-	case KindInt:
-		return v.i == o.i
+	case KindBool, KindInt:
+		return v.num == o.num
 	case KindFloat:
-		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+		vf, of := v.floatRaw(), o.floatRaw()
+		return vf == of || (math.IsNaN(vf) && math.IsNaN(of))
 	case KindString, KindRef:
-		return v.s == o.s
+		return v.strRaw() == o.strRaw()
 	case KindBytes:
-		return string(v.bs) == string(o.bs)
+		return string(v.bytesRaw()) == string(o.bytesRaw())
 	case KindList:
-		if len(v.list) != len(o.list) {
+		vl, ol := v.listRaw(), o.listRaw()
+		if len(vl) != len(ol) {
 			return false
 		}
-		for i := range v.list {
-			if !v.list[i].Equal(o.list[i]) {
+		for i := range vl {
+			if !vl[i].Equal(ol[i]) {
 				return false
 			}
 		}
 		return true
 	case KindMap:
-		if len(v.m) != len(o.m) {
+		vm, om := v.mapRaw(), o.mapRaw()
+		if len(vm) != len(om) {
 			return false
 		}
-		for k, e := range v.m {
-			oe, ok := o.m[k]
+		for k, e := range vm {
+			oe, ok := om[k]
 			if !ok || !e.Equal(oe) {
 				return false
 			}
 		}
 		return true
 	case KindTime:
-		return v.t.Equal(o.t)
+		return v.timeRaw().Equal(o.timeRaw())
 	default:
 		return false
 	}
@@ -335,19 +441,19 @@ func (v Value) String() string {
 	case KindNull:
 		return "null"
 	case KindBool:
-		return strconv.FormatBool(v.b)
+		return strconv.FormatBool(v.boolRaw())
 	case KindInt:
-		return strconv.FormatInt(v.i, 10)
+		return strconv.FormatInt(v.intRaw(), 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(v.floatRaw(), 'g', -1, 64)
 	case KindString:
-		return v.s
+		return v.strRaw()
 	case KindBytes:
-		return fmt.Sprintf("bytes(%d)", len(v.bs))
+		return fmt.Sprintf("bytes(%d)", int(v.num))
 	case KindList:
 		var sb strings.Builder
 		sb.WriteByte('[')
-		for i, e := range v.list {
+		for i, e := range v.listRaw() {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
@@ -356,8 +462,9 @@ func (v Value) String() string {
 		sb.WriteByte(']')
 		return sb.String()
 	case KindMap:
-		keys := make([]string, 0, len(v.m))
-		for k := range v.m {
+		m := v.mapRaw()
+		keys := make([]string, 0, len(m))
+		for k := range m {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
@@ -369,14 +476,14 @@ func (v Value) String() string {
 			}
 			sb.WriteString(k)
 			sb.WriteString(": ")
-			sb.WriteString(v.m[k].quoted())
+			sb.WriteString(m[k].quoted())
 		}
 		sb.WriteByte('}')
 		return sb.String()
 	case KindRef:
-		return "ref(" + v.s + ")"
+		return "ref(" + v.strRaw() + ")"
 	case KindTime:
-		return v.t.UTC().Format(time.RFC3339Nano)
+		return v.timeRaw().UTC().Format(time.RFC3339Nano)
 	default:
 		return "?"
 	}
@@ -386,7 +493,7 @@ func (v Value) String() string {
 // composite renderings.
 func (v Value) quoted() string {
 	if v.kind == KindString {
-		return strconv.Quote(v.s)
+		return strconv.Quote(v.strRaw())
 	}
 	return v.String()
 }
