@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check bench-profile
+.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check bench-parallel bench-profile
 
 # Benchmarks tracked for regressions across PRs (see cmd/benchguard).
 # Each is run BENCH_COUNT times and benchguard keeps the fastest
@@ -9,6 +9,15 @@ GO ?= go
 BENCH_TRACKED = E3|E5|E11
 BENCH_TIME    = 100000x
 BENCH_COUNT   = 3
+
+# The parallel tier (bench_parallel_test.go): P-swept RunParallel
+# throughput over the sharded Home container (DESIGN.md §11). Tracked in
+# the same BENCH_PR.json snapshots as the scalar set, but at a shorter
+# benchtime (each op is µs-scale and runs P-wide) and under -short for the
+# routine record/check runs (skipping the 1e6-object tier); `make
+# bench-parallel` records the full population sweep.
+PBENCH      = P_
+PBENCH_TIME = 20000x
 
 # verify is the tier-1 gate: formatting, static checks, build, tests
 # (including the race detector), a one-iteration benchmark smoke run, and
@@ -38,21 +47,36 @@ verify-race:
 race: verify-race
 
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./...
 
 # bench-record appends a snapshot of the tracked benchmarks (ns/op plus
 # allocs/op and B/op from -benchmem) to BENCH_PR.json; run it once per PR
-# so bench-check has a fresh baseline.
+# so bench-check has a fresh baseline. The scalar set and the parallel
+# tier run as two invocations (different benchtimes) into one snapshot.
 bench-record:
-	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . \
+	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
 		| $(GO) run ./cmd/benchguard -mode record
 
 # bench-check warns (never fails) when a tracked benchmark runs >20%
 # slower — or allocates more per op — than the latest BENCH_PR.json
 # snapshot.
 bench-check:
-	$(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . \
+	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
 		| $(GO) run ./cmd/benchguard -mode check
+
+# bench-parallel records the FULL parallel sweep — including the 1e6-object
+# tier the routine runs skip — alongside the scalar tracked set, so the
+# snapshot bench-check compares against stays complete.
+# The full sweep far exceeds go test's default 10m timeout (the 1e6-object
+# sites take seconds to build per -count rep, and churn ops are ms-scale);
+# without -timeout the binary is killed mid-sweep and the pipe into
+# benchguard swallows the failure, silently recording a partial snapshot.
+bench-parallel:
+	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem -timeout=60m . ; } \
+		| $(GO) run ./cmd/benchguard -mode record
 
 # bench-profile writes CPU and heap profiles of the warm dispatch (E3) and
 # security (E5) benchmarks to profiles/ for `go tool pprof`.

@@ -1,0 +1,229 @@
+package main
+
+// Load-generator mode (-load): instead of serving one site, hadasd builds
+// a three-site in-process topology (alpha, beta, gamma — fully linked,
+// residents installed at beta and gamma), drives it with K concurrent
+// clients at alpha for a fixed duration, and reports throughput and
+// latency percentiles. It is the operational complement of the
+// bench_parallel_test.go tier: the same sharded-Home invoke path, but
+// measured as end-to-end client latency (p50/p95/p99) instead of ns/op.
+//
+//	hadasd -load -load-clients 8 -load-objects 10000 -load-duration 10s
+//
+// With -load-churn N every client also carries a personal agent it
+// bounces between the sites every N operations, mixing Home mutation
+// into the read traffic.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hadas"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// loadPoolCap bounds the distinct objects the load topology builds; above
+// it, resident names alias pool members (the population under test is the
+// container, not the object heap).
+const loadPoolCap = 256
+
+// loadTopology is the three-site fixture the load generator drives.
+type loadTopology struct {
+	alpha, beta, gamma *hadas.Site
+	names              []string // residents, present at beta and gamma
+	cleanup            func()
+}
+
+func buildLoadTopology(objects, clients int) (*loadTopology, error) {
+	net := transport.NewInProcNet()
+	mk := func(name string) (*hadas.Site, error) {
+		s, err := hadas.NewSite(hadas.Config{
+			Name: name,
+			Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.ServeInProc(net); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	var sites []*hadas.Site
+	cleanup := func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		s, err := mk(name)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		sites = append(sites, s)
+	}
+	alpha, beta, gamma := sites[0], sites[1], sites[2]
+	for _, pair := range [][2]*hadas.Site{{alpha, beta}, {alpha, gamma}, {beta, gamma}} {
+		if _, err := pair[0].Link(pair[1].Name()); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("link %s→%s: %w", pair[0].Name(), pair[1].Name(), err)
+		}
+	}
+
+	names := make([]string, objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("apo-%07d", i)
+	}
+	for _, s := range []*hadas.Site{beta, gamma} {
+		if err := installResidents(s, names); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	// One personal churn agent per client, homed at alpha.
+	for k := 0; k < clients; k++ {
+		b := alpha.NewAPOBuilder("Churn")
+		b.FixedData("client", value.NewInt(int64(k)))
+		obj, err := b.Build()
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := alpha.AddAPO(loadAgentName(k), obj); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	return &loadTopology{alpha: alpha, beta: beta, gamma: gamma, names: names, cleanup: cleanup}, nil
+}
+
+func loadAgentName(k int) string { return fmt.Sprintf("client-agent-%02d", k) }
+
+// installResidents batch-installs the resident APOs at a site, aliasing a
+// bounded pool of distinct objects, each carrying an echo "work" method.
+func installResidents(s *hadas.Site, names []string) error {
+	distinct := len(names)
+	if distinct > loadPoolCap {
+		distinct = loadPoolCap
+	}
+	pool := make([]*core.Object, distinct)
+	for i := range pool {
+		b := s.NewAPOBuilder("Resident")
+		b.FixedData("idx", value.NewInt(int64(i)))
+		b.FixedScriptMethod("work", `fn(x) { return x; }`)
+		obj, err := b.Build()
+		if err != nil {
+			return fmt.Errorf("resident pool at %s: %w", s.Name(), err)
+		}
+		pool[i] = obj
+	}
+	batch := make(map[string]*core.Object, len(names))
+	for i, name := range names {
+		batch[name] = pool[i%len(pool)]
+	}
+	return s.AddAPOs(batch)
+}
+
+// loadResult aggregates one run.
+type loadResult struct {
+	clients   int
+	objects   int
+	duration  time.Duration
+	ops       int
+	latencies []time.Duration // sorted
+}
+
+func (r *loadResult) percentile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.latencies)))
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+// runLoad drives the topology with K clients for the given duration and
+// writes the report to out. churnEvery > 0 mixes one agent hop per client
+// every churnEvery operations.
+func runLoad(clients, objects int, duration time.Duration, churnEvery int, out io.Writer) error {
+	if clients <= 0 || objects <= 0 || duration <= 0 {
+		return fmt.Errorf("hadasd: -load needs positive clients, objects and duration")
+	}
+	topo, err := buildLoadTopology(objects, clients)
+	if err != nil {
+		return err
+	}
+	defer topo.cleanup()
+
+	targets := []*hadas.Site{topo.beta, topo.gamma}
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			client := security.Principal{Object: topo.alpha.Generator().New(), Domain: topo.alpha.Domain()}
+			arg := value.NewInt(int64(k))
+			agent := loadAgentName(k)
+			at, back := topo.alpha, targets[k%len(targets)]
+			i := k * 7919
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if churnEvery > 0 && i%churnEvery == churnEvery-1 {
+					if _, err := at.DispatchAgent(agent, back.Name()); err != nil {
+						errs[k] = fmt.Errorf("client %d hop: %w", k, err)
+						return
+					}
+					at, back = back, at
+				} else {
+					target := targets[i%len(targets)]
+					name := topo.names[i%len(topo.names)]
+					if _, err := topo.alpha.InvokeRemote(target.Name(), client, name, "work", arg); err != nil {
+						errs[k] = fmt.Errorf("client %d invoke %s@%s: %w", k, name, target.Name(), err)
+						return
+					}
+				}
+				lats[k] = append(lats[k], time.Since(t0))
+				i++
+			}
+		}(k)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	res := loadResult{clients: clients, objects: objects, duration: elapsed}
+	for _, l := range lats {
+		res.latencies = append(res.latencies, l...)
+	}
+	res.ops = len(res.latencies)
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+
+	fmt.Fprintf(out, "load: 3 sites (alpha→{beta,gamma}), %d clients, %d resident objects, churn every %d ops\n",
+		clients, objects, churnEvery)
+	fmt.Fprintf(out, "ops: %d in %v (%.0f ops/s)\n",
+		res.ops, elapsed.Round(time.Millisecond), float64(res.ops)/elapsed.Seconds())
+	fmt.Fprintf(out, "latency: p50=%v p95=%v p99=%v max=%v\n",
+		res.percentile(0.50).Round(time.Microsecond),
+		res.percentile(0.95).Round(time.Microsecond),
+		res.percentile(0.99).Round(time.Microsecond),
+		res.percentile(1.0).Round(time.Microsecond))
+	return nil
+}

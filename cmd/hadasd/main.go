@@ -7,6 +7,11 @@
 //	hadasd -name tokyo -listen 127.0.0.1:7001 \
 //	       -manifest site.json -link 127.0.0.1:7002 -store /var/lib/hadas
 //
+// With -load the daemon instead runs the built-in load generator (see
+// load.go): a three-site in-process topology driven by -load-clients
+// concurrent clients for -load-duration, reporting throughput and
+// p50/p95/p99 latency.
+//
 // Manifest format (all sections optional):
 //
 //	{
@@ -70,10 +75,22 @@ func main() {
 		callTimeout  = flag.Duration("call-timeout", hadas.DefaultCallTimeout, "per-call deadline for peer round trips")
 		probeEvery   = flag.Duration("probe-interval", 0, "background peer liveness probe period (0 disables probing)")
 		links        linkList
+
+		load         = flag.Bool("load", false, "run the built-in load generator instead of serving")
+		loadClients  = flag.Int("load-clients", 8, "concurrent clients in -load mode")
+		loadObjects  = flag.Int("load-objects", 10000, "resident APOs per target site in -load mode")
+		loadDuration = flag.Duration("load-duration", 10*time.Second, "how long -load mode drives traffic")
+		loadChurn    = flag.Int("load-churn", 0, "in -load mode, hop a client agent every N ops (0 disables churn)")
 	)
 	flag.Var(&links, "link", "peer address to link to (repeatable)")
 	flag.Parse()
 
+	if *load {
+		if err := runLoad(*loadClients, *loadObjects, *loadDuration, *loadChurn, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*name, *domain, *listen, *manifestPath, *storeDir, *callTimeout, *probeEvery, links); err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/hadas"
 	"repro/internal/value"
@@ -64,6 +67,37 @@ func TestLoadManifest(t *testing.T) {
 	// Ext data installed too.
 	if _, err := apo.Get(apo.Principal(), "cache"); err != nil {
 		t.Errorf("extData missing: %v", err)
+	}
+}
+
+func TestRunLoad(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLoad(2, 50, 200*time.Millisecond, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"2 clients", "50 resident objects", "ops:", "p50=", "p99="} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunLoadChurn(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLoad(2, 50, 200*time.Millisecond, 10, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "churn every 10 ops") {
+		t.Errorf("report missing churn line:\n%s", out.String())
+	}
+}
+
+func TestRunLoadRejectsBadParams(t *testing.T) {
+	for _, tc := range [][3]int{{0, 50, 1}, {2, 0, 1}, {2, 50, 0}} {
+		if err := runLoad(tc[0], tc[1], time.Duration(tc[2])*time.Millisecond, 0, &bytes.Buffer{}); err == nil {
+			t.Errorf("runLoad(%d, %d, %dms) accepted", tc[0], tc[1], tc[2])
+		}
 	}
 }
 

@@ -187,6 +187,58 @@ func TwoSites() (host, origin *hadas.Site, cleanup func(), err error) {
 	return host, origin, cleanup, nil
 }
 
+// residentPoolCap bounds the distinct objects LoadedSites builds: above it,
+// names alias pool members round-robin. The container scale under test is
+// the Home/registry population, not the object heap — a million distinct
+// objects would measure the allocator instead of the site.
+const residentPoolCap = 1024
+
+// ResidentName returns the i-th APO name LoadedSites installs.
+func ResidentName(i int) string { return fmt.Sprintf("apo-%07d", i) }
+
+// ChurnAgentName returns the i-th churn-agent name LoadedSites installs.
+func ChurnAgentName(i int) string { return fmt.Sprintf("churn-%02d", i) }
+
+// LoadedSites builds the parallel-benchmark topology: a linked
+// (host, origin) pair with objs resident APOs — each carrying a native
+// "work" method — plus agents inert churn agents installed at the origin
+// in one batch. It returns the resident APO names (churn agents excluded).
+func LoadedSites(objs, agents int) (host, origin *hadas.Site, names []string, cleanup func(), err error) {
+	host, origin, cleanup, err = TwoSites()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	registerNoop(origin.Behaviors())
+	noop, err := origin.Behaviors().Lookup("bench.noop")
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, err
+	}
+	pool := make([]*core.Object, min(objs, residentPoolCap))
+	for i := range pool {
+		b := origin.NewAPOBuilder("Resident")
+		b.FixedData("idx", value.NewInt(int64(i)))
+		b.FixedMethod("work", noop)
+		pool[i] = b.MustBuild()
+	}
+	batch := make(map[string]*core.Object, objs+agents)
+	names = make([]string, objs)
+	for i := range names {
+		names[i] = ResidentName(i)
+		batch[names[i]] = pool[i%len(pool)]
+	}
+	for i := 0; i < agents; i++ {
+		b := origin.NewAPOBuilder("Churn")
+		b.FixedData("idx", value.NewInt(int64(i)))
+		batch[ChurnAgentName(i)] = b.MustBuild()
+	}
+	if err := origin.AddAPOs(batch); err != nil {
+		cleanup()
+		return nil, nil, nil, nil, err
+	}
+	return host, origin, names, cleanup, nil
+}
+
 // InstallEmployeeDB installs the §5 running-example APO at a site.
 func InstallEmployeeDB(s *hadas.Site) error {
 	b := s.NewAPOBuilder("EmployeeDB")

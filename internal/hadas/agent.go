@@ -25,10 +25,11 @@ import (
 
 const verbDispatch = "hadas.dispatch"
 
-// testHookPreBind, when non-nil, runs between the registry Unbind and Bind
-// of an arriving agent. The window is only reachable by a concurrent
-// rebind; tests use the hook to force that race deterministically and
-// exercise the installation unwind.
+// testHookPreBind, when non-nil, runs between the registry Register and
+// Rebind of an arriving agent. Tests use the hook to observe resolution in
+// that window (the name must stay continuously resolvable — Rebind closed
+// the Unbind/Bind gap) and to force Rebind failures that exercise the
+// installation unwind.
 var testHookPreBind func(s *Site, name string)
 
 // onArrival is the method a dispatched agent is invoked with on arrival
@@ -84,9 +85,7 @@ func (s *Site) DispatchAgent(name, peerName string) (value.Value, error) {
 	if err != nil {
 		return value.Null, fmt.Errorf("dispatch %q: %w", name, err)
 	}
-	s.mu.Lock()
-	_, wasAPO := s.apos[name]
-	s.mu.Unlock()
+	wasAPO := s.home.has(name)
 
 	img, err := obj.Snapshot()
 	if err != nil {
@@ -169,29 +168,28 @@ func (s *Site) DispatchAgent(name, peerName string) (value.Value, error) {
 // retireAgent removes a moved object from the local registries; it reports
 // whether the object was a Home member (for reinstatement on failure).
 func (s *Site) retireAgent(name string, id naming.ID) (wasAPO bool) {
+	wasAPO = s.home.remove(name, nil)
 	s.mu.Lock()
-	_, wasAPO = s.apos[name]
-	delete(s.apos, name)
 	delete(s.ambassadors, name)
 	s.mu.Unlock()
 	s.objects.Deregister(id)
 	s.objects.Unbind(name)
-	s.refreshIOOViews()
+	s.refreshView(viewHome)
 	return wasAPO
 }
 
 // reinstateAgent restores an object whose dispatch failed.
 func (s *Site) reinstateAgent(name string, obj *core.Object, wasAPO bool) {
-	s.mu.Lock()
 	if wasAPO {
-		s.apos[name] = obj
+		s.home.put(name, obj)
 	} else {
+		s.mu.Lock()
 		s.ambassadors[name] = obj
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.objects.Register(obj.ID(), obj)
-	_ = s.objects.Bind(name, obj.ID())
-	s.refreshIOOViews()
+	_ = s.objects.Rebind(name, obj.ID())
+	s.refreshView(viewHome)
 }
 
 // handleDispatch receives a migrating agent: materialize under this host's
@@ -207,7 +205,7 @@ func (s *Site) reinstateAgent(name string, obj *core.Object, wasAPO bool) {
 // settle.
 func (s *Site) handleDispatch(ctx context.Context, m map[string]value.Value) (value.Value, error) {
 	fromSite := field(m, "site")
-	if _, err := s.peerByName(fromSite); err != nil {
+	if err := s.linkedPeer(fromSite); err != nil {
 		return value.Null, err // agents only arrive over cooperation agreements
 	}
 	name := field(m, "name")
@@ -237,31 +235,25 @@ func (s *Site) handleDispatch(ctx context.Context, m map[string]value.Value) (va
 		agent.SetOutput(s.cfg.Output)
 	}
 
-	s.mu.Lock()
-	if prev, taken := s.apos[name]; taken && prev.ID() != agent.ID() {
-		s.mu.Unlock()
+	if conflict := s.home.claim(name, agent); conflict {
 		return value.Null, s.failArrival(arr, fmt.Errorf("%w: agent name %q", core.ErrExists, name))
 	}
-	s.apos[name] = agent
-	s.mu.Unlock()
 	s.objects.Register(agent.ID(), agent)
-	s.objects.Unbind(name) // replace a stale binding from a previous visit
 	if testHookPreBind != nil {
 		testHookPreBind(s, name)
 	}
-	if err := s.objects.Bind(name, agent.ID()); err != nil {
+	// Rebind atomically replaces a stale binding from a previous visit —
+	// the name never passes through an unbound window where a concurrent
+	// resolve would miss it.
+	if err := s.objects.Rebind(name, agent.ID()); err != nil {
 		// Unwind the partial installation: the agent must not linger in
 		// Home or the registry when the dispatch reports failure.
-		s.mu.Lock()
-		if cur, ok := s.apos[name]; ok && cur == agent {
-			delete(s.apos, name)
-		}
-		s.mu.Unlock()
+		s.home.remove(name, agent)
 		s.objects.Deregister(agent.ID())
-		s.refreshIOOViews()
+		s.refreshView(viewHome)
 		return value.Null, s.failArrival(arr, err)
 	}
-	s.refreshIOOViews()
+	s.refreshView(viewHome)
 	s.log("agent %s arrived from %s", name, fromSite)
 
 	// ACK point: the installation is recorded durably before onArrival

@@ -1,0 +1,281 @@
+package hadas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// This file holds the regression tests for the lifecycle races the Home
+// sharding work exposed (ISSUE 6) and the -race contention tests over the
+// sharded container. Each race has a deterministic reproduction — the
+// tests failed before their fixes — plus a stress test that lets the race
+// detector patrol the full surface.
+
+// TestServeRefusedAfterClose: binding a listener on a closed site must
+// fail with transport.ErrClosed and release the address. Before the fix,
+// Serve stored the listener unconditionally: a Serve racing (or plainly
+// following) Close left a live listener on a dead site, leaking its
+// goroutine and keeping the address bound forever.
+func TestServeRefusedAfterClose(t *testing.T) {
+	net := transport.NewInProcNet()
+	s, err := NewSite(Config{
+		Name: "late",
+		Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ServeInProc(net); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("serve after close = %v, want transport.ErrClosed", err)
+	}
+	// The refused listener was released: a successor site can take the name.
+	s2 := newTestSite(t, net, "late")
+	if s2.Name() != "late" {
+		t.Fatalf("successor site = %q", s2.Name())
+	}
+}
+
+// TestServeCloseRace races Serve against Close repeatedly. Whichever order
+// the lock serializes them into, the listener must end up closed — the
+// address is free afterwards. (Run with -race; before the fix this leaked
+// the listener whenever Close read s.listener before Serve stored it.)
+func TestServeCloseRace(t *testing.T) {
+	net := transport.NewInProcNet()
+	for i := 0; i < 100; i++ {
+		s, err := NewSite(Config{
+			Name: "flap",
+			Dial: func(addr string) (transport.Conn, error) { return net.Dial(addr) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); _ = s.ServeInProc(net) }()
+		go func() { defer wg.Done(); _ = s.Close() }()
+		wg.Wait()
+		lis, err := net.Listen("flap", nil)
+		if err != nil {
+			t.Fatalf("iteration %d leaked the listener: %v", i, err)
+		}
+		lis.Close()
+	}
+}
+
+// TestViewRefreshStaleSnapshotSkipped holds one view refresh between its
+// container read and its publish while a second mutation completes a full
+// refresh, then releases it. The held refresh carries a stale snapshot and
+// must not publish it. Before generation stamping this was the classic
+// lost update: the IOO's "home" view would drop the later APO.
+func TestViewRefreshStaleSnapshotSkipped(t *testing.T) {
+	net := transport.NewInProcNet()
+	s := newTestSite(t, net, "views")
+	addAPO := func(name string) {
+		t.Helper()
+		if err := s.AddAPO(name, s.NewAPOBuilder("X").MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addAPO("early")
+
+	var armed atomic.Bool
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	testHookViewPublish = func(v iooView) {
+		if v == viewHome && armed.CompareAndSwap(true, false) {
+			close(held) // parked with a snapshot of ["early"]
+			<-hold
+		}
+	}
+	defer func() { testHookViewPublish = nil }()
+
+	armed.Store(true)
+	done := make(chan struct{})
+	go func() { defer close(done); s.refreshView(viewHome) }()
+	<-held
+
+	addAPO("late") // publishes ["early","late"] under a newer generation
+	close(hold)    // release the stale refresh; its publish must be skipped
+	<-done
+
+	home, err := s.IOO().Get(s.IOO().Principal(), "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if home.String() != `["early", "late"]` {
+		t.Fatalf("home view = %v, stale refresh overwrote the newer one", home)
+	}
+}
+
+// TestAgentArrivalRebindAtomic: installing an arriving agent over a stale
+// binding from a previous visit must keep the name continuously
+// resolvable. Before Registry.Rebind, installation went Unbind-then-Bind,
+// and a resolve landing in between failed "name not bound".
+func TestAgentArrivalRebindAtomic(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+	inertAgent(t, a, "box")
+
+	// The stale binding a previous visit would leave at the destination.
+	stale := b.NewAPOBuilder("Stale").MustBuild()
+	b.objects.Register(stale.ID(), stale)
+	if err := b.objects.Bind("box", stale.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	var windowErr error
+	testHookPreBind = func(s *Site, name string) {
+		if s == b && name == "box" {
+			_, windowErr = s.objects.Resolve(name)
+		}
+	}
+	defer func() { testHookPreBind = nil }()
+
+	if _, err := a.DispatchAgent("box", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if windowErr != nil {
+		t.Errorf("name unresolvable mid-installation: %v", windowErr)
+	}
+	agent, err := b.APO("box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.ResolveObject("box"); err != nil || got.ID() != agent.ID() {
+		t.Errorf("binding after arrival = %v, %v; want the agent", got, err)
+	}
+}
+
+// TestHomeContainerContention hammers one homeContainer from adders,
+// removers, readers and enumerators at once (run with -race). The final
+// count must reconcile with the surviving members.
+func TestHomeContainerContention(t *testing.T) {
+	const (
+		workers = 4
+		keys    = 128
+		rounds  = 300
+	)
+	var c homeContainer
+	seed := newTestSite(t, transport.NewInProcNet(), "seed")
+	pool := make([]string, keys)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("apo-%03d", i)
+	}
+	obj := seed.NewAPOBuilder("Filler").MustBuild()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := pool[(w*rounds+r*7)%keys]
+				switch r % 4 {
+				case 0:
+					c.put(name, obj)
+				case 1:
+					c.remove(name, nil)
+				case 2:
+					if o, ok := c.get(name); ok && o != obj {
+						t.Error("get returned a foreign object")
+						return
+					}
+				default:
+					_ = c.names()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := c.len(), len(c.names()); got != want {
+		t.Errorf("count %d != surviving members %d", got, want)
+	}
+}
+
+// TestSiteContention exercises the public surface the sharding
+// restructured — lookups, installs, view refreshes, peer health and agent
+// churn — concurrently across two linked sites, under -race. There are no
+// assertions beyond error-freedom: the test exists so the race detector
+// patrols every lock boundary the refactor moved.
+func TestSiteContention(t *testing.T) {
+	net := transport.NewInProcNet()
+	a := newMigSite(t, net, "a", persist.NewMemStore())
+	b := newMigSite(t, net, "b", persist.NewMemStore())
+	link(t, a, "b")
+	addEmployeeDB(t, a)
+	inertAgent(t, a, "walker")
+
+	const rounds = 60
+	var wg sync.WaitGroup
+	run := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				f(i)
+			}
+		}()
+	}
+	// Installer: grows Home with fresh names.
+	run(func(i int) {
+		name := fmt.Sprintf("grown-%03d", i)
+		if err := a.AddAPO(name, a.NewAPOBuilder("G").MustBuild()); err != nil {
+			t.Errorf("add %s: %v", name, err)
+		}
+	})
+	// Readers: resolve and enumerate while the container churns.
+	run(func(i int) {
+		_, _ = a.ResolveObject("payroll")
+		_ = a.APONames()
+		_, _ = a.IOO().Get(a.IOO().Principal(), "home")
+	})
+	// Remote invoker: the fast path handleInvoke protects.
+	client := security.Principal{Object: b.Generator().New(), Domain: b.Domain()}
+	run(func(i int) {
+		if _, err := b.InvokeRemote("a", client, "payroll", "salaryOf", value.NewString("alice")); err != nil {
+			t.Errorf("remote invoke: %v", err)
+		}
+	})
+	// Health and topology readers.
+	run(func(i int) {
+		_ = a.PeerHealth()
+		_ = a.PeerNames()
+		_, _ = a.PeerStatus("b")
+	})
+	// Agent churn: the walker bounces a→b→a, claiming and releasing its
+	// Home slot on both sides.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		at, back := a, b
+		for i := 0; i < 20; i++ {
+			if _, err := at.DispatchAgent("walker", back.Name()); err != nil {
+				t.Errorf("hop %d: %v", i, err)
+				return
+			}
+			at, back = back, at
+		}
+	}()
+	wg.Wait()
+
+	if n := len(a.APONames()); n < rounds {
+		t.Errorf("home lost members: %d", n)
+	}
+	if copies("walker", a, b) != 1 {
+		t.Error("walker duplicated or lost")
+	}
+}

@@ -28,21 +28,21 @@ func (ps PeerStatus) Up() bool { return ps.State != transport.BreakerOpen }
 
 // PeerStatus returns the health-table row for one linked peer.
 func (s *Site) PeerStatus(peerName string) (PeerStatus, error) {
-	s.mu.Lock()
+	s.peerMu.RLock()
 	p, ok := s.peers[peerName]
 	if !ok {
-		s.mu.Unlock()
+		s.peerMu.RUnlock()
 		return PeerStatus{}, fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
 	res := p.res
-	s.mu.Unlock()
+	s.peerMu.RUnlock()
 	return peerRow(peerName, res), nil
 }
 
 // PeerHealth returns the health table for every linked peer, sorted by
 // peer name. Peers never dialed report a closed breaker with no failures.
 func (s *Site) PeerHealth() []PeerStatus {
-	s.mu.Lock()
+	s.peerMu.RLock()
 	type entry struct {
 		name string
 		res  *transport.ResilientConn
@@ -51,7 +51,7 @@ func (s *Site) PeerHealth() []PeerStatus {
 	for name, p := range s.peers {
 		rows = append(rows, entry{name, p.res})
 	}
-	s.mu.Unlock()
+	s.peerMu.RUnlock()
 
 	out := make([]PeerStatus, 0, len(rows))
 	for _, e := range rows {
@@ -102,18 +102,18 @@ func (s *Site) probeLoop() {
 	}
 }
 
-// probePeers pings each peer's connection once, outside s.mu (the redialer
-// takes the lock). Errors are already folded into breaker state; nothing
+// probePeers pings each peer's connection once, outside the peer lock (the
+// redialer takes it). Errors are already folded into breaker state; nothing
 // to do with them here.
 func (s *Site) probePeers() {
-	s.mu.Lock()
+	s.peerMu.RLock()
 	conns := make([]*transport.ResilientConn, 0, len(s.peers))
 	for _, p := range s.peers {
 		if p.res != nil {
 			conns = append(conns, p.res)
 		}
 	}
-	s.mu.Unlock()
+	s.peerMu.RUnlock()
 	for _, rc := range conns {
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 		_ = rc.Ping(ctx)

@@ -67,13 +67,62 @@ func buildIOO(s *Site) (*core.Object, error) {
 	return ioo, nil
 }
 
-// refreshIOOViews mirrors the site's containers into the IOO's data items
-// so self-representation ("describe", "home", "vicinity") reflects reality.
+// iooView names one of the IOO's mirrored container views.
+type iooView int
+
+const (
+	viewHome iooView = iota
+	viewVicinity
+	viewInterop
+	viewCount
+)
+
+// viewItem is the IOO data item each view publishes into.
+var viewItem = [viewCount]string{"home", "vicinity", "interop"}
+
+// testHookViewPublish, when non-nil, runs between a refresh's container
+// read and its publish attempt. Tests use it to hold a refresh in that
+// window and prove a stale snapshot cannot overwrite a newer view.
+var testHookViewPublish func(v iooView)
+
+// refreshView mirrors one site container into its IOO data item, so
+// self-representation ("describe", "home", "vicinity") reflects reality.
+// Views are maintained incrementally — a mutation refreshes only the
+// container it changed — and publication is generation-stamped: the
+// generation is claimed *before* the container is read, and the publish is
+// skipped when a newer generation already applied. Two concurrent arrivals
+// can therefore never publish views out of order and strand the container
+// with a member missing (every mutation claims a generation after it
+// completes, so the highest claim always read the final state).
+func (s *Site) refreshView(v iooView) {
+	gen := s.viewGen[v].Add(1)
+	var names []string
+	switch v {
+	case viewHome:
+		names = s.APONames()
+	case viewVicinity:
+		names = s.PeerNames()
+	case viewInterop:
+		names = s.ProgramNames()
+	}
+	if hook := testHookViewPublish; hook != nil {
+		hook(v)
+	}
+	s.viewMu.Lock()
+	defer s.viewMu.Unlock()
+	if gen <= s.viewApplied[v] {
+		return // a refresh that read later already published
+	}
+	s.viewApplied[v] = gen
+	_ = s.ioo.Set(s.ioo.Principal(), viewItem[v], stringList(names))
+}
+
+// refreshIOOViews republishes every container view (site construction and
+// tests; steady-state mutations use the per-view refreshView).
 func (s *Site) refreshIOOViews() {
-	self := s.ioo.Principal()
-	_ = s.ioo.Set(self, "home", stringList(s.APONames()))
-	_ = s.ioo.Set(self, "vicinity", stringList(s.PeerNames()))
-	_ = s.ioo.Set(self, "interop", stringList(s.ProgramNames()))
+	s.refreshView(viewHome)
+	s.refreshView(viewVicinity)
+	s.refreshView(viewInterop)
 }
 
 // iooAmbassadorImage instantiates an Ambassador of this site's IOO for a
@@ -111,7 +160,7 @@ func (s *Site) AddProgram(name, src string) error {
 	s.mu.Lock()
 	s.programs = append(s.programs, name)
 	s.mu.Unlock()
-	s.refreshIOOViews()
+	s.refreshView(viewInterop)
 	return nil
 }
 
@@ -128,7 +177,7 @@ func (s *Site) RemoveProgram(name string) error {
 		}
 	}
 	s.mu.Unlock()
-	s.refreshIOOViews()
+	s.refreshView(viewInterop)
 	return nil
 }
 

@@ -289,6 +289,7 @@ func (s *Site) recordInstalled(a *arrival, id naming.ID, image []byte) {
 	a.agentID = id
 	a.image = image
 	a.state = arrivalInstalled
+	s.arrByAgent[id] = append(s.arrByAgent[id], a)
 	raw := s.encodeArrival(a)
 	s.arrMu.Unlock()
 	if err := s.journal.Put(arrivalSlot(a.mid), raw); err != nil {
@@ -369,18 +370,50 @@ func (s *Site) arrivalSeq() int64 {
 func (s *Site) markAgentDeparted(id naming.ID, watermark int64) {
 	s.arrMu.Lock()
 	var updated [][2]any
-	for _, a := range s.arrivals {
-		if a.agentID == id && a.seq <= watermark &&
-			(a.state == arrivalInstalled || a.state == arrivalDone) {
+	recs := s.arrByAgent[id]
+	kept := recs[:0]
+	for _, a := range recs {
+		if a.seq <= watermark {
 			a.state = arrivalDeparted
 			updated = append(updated, [2]any{arrivalSlot(a.mid), s.encodeArrival(a)})
+		} else {
+			kept = append(kept, a)
 		}
+	}
+	// Departed is terminal for this index: the record can never need
+	// marking again, so only the surviving incarnations stay — the next
+	// departure's scan is O(live copies), not O(dedup table).
+	if len(kept) == 0 {
+		delete(s.arrByAgent, id)
+	} else {
+		s.arrByAgent[id] = kept
 	}
 	s.arrMu.Unlock()
 	for _, u := range updated {
 		if err := s.journal.Put(u[0].(string), u[1].([]byte)); err != nil {
 			s.log("arrival journal update failed: %v", err)
 		}
+	}
+}
+
+// dropAgentIndex removes an evicted record from the by-agent index
+// (arrMu held). Records that never reached recordInstalled have no agent
+// identity and were never indexed.
+func (s *Site) dropAgentIndex(a *arrival) {
+	if a.agentID == (naming.ID{}) {
+		return
+	}
+	recs := s.arrByAgent[a.agentID]
+	for i, r := range recs {
+		if r == a {
+			recs = append(recs[:i], recs[i+1:]...)
+			break
+		}
+	}
+	if len(recs) == 0 {
+		delete(s.arrByAgent, a.agentID)
+	} else {
+		s.arrByAgent[a.agentID] = recs
 	}
 }
 
@@ -399,6 +432,7 @@ func (s *Site) pruneArrivals() {
 		}
 		s.arrOrder = s.arrOrder[1:]
 		delete(s.arrivals, oldest.mid)
+		s.dropAgentIndex(oldest)
 		evicted = append(evicted, oldest.mid)
 	}
 	s.arrMu.Unlock()
@@ -469,7 +503,7 @@ func (s *Site) MigrationStatusAt(peerName, mid string) (MigrationStatus, error) 
 // in-flight installation is waited for (bounded by the request context),
 // so the origin learns the settled outcome, not a racing snapshot.
 func (s *Site) handleMigrationStatus(ctx context.Context, m map[string]value.Value) (value.Value, error) {
-	if _, err := s.peerByName(field(m, "site")); err != nil {
+	if err := s.linkedPeer(field(m, "site")); err != nil {
 		return value.Null, err // only linked sites may probe migration state
 	}
 	mid := field(m, "mid")
@@ -551,6 +585,11 @@ func (s *Site) replayArrivals() ([]string, error) {
 		}
 		s.arrivals[a.mid] = a
 		s.arrOrder = append(s.arrOrder, a)
+		if a.state == arrivalInstalled || a.state == arrivalDone {
+			// Only live incarnations enter the by-agent index; departed
+			// and failed records never need departure-marking again.
+			s.arrByAgent[a.agentID] = append(s.arrByAgent[a.agentID], a)
+		}
 		s.arrMu.Unlock()
 
 		if a.state != arrivalInstalled && a.state != arrivalDone {

@@ -647,9 +647,13 @@ func TestDispatchArrivalError(t *testing.T) {
 	}
 }
 
-// TestDispatchBindRollback forces a name-binding race during installation
-// and verifies the partial install is fully unwound: the agent must not
-// linger in Home or the object registry, and the origin reinstates it.
+// TestDispatchBindRollback forces a rebind failure during installation and
+// verifies the partial install is fully unwound: the agent must not linger
+// in Home or the object registry, the squatter's binding must survive
+// untouched, and the origin reinstates the agent. (A concurrent *binding*
+// no longer fails installation — Rebind replaces it atomically — so the
+// failure is injected one step later: the agent's registration vanishes
+// between Register and Rebind, as a racing eviction would make it.)
 func TestDispatchBindRollback(t *testing.T) {
 	net := transport.NewInProcNet()
 	a := newMigSite(t, net, "a", persist.NewMemStore())
@@ -659,10 +663,13 @@ func TestDispatchBindRollback(t *testing.T) {
 	agent := inertAgent(t, a, "box")
 	squatter := b.NewAPOBuilder("Squatter").MustBuild()
 	b.objects.Register(squatter.ID(), squatter)
+	if err := b.objects.Bind("box", squatter.ID()); err != nil {
+		t.Fatal(err)
+	}
 
 	testHookPreBind = func(s *Site, name string) {
 		if s == b && name == "box" {
-			_ = s.objects.Bind(name, squatter.ID())
+			s.objects.Deregister(agent.ID())
 		}
 	}
 	defer func() { testHookPreBind = nil }()

@@ -165,7 +165,7 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 		}
 	}
 
-	s.mu.Lock()
+	s.peerMu.Lock()
 	p, existed := s.peers[name]
 	if !existed {
 		p = &peer{name: name}
@@ -187,7 +187,7 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 	if amb != nil {
 		p.ambassador = amb
 	}
-	s.mu.Unlock()
+	s.peerMu.Unlock()
 	if relink != nil {
 		// Re-link: keep the wrapper (and its breaker history) but swap in
 		// the fresh handshake connection, retiring the previous one.
@@ -201,16 +201,16 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 
 	if amb != nil {
 		s.objects.Register(amb.ID(), amb)
-		ambName := "ioo@" + name
-		if old != nil {
-			s.objects.Deregister(old.ID())
-			s.objects.Unbind(ambName)
-		}
-		if err := s.objects.Bind(ambName, amb.ID()); err != nil {
+		// Rebind is atomic: a re-link never leaves a window in which
+		// "ioo@<peer>" resolves to nothing.
+		if err := s.objects.Rebind("ioo@"+name, amb.ID()); err != nil {
 			return err
 		}
+		if old != nil {
+			s.objects.Deregister(old.ID())
+		}
 	}
-	s.refreshIOOViews()
+	s.refreshView(viewVicinity)
 	return nil
 }
 
@@ -231,18 +231,18 @@ func retrySafeVerb(verb string) bool {
 // address on every attempt, so a peer that re-links from a new address is
 // reached without rebuilding the wrapper.
 //
-// Lock order: the redialer acquires s.mu, so ResilientConn methods (Call,
-// Ping, SetInner, Close) must never be called while holding s.mu — fetch
-// the wrapper under the lock, release it, then talk to the wrapper.
-// Constructing the wrapper under s.mu is fine (the redialer runs lazily).
+// Lock order: the redialer acquires s.peerMu, so ResilientConn methods
+// (Call, Ping, SetInner, Close) must never be called while holding peerMu —
+// fetch the wrapper under the lock, release it, then talk to the wrapper.
+// Constructing the wrapper under peerMu is fine (the redialer runs lazily).
 func (s *Site) newPeerConn(name string, conn transport.Conn) *transport.ResilientConn {
 	redial := func() (transport.Conn, error) {
-		s.mu.Lock()
+		s.peerMu.RLock()
 		addr := ""
 		if p, ok := s.peers[name]; ok {
 			addr = p.addr
 		}
-		s.mu.Unlock()
+		s.peerMu.RUnlock()
 		if addr == "" {
 			addr = name
 		}
@@ -256,11 +256,26 @@ func (s *Site) newPeerConn(name string, conn transport.Conn) *transport.Resilien
 }
 
 // connTo returns the resilient connection to a peer, creating the wrapper
-// (with a lazily-dialed inner connection) on first use.
+// (with a lazily-dialed inner connection) on first use. The steady-state
+// path is one read lock; the write lock is taken only for the one-time
+// wrapper construction.
 func (s *Site) connTo(peerName string) (transport.Conn, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.peerMu.RLock()
 	p, ok := s.peers[peerName]
+	var res *transport.ResilientConn
+	if ok {
+		res = p.res
+	}
+	s.peerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotLinked, peerName)
+	}
+	if res != nil {
+		return res, nil
+	}
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	p, ok = s.peers[peerName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
@@ -277,16 +292,16 @@ func (s *Site) connTo(peerName string) (transport.Conn, error) {
 // remote side keeps its own half until it unlinks too — sites are
 // autonomous and neither can force the other's bookkeeping.
 func (s *Site) Unlink(peerName string) error {
-	s.mu.Lock()
+	s.peerMu.Lock()
 	p, ok := s.peers[peerName]
 	if !ok {
-		s.mu.Unlock()
+		s.peerMu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
 	delete(s.peers, peerName)
 	res := p.res
 	amb := p.ambassador
-	s.mu.Unlock()
+	s.peerMu.Unlock()
 
 	if res != nil {
 		res.Close()
@@ -295,7 +310,7 @@ func (s *Site) Unlink(peerName string) error {
 		s.objects.Deregister(amb.ID())
 		s.objects.Unbind("ioo@" + peerName)
 	}
-	s.refreshIOOViews()
+	s.refreshView(viewVicinity)
 	s.log("unlinked from %s", peerName)
 	return nil
 }
@@ -305,19 +320,19 @@ func (s *Site) Unlink(peerName string) error {
 // here). The previous inner connection is left open: injected conns often
 // wrap it, and it is retired with the wrapper on Unlink/Close.
 func (s *Site) SetPeerConn(peerName string, conn transport.Conn) error {
-	s.mu.Lock()
+	s.peerMu.Lock()
 	p, ok := s.peers[peerName]
 	if !ok {
-		s.mu.Unlock()
+		s.peerMu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotLinked, peerName)
 	}
 	if p.res == nil {
 		p.res = s.newPeerConn(peerName, conn)
-		s.mu.Unlock()
+		s.peerMu.Unlock()
 		return nil
 	}
 	res := p.res
-	s.mu.Unlock()
+	s.peerMu.Unlock()
 	res.SetInner(conn)
 	return nil
 }
@@ -368,14 +383,15 @@ func (s *Site) Import(peerName, apoName string) (string, error) {
 	old := s.ambassadors[localName]
 	s.ambassadors[localName] = amb
 	s.mu.Unlock()
+	s.objects.Register(amb.ID(), amb)
+	// Rebind is atomic: a re-import swaps the binding without a window in
+	// which the ambassador name resolves to nothing.
+	if err := s.objects.Rebind(localName, amb.ID()); err != nil {
+		return "", err
+	}
 	if old != nil {
 		// Re-import refreshes: the previous ambassador is retired.
 		s.objects.Deregister(old.ID())
-		s.objects.Unbind(localName)
-	}
-	s.objects.Register(amb.ID(), amb)
-	if err := s.objects.Bind(localName, amb.ID()); err != nil {
-		return "", err
 	}
 
 	// Installation context, then self-installation.
@@ -387,7 +403,6 @@ func (s *Site) Import(peerName, apoName string) (string, error) {
 	if _, err := amb.Invoke(s.ioo.Principal(), "install", installCtx); err != nil {
 		return "", fmt.Errorf("import %q: install: %w", apoName, err)
 	}
-	s.refreshIOOViews()
 	s.log("imported %s from %s", apoName, peerName)
 	return localName, nil
 }
@@ -403,7 +418,7 @@ func (s *Site) handleExport(m map[string]value.Value) (value.Value, error) {
 		return value.Null, fmt.Errorf("%w: requester ioo id: %v", core.ErrArity, err)
 	}
 
-	if _, err := s.peerByName(requesterSite); err != nil {
+	if err := s.linkedPeer(requesterSite); err != nil {
 		return value.Null, err // export only to linked sites
 	}
 	apo, err := s.APO(apoName)
@@ -472,7 +487,7 @@ func (s *Site) InvokeRemote(peerName string, caller security.Principal,
 // subject of the companion papers [16], [17]).
 func (s *Site) handleInvoke(m map[string]value.Value) (value.Value, error) {
 	fromSite := field(m, "site")
-	p, err := s.peerByName(fromSite)
+	domain, err := s.peerDomain(fromSite)
 	if err != nil {
 		return value.Null, err
 	}
@@ -484,8 +499,18 @@ func (s *Site) handleInvoke(m map[string]value.Value) (value.Value, error) {
 	if err != nil {
 		return value.Null, err
 	}
-	args, _ := m["args"].List()
-	caller := security.Principal{Object: callerID, Domain: p.domain}
+	// A malformed args field is a protocol error, not an empty argument
+	// list: silently coercing a corrupted frame to zero args would invoke
+	// the method with the wrong arity.
+	var args []value.Value
+	if argsV, present := m["args"]; present && !argsV.IsNull() {
+		list, ok := argsV.List()
+		if !ok {
+			return value.Null, fmt.Errorf("%w: args is not a list", core.ErrArity)
+		}
+		args = list
+	}
+	caller := security.Principal{Object: callerID, Domain: domain}
 	result, err := target.Invoke(caller, field(m, "method"), args...)
 	if err != nil {
 		return value.Null, err

@@ -3,6 +3,7 @@ package hadas
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/transport"
@@ -77,6 +78,51 @@ func TestProtocolRejectsGarbage(t *testing.T) {
 	}
 	if i, _ := v.Int(); i != 12500 {
 		t.Errorf("site degraded after garbage: %v", v)
+	}
+}
+
+// TestInvokeVerbRejectsMalformedArgs: a frame whose args field is present
+// but not a list is a protocol error (core.ErrArity at the handler),
+// not an empty argument list — silently coercing it would invoke the
+// method with the wrong arity.
+func TestInvokeVerbRejectsMalformedArgs(t *testing.T) {
+	net := transport.NewInProcNet()
+	origin := newTestSite(t, net, "strict")
+	peer := newTestSite(t, net, "caller-site")
+	addEmployeeDB(t, origin)
+	if _, err := peer.Link("strict"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := wire.EncodeValue(value.NewMap(map[string]value.Value{
+		"site":   value.NewString("caller-site"),
+		"caller": value.NewString(peer.IOO().ID().String()),
+		"target": value.NewString("payroll"),
+		"method": value.NewString("salaryOf"),
+		"args":   value.NewString("alice"), // scalar, not a list
+	}))
+	_, err = conn.Call(context.Background(), verbInvoke, payload)
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if !strings.Contains(re.Error(), "args is not a list") {
+		t.Errorf("error %q does not name the malformed args field", re.Error())
+	}
+	// Null args remain a legal empty argument list (script params bind
+	// to null), not a malformed frame.
+	payload = wire.EncodeValue(value.NewMap(map[string]value.Value{
+		"site":   value.NewString("caller-site"),
+		"caller": value.NewString(peer.IOO().ID().String()),
+		"target": value.NewString("payroll"),
+		"method": value.NewString("salaryOf"),
+		"args":   value.Null,
+	}))
+	if _, err := conn.Call(context.Background(), verbInvoke, payload); err != nil {
+		t.Errorf("null args rejected: %v", err)
 	}
 }
 

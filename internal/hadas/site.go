@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -128,9 +129,20 @@ type Site struct {
 	// durability follows the store.
 	journal persist.Store
 
+	// home is the APO container, sharded so concurrent invocations,
+	// arrivals and departures on different names never serialize behind
+	// one lock (DESIGN.md §11).
+	home homeContainer
+
+	// peerMu guards peers. Read-mostly: every remote invocation resolves
+	// its peer row under the read lock; only Link/Unlink/SetPeerConn/Close
+	// write. The invoke path therefore never touches a write lock.
+	peerMu sync.RWMutex
+	peers  map[string]*peer // by site name
+
+	// mu guards the remaining, cold site state. Nothing on the
+	// per-invocation fast path takes it.
 	mu              sync.Mutex
-	peers           map[string]*peer // by site name
-	apos            map[string]*core.Object
 	exportACL       map[string]security.ACL   // apoName → who may import
 	ambassadorSpecs map[string]AmbassadorSpec // apoName → split
 	ambassadors     map[string]*core.Object   // hosted ambassadors, by registry name
@@ -141,10 +153,23 @@ type Site struct {
 	stopProbe       chan struct{} // closes to stop the background prober
 	closed          bool
 
+	// IOO container views are generation-stamped: refreshView claims a
+	// generation before reading a container, and viewMu/viewApplied let a
+	// publish proceed only when no newer generation has been applied — a
+	// refresh holding a stale snapshot can never overwrite a newer view
+	// (the lost-update race the old rebuild-under-contention had).
+	viewGen     [viewCount]atomic.Uint64
+	viewMu      sync.Mutex
+	viewApplied [viewCount]uint64
+
 	arrMu    sync.Mutex
 	arrivals map[string]*arrival // dedup table, by migration ID
 	arrOrder []*arrival          // claim order, oldest first (for pruning)
-	arrSeq   int64               // monotonically increasing claim sequence
+	// arrByAgent indexes installed records by agent identity so marking an
+	// agent departed touches only that agent's records — a full-table scan
+	// here once dominated the hop cost at a high-traffic destination.
+	arrByAgent map[naming.ID][]*arrival
+	arrSeq     int64 // monotonically increasing claim sequence
 }
 
 // NewSite constructs a site, its behavior registry and its IOO.
@@ -179,11 +204,11 @@ func NewSite(cfg Config) (*Site, error) {
 		policy:      security.NewPolicy(),
 		auditor:     security.NewAuditor(256),
 		peers:       make(map[string]*peer),
-		apos:        make(map[string]*core.Object),
 		exportACL:   make(map[string]security.ACL),
 		ambassadors: make(map[string]*core.Object),
 		migrating:   make(map[string]bool),
 		arrivals:    make(map[string]*arrival),
+		arrByAgent:  make(map[naming.ID][]*arrival),
 	}
 	if cfg.Store != nil {
 		s.journal = cfg.Store
@@ -238,25 +263,39 @@ func (s *Site) log(format string, args ...any) {
 }
 
 // Serve binds the site's protocol endpoint. With the in-process network
-// use ServeInProc instead.
+// use ServeInProc instead. Serving a closed site fails with
+// transport.ErrClosed.
 func (s *Site) Serve(addr string) (string, error) {
 	lis, err := transport.ListenTCP(addr, s.handle)
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	s.listener = lis
-	s.mu.Unlock()
+	if err := s.adoptListener(lis); err != nil {
+		return "", err
+	}
 	return lis.Addr(), nil
 }
 
 // ServeInProc binds the site on an in-process network under its own name.
+// Serving a closed site fails with transport.ErrClosed.
 func (s *Site) ServeInProc(net *transport.InProcNet) error {
 	lis, err := net.Listen(s.cfg.Name, s.handle)
 	if err != nil {
 		return err
 	}
+	return s.adoptListener(lis)
+}
+
+// adoptListener stores a freshly-bound listener, checking closed under the
+// same lock Close sets it: a listener bound after (or racing) Close would
+// otherwise be stored on a dead site and leak its goroutine and port.
+func (s *Site) adoptListener(lis transport.Listener) error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("serve %s: %w", s.cfg.Name, transport.ErrClosed)
+	}
 	s.listener = lis
 	s.mu.Unlock()
 	return nil
@@ -272,13 +311,16 @@ func (s *Site) Close() error {
 	s.closed = true
 	lis := s.listener
 	stop := s.stopProbe
+	s.mu.Unlock()
+
+	s.peerMu.RLock()
 	conns := make([]transport.Conn, 0, len(s.peers))
 	for _, p := range s.peers {
 		if p.res != nil {
 			conns = append(conns, p.res)
 		}
 	}
-	s.mu.Unlock()
+	s.peerMu.RUnlock()
 	if stop != nil {
 		close(stop)
 	}
@@ -300,7 +342,13 @@ func (s *Site) SiteName() string { return s.cfg.Name }
 
 // ResolveObject implements core.Resolver: it resolves "ioo", APO names,
 // hosted ambassador names ("payroll@tokyo", "ioo@tokyo"), and raw IDs.
+// Home members resolve through the sharded container first — lock-free on
+// snapshot shards — so the remote-invoke path shares no lock with site
+// mutation.
 func (s *Site) ResolveObject(name string) (*core.Object, error) {
+	if obj, ok := s.home.get(name); ok {
+		return obj, nil
+	}
 	if id, err := naming.ParseID(name); err == nil {
 		obj, err := s.objects.LookupID(id)
 		if err != nil {
@@ -357,27 +405,42 @@ func (s *Site) NewAPOBuilder(class string) *core.Builder {
 // AddAPO installs an application object into Home under a name. The APO
 // becomes reachable to interop programs and, when exported, to peers.
 func (s *Site) AddAPO(name string, obj *core.Object) error {
-	s.mu.Lock()
-	if _, dup := s.apos[name]; dup {
-		s.mu.Unlock()
+	if !s.home.add(name, obj) {
 		return fmt.Errorf("%w: APO %q", core.ErrExists, name)
 	}
-	s.apos[name] = obj
-	s.mu.Unlock()
-
 	s.host(obj)
 	if err := s.objects.Bind(name, obj.ID()); err != nil {
 		return err
 	}
-	s.refreshIOOViews()
+	s.refreshView(viewHome)
+	return nil
+}
+
+// AddAPOs installs a batch of application objects, refreshing the IOO's
+// Home view once at the end instead of per member. AddAPO's per-install
+// refresh enumerates and sorts the whole container, so populating a large
+// site one call at a time is quadratic; bootstrap-scale loads (the 1e6
+// benchmark tier, restores) go through here. Installation stops at the
+// first duplicate name; members installed before it remain.
+func (s *Site) AddAPOs(apos map[string]*core.Object) error {
+	for name, obj := range apos {
+		if !s.home.add(name, obj) {
+			s.refreshView(viewHome)
+			return fmt.Errorf("%w: APO %q", core.ErrExists, name)
+		}
+		s.host(obj)
+		if err := s.objects.Bind(name, obj.ID()); err != nil {
+			s.refreshView(viewHome)
+			return err
+		}
+	}
+	s.refreshView(viewHome)
 	return nil
 }
 
 // APO returns a Home member by name.
 func (s *Site) APO(name string) (*core.Object, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, ok := s.apos[name]
+	obj, ok := s.home.get(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoAPO, name)
 	}
@@ -386,14 +449,7 @@ func (s *Site) APO(name string) (*core.Object, error) {
 
 // APONames lists Home members, sorted.
 func (s *Site) APONames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.apos))
-	for n := range s.apos {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return s.home.names()
 }
 
 // SetExportACL controls who may import an APO. Without one, any linked
@@ -406,12 +462,12 @@ func (s *Site) SetExportACL(apoName string, acl security.ACL) {
 
 // PeerNames lists Vicinity members, sorted.
 func (s *Site) PeerNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.peerMu.RLock()
 	out := make([]string, 0, len(s.peers))
 	for n := range s.peers {
 		out = append(out, n)
 	}
+	s.peerMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -442,14 +498,32 @@ func (s *Site) Deployments(apoName string) []string {
 	return out
 }
 
-func (s *Site) peerByName(name string) (*peer, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.peers[name]
+// linkedPeer verifies a cooperation agreement exists with the named site.
+func (s *Site) linkedPeer(name string) error {
+	s.peerMu.RLock()
+	_, ok := s.peers[name]
+	s.peerMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotLinked, name)
+		return fmt.Errorf("%w: %q", ErrNotLinked, name)
 	}
-	return p, nil
+	return nil
+}
+
+// peerDomain returns the trust domain the link agreement assigned to a
+// peer. Read under the peer read lock: the invoke path calls this per
+// request and must not serialize behind topology changes.
+func (s *Site) peerDomain(name string) (string, error) {
+	s.peerMu.RLock()
+	p, ok := s.peers[name]
+	var domain string
+	if ok {
+		domain = p.domain
+	}
+	s.peerMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotLinked, name)
+	}
+	return domain, nil
 }
 
 // callPeer performs one protocol round trip to a linked site, dialing the
@@ -492,17 +566,7 @@ func (s *Site) PersistAll() error {
 	if s.cfg.Store == nil {
 		return fmt.Errorf("%w: site has no store", core.ErrNotFound)
 	}
-	s.mu.Lock()
-	type entry struct {
-		name string
-		obj  *core.Object
-	}
-	entries := make([]entry, 0, len(s.apos))
-	for name, o := range s.apos {
-		entries = append(entries, entry{name, o})
-	}
-	s.mu.Unlock()
-
+	entries := s.home.entries()
 	manifest := make(map[string]value.Value, len(entries))
 	for _, e := range entries {
 		if err := persist.SaveObject(s.cfg.Store, e.obj); err != nil {

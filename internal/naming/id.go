@@ -180,6 +180,20 @@ func (r *Registry) Bind(name string, id ID) error {
 	return nil
 }
 
+// Rebind points name at id atomically, replacing any previous binding.
+// Unlike an Unbind/Bind pair, the name never passes through an unbound
+// window: a concurrent Lookup sees either the old object or the new one,
+// never "name not bound". The id must already be registered.
+func (r *Registry) Rebind(name string, id ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return fmt.Errorf("%w: id %s not registered", ErrUnbound, id)
+	}
+	r.byName[name] = id
+	return nil
+}
+
 // Unbind removes a human name, leaving the object registered.
 func (r *Registry) Unbind(name string) {
 	r.mu.Lock()

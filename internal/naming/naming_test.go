@@ -195,6 +195,87 @@ func TestRegistryBasics(t *testing.T) {
 	}
 }
 
+func TestRegistryRebind(t *testing.T) {
+	r := NewRegistry()
+	g := NewGenerator("s")
+	oldID, newID := g.New(), g.New()
+	r.Register(oldID, "old")
+	r.Register(newID, "new")
+	if err := r.Bind("n", oldID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebind replaces a live binding where Bind refuses.
+	if err := r.Bind("n", newID); !errors.Is(err, ErrNameTaken) {
+		t.Fatalf("Bind over live binding: %v", err)
+	}
+	if err := r.Rebind("n", newID); err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	if id, _ := r.Resolve("n"); id != newID {
+		t.Errorf("Resolve after Rebind = %v", id)
+	}
+	// Rebind also creates a binding where none exists.
+	if err := r.Rebind("fresh", newID); err != nil {
+		t.Fatalf("Rebind fresh name: %v", err)
+	}
+	// An unregistered target fails and leaves the binding untouched.
+	if err := r.Rebind("n", g.New()); !errors.Is(err, ErrUnbound) {
+		t.Errorf("Rebind unregistered: %v", err)
+	}
+	if id, _ := r.Resolve("n"); id != newID {
+		t.Errorf("failed Rebind moved the binding: %v", id)
+	}
+}
+
+// TestRegistryRebindNoUnboundWindow: a name being rebound must stay
+// continuously resolvable — Rebind exists precisely because an Unbind/Bind
+// pair exposes an unbound window to concurrent lookups.
+func TestRegistryRebindNoUnboundWindow(t *testing.T) {
+	r := NewRegistry()
+	g := NewGenerator("s")
+	a, b := g.New(), g.New()
+	r.Register(a, "a")
+	r.Register(b, "b")
+	if err := r.Bind("n", a); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if id, err := r.Resolve("n"); err != nil {
+					t.Errorf("name unbound mid-rebind: %v", err)
+					return
+				} else if id != a && id != b {
+					t.Errorf("Resolve = %v, neither binding", id)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		id := a
+		if i%2 == 0 {
+			id = b
+		}
+		if err := r.Rebind("n", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	g := NewGenerator("s")
