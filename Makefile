@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check bench-parallel bench-profile
+.PHONY: verify fmt-check vet build test race verify-race bench-smoke bench-record bench-check bench-parallel bench-profile chaos-short chaos
 
 # Benchmarks tracked for regressions across PRs (see cmd/benchguard).
 # Each is run BENCH_COUNT times and benchguard keeps the fastest
@@ -20,9 +20,10 @@ PBENCH      = P_
 PBENCH_TIME = 20000x
 
 # verify is the tier-1 gate: formatting, static checks, build, tests
-# (including the race detector), a one-iteration benchmark smoke run, and
-# a warn-only comparison of the tracked benchmarks against BENCH_PR.json.
-verify: fmt-check vet build test verify-race bench-smoke bench-check
+# (including the race detector), a one-iteration benchmark smoke run, a
+# warn-only comparison of the tracked benchmarks against BENCH_PR.json,
+# and the bounded chaos sweep (chaos-short) behind the SLO gate.
+verify: fmt-check vet build test verify-race bench-smoke bench-check chaos-short
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -77,6 +78,23 @@ bench-parallel:
 	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
 	   $(GO) test -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem -timeout=60m . ; } \
 		| $(GO) run ./cmd/benchguard -mode record
+
+# chaos-short is the bounded chaos sweep wired into verify: 5 seeds over a
+# 5-site mesh under concurrent partition/crash/migration/rewrite churn,
+# each run checked against the global invariants and the SLO thresholds
+# in CHAOS_SLO.json (cmd/chaosgate exits non-zero and names the failing
+# seed — the printed line reproduces the exact fault schedule).
+chaos-short:
+	$(GO) run ./cmd/chaosgate -seeds 5 -seed-base 1 -slo CHAOS_SLO.json
+
+# chaos is the full sweep: more seeds, a bigger mesh, heavier churn, and
+# file-backed persist stores so crash/restart recovery exercises the real
+# store path. Not part of verify — run it before releases or after
+# touching the migration/recovery machinery.
+chaos:
+	$(GO) run ./cmd/chaosgate -seeds 25 -seed-base 1 -sites 7 -epochs 4 \
+		-clients 4 -ops 15 -agents 6 -hops 3 \
+		-slo CHAOS_SLO.json -filestore /tmp/repro-chaos -out /tmp/repro-chaos-sweep.json
 
 # bench-profile writes CPU and heap profiles of the warm dispatch (E3) and
 # security (E5) benchmarks to profiles/ for `go tool pprof`.

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func slo() SLO {
+	return SLO{MinAvailability: 0.25, MaxP99Ms: 5000, MaxViolations: 0, MinOKOps: 1}
+}
+
+func healthyReport() *chaos.Report {
+	return &chaos.Report{
+		Seed: 1, Ops: 100, OKOps: 80, Availability: 0.8,
+		P99Ms: 120, Violations: nil, OrphanedMigrations: []string{},
+	}
+}
+
+func TestEvaluatePasses(t *testing.T) {
+	if b := evaluate(healthyReport(), slo()); len(b) != 0 {
+		t.Fatalf("healthy report breached: %v", b)
+	}
+}
+
+func TestEvaluateFlagsViolations(t *testing.T) {
+	rep := healthyReport()
+	rep.Violations = []string{"epoch 1: VIOLATION: agent-0 has 2 live copies (want exactly 1)"}
+	b := evaluate(rep, slo())
+	if len(b) == 0 || !strings.Contains(b[0], "invariant violations") {
+		t.Fatalf("breaches = %v, want invariant violation", b)
+	}
+}
+
+func TestEvaluateFlagsOrphans(t *testing.T) {
+	rep := healthyReport()
+	rep.OrphanedMigrations = []string{"s0: agent-1→s2 (indoubt)"}
+	if b := evaluate(rep, slo()); len(b) != 1 || !strings.Contains(b[0], "orphaned") {
+		t.Fatalf("breaches = %v, want orphan breach", b)
+	}
+}
+
+func TestEvaluateFlagsAvailabilityFloor(t *testing.T) {
+	rep := healthyReport()
+	rep.Availability = 0.1
+	if b := evaluate(rep, slo()); len(b) != 1 || !strings.Contains(b[0], "availability") {
+		t.Fatalf("breaches = %v, want availability breach", b)
+	}
+}
+
+func TestEvaluateFlagsTailLatency(t *testing.T) {
+	rep := healthyReport()
+	rep.P99Ms = 9000
+	if b := evaluate(rep, slo()); len(b) != 1 || !strings.Contains(b[0], "p99") {
+		t.Fatalf("breaches = %v, want p99 breach", b)
+	}
+}
+
+func TestEvaluateFlagsIdleRun(t *testing.T) {
+	rep := healthyReport()
+	rep.OKOps = 0
+	rep.Availability = 1 // degenerate: 0/0 runs report availability 0, but guard anyway
+	if b := evaluate(rep, slo()); len(b) == 0 {
+		t.Fatal("idle run passed the gate")
+	}
+}
+
+// TestGateEndToEnd runs the real gate binary path over one seed and
+// checks the exit code, the pass line, and the JSON sweep artifact.
+func TestGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	sloPath := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(sloPath, []byte(`{"min_availability":0.25,"max_p99_ms":5000,"max_violations":0,"min_ok_ops":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "sweep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-seed", "1", "-sites", "5", "-epochs", "2", "-clients", "2",
+		"-ops", "5", "-agents", "3", "-hops", "2",
+		"-slo", sloPath, "-out", outPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("gate exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "seed 1 PASS") {
+		t.Fatalf("stdout missing pass line:\n%s", stdout.String())
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"passed": true`) {
+		t.Fatalf("sweep artifact not passed:\n%s", raw)
+	}
+}
+
+// TestGateNamesOffendingSeed: with an impossible SLO the gate must exit
+// non-zero, name the failing seed, and print a reproduction line.
+func TestGateNamesOffendingSeed(t *testing.T) {
+	dir := t.TempDir()
+	sloPath := filepath.Join(dir, "slo.json")
+	// An availability floor of 1.01 cannot be met: every run fails.
+	if err := os.WriteFile(sloPath, []byte(`{"min_availability":1.01,"max_p99_ms":5000,"max_violations":0,"min_ok_ops":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-seed", "4", "-sites", "5", "-epochs", "2", "-clients", "2",
+		"-ops", "5", "-agents", "3", "-hops", "2", "-slo", sloPath,
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("gate exit %d, want 1\nstdout:\n%s", code, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "seed 4 FAIL") || !strings.Contains(out, "FAILED seeds [4]") {
+		t.Fatalf("gate did not name the offending seed:\n%s", out)
+	}
+	if !strings.Contains(out, "reproduce: go run ./cmd/chaosgate -seed 4") {
+		t.Fatalf("gate did not print a reproduction line:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// epochPlan is the pre-drawn fault-and-churn plan of one epoch. Events at
+// epoch start land on a quiet topology; mid-epoch events land while the
+// workload is in flight.
+type epochPlan struct {
+	// cuts are symmetric partitions applied at epoch start.
+	cuts [][2]int
+	// midCuts are partitions applied mid-epoch, concurrent with traffic.
+	midCuts [][2]int
+	// crash is the site closed mid-epoch (-1: none); it restarts over the
+	// same store at the next quiescence point.
+	crash int
+	// drops are ordered pairs whose next hadas.dispatch is delivered but
+	// has its response dropped — the ambiguous partial failure that forces
+	// a migration IN-DOUBT and through status-query resolution.
+	drops [][2]int
+	// journeys holds, per agent, the hop plan for this epoch (site
+	// indexes, ending at the agent's home — a loop-home itinerary). An
+	// empty plan rests the agent.
+	journeys [][]int
+	// rewrite is the origin site whose service ambassadors are rewritten
+	// in place this epoch, à la the §5 database-shutdown scenario (-1:
+	// none).
+	rewrite int
+}
+
+type schedule struct {
+	epochs []epochPlan
+}
+
+// buildSchedule draws the whole run's schedule up front from one seeded
+// source, with every draw unconditional in program order — the schedule
+// is a pure function of (seed, knobs), which is what makes a failing run
+// reproducible from its seed alone.
+func buildSchedule(rng *rand.Rand, cfg Config) *schedule {
+	sc := &schedule{}
+	for e := 0; e < cfg.Epochs; e++ {
+		p := epochPlan{crash: -1, rewrite: -1}
+		for i, n := 0, rng.Intn(cfg.Sites/2+1); i < n; i++ {
+			p.cuts = append(p.cuts, drawPair(rng, cfg.Sites))
+		}
+		for i, n := 0, rng.Intn(2); i < n; i++ {
+			p.midCuts = append(p.midCuts, drawPair(rng, cfg.Sites))
+		}
+		if rng.Float64() < 0.5 {
+			p.crash = rng.Intn(cfg.Sites)
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			p.drops = append(p.drops, drawPair(rng, cfg.Sites))
+		}
+		p.journeys = make([][]int, cfg.Agents)
+		for a := 0; a < cfg.Agents; a++ {
+			if rng.Float64() < 0.3 {
+				continue
+			}
+			hops := rng.Intn(cfg.MaxHops) + 1
+			itin := make([]int, 0, hops+1)
+			for k := 0; k < hops; k++ {
+				itin = append(itin, rng.Intn(cfg.Sites))
+			}
+			itin = append(itin, a%cfg.Sites) // loop home
+			p.journeys[a] = itin
+		}
+		if rng.Float64() < 0.6 {
+			p.rewrite = rng.Intn(cfg.Sites)
+		}
+		sc.epochs = append(sc.epochs, p)
+	}
+	return sc
+}
+
+// drawPair draws an ordered pair of distinct site indexes.
+func drawPair(rng *rand.Rand, n int) [2]int {
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return [2]int{a, b}
+}
+
+// render produces the schedule's stable textual form, one line per epoch
+// — the first half of the determinism contract (the second is the
+// invariant transcript).
+func (sc *schedule) render() []string {
+	out := make([]string, 0, len(sc.epochs))
+	for e, p := range sc.epochs {
+		var b strings.Builder
+		fmt.Fprintf(&b, "epoch %d:", e)
+		fmt.Fprintf(&b, " cuts%s mid%s", pairList(p.cuts), pairList(p.midCuts))
+		if p.crash >= 0 {
+			fmt.Fprintf(&b, " crash[s%d]", p.crash)
+		}
+		fmt.Fprintf(&b, " drops%s", pairList(p.drops))
+		var js []string
+		for a, itin := range p.journeys {
+			if len(itin) == 0 {
+				continue
+			}
+			hops := make([]string, len(itin))
+			for i, s := range itin {
+				hops[i] = fmt.Sprintf("s%d", s)
+			}
+			js = append(js, fmt.Sprintf("a%d:%s", a, strings.Join(hops, ">")))
+		}
+		fmt.Fprintf(&b, " journeys[%s]", strings.Join(js, " "))
+		if p.rewrite >= 0 {
+			fmt.Fprintf(&b, " rewrite[s%d]", p.rewrite)
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+func pairList(pairs [][2]int) string {
+	ps := make([]string, len(pairs))
+	for i, p := range pairs {
+		ps[i] = fmt.Sprintf("s%d-s%d", p[0], p[1])
+	}
+	return "[" + strings.Join(ps, " ") + "]"
+}

@@ -3,6 +3,7 @@ package hadas
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/naming"
@@ -102,6 +103,7 @@ func (s *Site) DispatchAgent(name, peerName string) (value.Value, error) {
 		State:  migrationPrepared,
 		WasAPO: wasAPO,
 		Image:  wire.EncodeImage(img),
+		Born:   time.Now().UnixNano(),
 	}
 	if err := s.putMigration(rec); err != nil {
 		return value.Null, fmt.Errorf("dispatch %q: journal: %w", name, err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/naming"
@@ -94,6 +95,11 @@ type migrationRecord struct {
 	State  string
 	WasAPO bool
 	Image  []byte // the agent's wire image, for reinstatement after a crash
+	// Born is the PREPARE wall-clock time (UnixNano) and Attempts counts
+	// failed resolution rounds; together they drive the orphan caps
+	// (Config.MaxMigrationAge / MaxMigrationAttempts).
+	Born     int64
+	Attempts int
 }
 
 func migrationSlot(mid string) string { return migrationSlotPrefix + mid }
@@ -107,6 +113,8 @@ func encodeMigrationRecord(r *migrationRecord) []byte {
 		"state":  value.NewString(r.State),
 		"wasAPO": value.NewBool(r.WasAPO),
 		"image":  value.NewBytes(r.Image),
+		"born":   value.NewInt(r.Born),
+		"tries":  value.NewInt(int64(r.Attempts)),
 	}))
 }
 
@@ -121,13 +129,17 @@ func decodeMigrationRecord(raw []byte) (*migrationRecord, error) {
 	}
 	img, _ := m["image"].Bytes()
 	wasAPO, _ := m["wasAPO"].Bool()
+	born, _ := m["born"].Int()
+	tries, _ := m["tries"].Int()
 	return &migrationRecord{
-		MID:    field(m, "mid"),
-		Name:   field(m, "name"),
-		Dest:   field(m, "dest"),
-		State:  field(m, "state"),
-		WasAPO: wasAPO,
-		Image:  img,
+		MID:      field(m, "mid"),
+		Name:     field(m, "name"),
+		Dest:     field(m, "dest"),
+		State:    field(m, "state"),
+		WasAPO:   wasAPO,
+		Image:    img,
+		Born:     born,
+		Attempts: int(tries),
 	}, nil
 }
 
@@ -160,18 +172,33 @@ func (s *Site) finishMigration(r *migrationRecord, state string) {
 // survive the departure marking.
 func (s *Site) commitMigration(r *migrationRecord, id naming.ID, seqBefore int64) {
 	s.finishMigration(r, migrationCommitted)
-	s.markAgentDeparted(id, seqBefore)
+	s.markAgentDeparted(r, id, seqBefore)
 	s.scrubPersisted(r.Name, id)
 }
 
 // InDoubtMigrations lists the IDs of journaled migrations not yet resolved
-// (state prepared or in-doubt), sorted.
+// (state prepared or in-doubt), sorted. Orphaned records are excluded:
+// they are no longer awaiting automatic resolution (see MigrationReport).
 func (s *Site) InDoubtMigrations() []string {
+	var out []string
+	for _, rec := range s.pendingMigrations() {
+		if s.migrationOrphaned(rec) {
+			continue
+		}
+		out = append(out, rec.MID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pendingMigrations decodes every unresolved (prepared or in-doubt)
+// origin-journal record.
+func (s *Site) pendingMigrations() []*migrationRecord {
 	slots, err := s.journal.List()
 	if err != nil {
 		return nil
 	}
-	var out []string
+	var out []*migrationRecord
 	for _, slot := range slots {
 		if !strings.HasPrefix(slot, migrationSlotPrefix) {
 			continue
@@ -185,10 +212,88 @@ func (s *Site) InDoubtMigrations() []string {
 			continue
 		}
 		if rec.State == migrationPrepared || rec.State == migrationInDoubt {
-			out = append(out, rec.MID)
+			out = append(out, rec)
 		}
 	}
-	sort.Strings(out)
+	return out
+}
+
+// ---- journal hygiene ----
+
+func (s *Site) maxMigrationAttempts() int {
+	if s.cfg.MaxMigrationAttempts > 0 {
+		return s.cfg.MaxMigrationAttempts
+	}
+	return DefaultMaxMigrationAttempts
+}
+
+func (s *Site) maxMigrationAge() time.Duration {
+	if s.cfg.MaxMigrationAge > 0 {
+		return s.cfg.MaxMigrationAge
+	}
+	return DefaultMaxMigrationAge
+}
+
+// migrationOrphaned reports whether a journal record has exhausted its
+// automatic-resolution budget (attempt or age cap). Orphaned records are
+// not deleted — the journaled image may be the agent's only surviving
+// copy — but resolution stops retrying them and they are surfaced to
+// operators through MigrationReport and the migration.status report query.
+func (s *Site) migrationOrphaned(rec *migrationRecord) bool {
+	if rec.Attempts >= s.maxMigrationAttempts() {
+		return true
+	}
+	if rec.Born > 0 && time.Since(time.Unix(0, rec.Born)) > s.maxMigrationAge() {
+		return true
+	}
+	return false
+}
+
+// MigrationInfo is one unresolved origin-journal record, as reported to
+// operators (MigrationReport) and over the wire (migration.status report).
+type MigrationInfo struct {
+	MID      string
+	Name     string // agent name
+	Dest     string // destination site
+	State    string // prepared | indoubt
+	Attempts int    // failed resolution rounds so far
+	Age      time.Duration
+	Orphaned bool // past an attempt/age cap; no longer retried automatically
+}
+
+// MigrationReport lists this site's unresolved outgoing migrations,
+// sorted by migration ID — the operator view of journal health. A healthy
+// site's report is empty; entries with Orphaned set need intervention
+// (the destination is gone for good, or the journal record is damaged).
+func (s *Site) MigrationReport() []MigrationInfo {
+	var out []MigrationInfo
+	for _, rec := range s.pendingMigrations() {
+		info := MigrationInfo{
+			MID:      rec.MID,
+			Name:     rec.Name,
+			Dest:     rec.Dest,
+			State:    rec.State,
+			Attempts: rec.Attempts,
+			Orphaned: s.migrationOrphaned(rec),
+		}
+		if rec.Born > 0 {
+			info.Age = time.Since(time.Unix(0, rec.Born))
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MID < out[j].MID })
+	return out
+}
+
+// OrphanedMigrations filters MigrationReport down to records past their
+// attempt/age cap.
+func (s *Site) OrphanedMigrations() []MigrationInfo {
+	var out []MigrationInfo
+	for _, info := range s.MigrationReport() {
+		if info.Orphaned {
+			out = append(out, info)
+		}
+	}
 	return out
 }
 
@@ -209,7 +314,12 @@ type arrival struct {
 	state   string
 	result  value.Value
 	errMsg  string
-	done    chan struct{}
+	// next names the site the agent departed to, set when the record is
+	// marked departed. Chained across sites, from/next let the status query
+	// trace a full itinerary: each site knows where the agent came from and
+	// where it went.
+	next string
+	done chan struct{}
 }
 
 func (s *Site) encodeArrival(a *arrival) []byte {
@@ -223,6 +333,7 @@ func (s *Site) encodeArrival(a *arrival) []byte {
 		"state":  value.NewString(a.state),
 		"result": a.result,
 		"err":    value.NewString(a.errMsg),
+		"next":   value.NewString(a.next),
 	}))
 }
 
@@ -253,6 +364,7 @@ func decodeArrival(raw []byte) (*arrival, error) {
 		state:   field(m, "state"),
 		result:  m["result"],
 		errMsg:  field(m, "err"),
+		next:    field(m, "next"),
 		done:    done,
 	}, nil
 }
@@ -297,10 +409,18 @@ func (s *Site) recordInstalled(a *arrival, id naming.ID, image []byte) {
 	}
 }
 
-// completeArrival records onArrival's outcome and releases waiters.
+// completeArrival records onArrival's outcome and releases waiters. The
+// done transition only applies to a still-installed record: an arrival
+// handler that chains the agent onward commits that departure *inside*
+// onArrival, so by the time the outcome is recorded here the record may
+// already say departed — overwriting it with done would break the
+// itinerary trace and, worse, let a crash replay resurrect a copy of an
+// agent that has already moved on.
 func (s *Site) completeArrival(a *arrival, result value.Value, arrivalErr error) {
 	s.arrMu.Lock()
-	a.state = arrivalDone
+	if a.state != arrivalDeparted {
+		a.state = arrivalDone
+	}
 	a.result = result
 	if arrivalErr != nil {
 		a.errMsg = fmt.Sprintf("agent %q onArrival: %v", a.name, arrivalErr)
@@ -364,10 +484,20 @@ func (s *Site) arrivalSeq() int64 {
 
 // markAgentDeparted marks arrival records of an agent that just migrated
 // onward, so a restart does not resurrect a copy that lives elsewhere.
-// Only records claimed before the dispatch began (seq ≤ watermark) are
-// touched: an itinerary looping home re-arrives mid-dispatch with a
-// younger record, and that incarnation stays.
-func (s *Site) markAgentDeparted(id naming.ID, watermark int64) {
+// Each record keeps the next hop, so a status query here can point an
+// itinerary trace at the site the agent went to. Only records claimed
+// before the dispatch began (seq ≤ watermark) are touched: an itinerary
+// looping home re-arrives mid-dispatch with a younger record, and that
+// incarnation stays.
+//
+// An agent leaving its birth site has no arrival record to mark; a
+// synthetic departed record (under the migration's own ID) is journaled
+// instead, so a trace can start at the agent's first home. The synthetic
+// record is skipped whenever ANY record for the agent exists — marked or
+// not — because a younger, watermark-protected incarnation must stay the
+// youngest answer the status query sees.
+func (s *Site) markAgentDeparted(rec *migrationRecord, id naming.ID, watermark int64) {
+	next := rec.Dest
 	s.arrMu.Lock()
 	var updated [][2]any
 	recs := s.arrByAgent[id]
@@ -375,6 +505,7 @@ func (s *Site) markAgentDeparted(id naming.ID, watermark int64) {
 	for _, a := range recs {
 		if a.seq <= watermark {
 			a.state = arrivalDeparted
+			a.next = next
 			updated = append(updated, [2]any{arrivalSlot(a.mid), s.encodeArrival(a)})
 		} else {
 			kept = append(kept, a)
@@ -388,12 +519,32 @@ func (s *Site) markAgentDeparted(id naming.ID, watermark int64) {
 	} else {
 		s.arrByAgent[id] = kept
 	}
+	if len(recs) == 0 {
+		if _, dup := s.arrivals[rec.MID]; !dup {
+			s.arrSeq++
+			done := make(chan struct{})
+			close(done)
+			syn := &arrival{
+				mid:     rec.MID,
+				name:    rec.Name,
+				agentID: id,
+				seq:     s.arrSeq,
+				state:   arrivalDeparted,
+				next:    next,
+				done:    done,
+			}
+			s.arrivals[syn.mid] = syn
+			s.arrOrder = append(s.arrOrder, syn)
+			updated = append(updated, [2]any{arrivalSlot(syn.mid), s.encodeArrival(syn)})
+		}
+	}
 	s.arrMu.Unlock()
 	for _, u := range updated {
 		if err := s.journal.Put(u[0].(string), u[1].([]byte)); err != nil {
 			s.log("arrival journal update failed: %v", err)
 		}
 	}
+	s.pruneArrivals()
 }
 
 // dropAgentIndex removes an evicted record from the by-agent index
@@ -499,12 +650,131 @@ func (s *Site) MigrationStatusAt(peerName, mid string) (MigrationStatus, error) 
 	return st, nil
 }
 
+// AgentStatus is one site's answer about an agent, for itinerary tracing.
+type AgentStatus struct {
+	// State is "resident" when the agent lives at the answering site,
+	// otherwise the youngest arrival record's state ("departed",
+	// "failed", …) or "unknown" when the site never saw the agent.
+	State string
+	// Next is the site the agent departed to, when State is "departed".
+	Next string
+}
+
+// AgentStatusResident is AgentStatus.State for an agent living at the
+// answering site.
+const AgentStatusResident = "resident"
+
+// AgentArrivalStatus reports whether an agent lives at this site and,
+// if it passed through and left, where it went — the local half of the
+// itinerary trace served remotely by AgentStatusAt. Residency wins over
+// any record: a live copy here IS the answer, whatever older visits say.
+func (s *Site) AgentArrivalStatus(name string) AgentStatus {
+	if _, err := s.ResolveObject(name); err == nil {
+		return AgentStatus{State: AgentStatusResident}
+	}
+	s.arrMu.Lock()
+	defer s.arrMu.Unlock()
+	var best *arrival
+	for _, a := range s.arrivals {
+		if a.name == name && (best == nil || a.seq > best.seq) {
+			best = a
+		}
+	}
+	if best == nil {
+		return AgentStatus{State: "unknown"}
+	}
+	return AgentStatus{State: best.state, Next: best.next}
+}
+
+// AgentStatusAt asks a linked peer where an agent is: resident there, or
+// departed toward AgentStatus.Next. Following Next pointers site by site
+// traces the agent's whole itinerary to its current host.
+func (s *Site) AgentStatusAt(peerName, agentName string) (AgentStatus, error) {
+	resp, err := s.callPeer(peerName, verbMigrationStatus, value.NewMap(map[string]value.Value{
+		"site":  value.NewString(s.cfg.Name),
+		"agent": value.NewString(agentName),
+	}))
+	if err != nil {
+		return AgentStatus{}, err
+	}
+	m, ok := resp.Map()
+	if !ok {
+		return AgentStatus{}, fmt.Errorf("agent status %s: malformed response", agentName)
+	}
+	return AgentStatus{State: field(m, "state"), Next: field(m, "next")}, nil
+}
+
+// MigrationReportAt fetches a linked peer's MigrationReport — unresolved
+// outgoing migrations with orphans flagged — over the wire.
+func (s *Site) MigrationReportAt(peerName string) ([]MigrationInfo, error) {
+	resp, err := s.callPeer(peerName, verbMigrationStatus, value.NewMap(map[string]value.Value{
+		"site":   value.NewString(s.cfg.Name),
+		"report": value.NewBool(true),
+	}))
+	if err != nil {
+		return nil, err
+	}
+	m, ok := resp.Map()
+	if !ok {
+		return nil, fmt.Errorf("migration report from %s: malformed response", peerName)
+	}
+	list, _ := m["migrations"].List()
+	out := make([]MigrationInfo, 0, len(list))
+	for _, e := range list {
+		em, ok := e.Map()
+		if !ok {
+			continue
+		}
+		tries, _ := em["tries"].Int()
+		ageMs, _ := em["ageMs"].Int()
+		orphaned, _ := em["orphaned"].Bool()
+		out = append(out, MigrationInfo{
+			MID:      field(em, "mid"),
+			Name:     field(em, "name"),
+			Dest:     field(em, "dest"),
+			State:    field(em, "state"),
+			Attempts: int(tries),
+			Age:      time.Duration(ageMs) * time.Millisecond,
+			Orphaned: orphaned,
+		})
+	}
+	return out, nil
+}
+
 // handleMigrationStatus answers a status query from the dedup table. An
 // in-flight installation is waited for (bounded by the request context),
 // so the origin learns the settled outcome, not a racing snapshot.
+//
+// Besides the migration-ID lookup, the verb answers two further read-only
+// queries (all retry-safe): {"report": true} returns this site's
+// MigrationReport (unresolved outgoing migrations, orphans flagged), and
+// {"agent": name} returns the agent-trace view — whether the agent is
+// resident here and, if it departed, which site it went to next.
 func (s *Site) handleMigrationStatus(ctx context.Context, m map[string]value.Value) (value.Value, error) {
 	if err := s.linkedPeer(field(m, "site")); err != nil {
 		return value.Null, err // only linked sites may probe migration state
+	}
+	if rep, ok := m["report"].Bool(); ok && rep {
+		entries := make([]value.Value, 0)
+		for _, info := range s.MigrationReport() {
+			entries = append(entries, value.NewMap(map[string]value.Value{
+				"mid":      value.NewString(info.MID),
+				"name":     value.NewString(info.Name),
+				"dest":     value.NewString(info.Dest),
+				"state":    value.NewString(info.State),
+				"tries":    value.NewInt(int64(info.Attempts)),
+				"ageMs":    value.NewInt(info.Age.Milliseconds()),
+				"orphaned": value.NewBool(info.Orphaned),
+			}))
+		}
+		return value.NewMap(map[string]value.Value{"migrations": value.NewList(entries)}), nil
+	}
+	if agentName := field(m, "agent"); agentName != "" {
+		st := s.AgentArrivalStatus(agentName)
+		return value.NewMap(map[string]value.Value{
+			"state": value.NewString(st.State),
+			"next":  value.NewString(st.Next),
+		}), nil
 	}
 	mid := field(m, "mid")
 	if mid == "" {
@@ -667,6 +937,13 @@ func (s *Site) ResolveMigrations() ([]string, error) {
 			s.log("migration %s: unknown state %q left in journal", rec.MID, rec.State)
 			continue
 		}
+		if s.migrationOrphaned(rec) {
+			// Past the attempt/age cap: stop paying for resolution rounds
+			// that keep failing. The record stays journaled (its image may
+			// be the agent's only copy) and is surfaced via MigrationReport.
+			s.log("migration %s to %s orphaned (%d attempts), skipping", rec.MID, rec.Dest, rec.Attempts)
+			continue
+		}
 		img, err := wire.DecodeImage(rec.Image)
 		if err != nil {
 			s.log("resolve migration %s: corrupt image: %v", rec.MID, err)
@@ -674,7 +951,13 @@ func (s *Site) ResolveMigrations() ([]string, error) {
 		}
 		st, qerr := s.MigrationStatusAt(rec.Dest, rec.MID)
 		if qerr != nil {
-			s.log("migration %s to %s still in doubt: %v", rec.MID, rec.Dest, qerr)
+			// A failed round consumes resolution budget, durably: restarts
+			// resume the count instead of resetting the orphan clock.
+			rec.Attempts++
+			if jerr := s.putMigration(rec); jerr != nil {
+				s.log("migration %s: attempt count write failed: %v", rec.MID, jerr)
+			}
+			s.log("migration %s to %s still in doubt (attempt %d): %v", rec.MID, rec.Dest, rec.Attempts, qerr)
 			continue
 		}
 		if st.Landed {

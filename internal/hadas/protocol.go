@@ -443,12 +443,28 @@ func (s *Site) handleExport(m map[string]value.Value) (value.Value, error) {
 		return value.Null, err
 	}
 
+	// One deployment row per (APO, host): a re-import replaces the host's
+	// previous ambassador, so updating the old row in place keeps the
+	// UpdateAmbassadors fan-out free of stale ambassador IDs — a host that
+	// crashed and re-imported would otherwise accumulate dead rows that
+	// fail every future update.
 	s.mu.Lock()
-	s.deployments = append(s.deployments, deployment{
-		apoName:      apoName,
-		ambassadorID: img.ID,
-		hostSite:     requesterSite,
-	})
+	replaced := false
+	for i := range s.deployments {
+		d := &s.deployments[i]
+		if d.apoName == apoName && d.hostSite == requesterSite {
+			d.ambassadorID = img.ID
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.deployments = append(s.deployments, deployment{
+			apoName:      apoName,
+			ambassadorID: img.ID,
+			hostSite:     requesterSite,
+		})
+	}
 	s.mu.Unlock()
 	s.log("exported %s to %s", apoName, requesterSite)
 	return value.NewMap(map[string]value.Value{

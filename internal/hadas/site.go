@@ -53,6 +53,17 @@ const DefaultCallTimeout = 30 * time.Second
 // migration (see Site.pruneArrivals).
 const DefaultMaxArrivalRecords = 4096
 
+// Defaults for the migration-journal hygiene caps (Config
+// .MaxMigrationAttempts / .MaxMigrationAge). Both are deliberately
+// generous: a record that trips either cap has survived dozens of
+// resolution rounds or a full day in doubt, which no transient partition
+// explains — automatic resolution stops retrying it and it is surfaced as
+// orphaned (MigrationReport) for an operator instead.
+const (
+	DefaultMaxMigrationAttempts = 64
+	DefaultMaxMigrationAge      = 24 * time.Hour
+)
+
 // DialFunc connects to a remote site address.
 type DialFunc func(addr string) (transport.Conn, error)
 
@@ -92,6 +103,14 @@ type Config struct {
 	// kept so a retried dispatch returns its recorded outcome). Zero uses
 	// DefaultMaxArrivalRecords.
 	MaxArrivalRecords int
+	// MaxMigrationAttempts caps how many times ResolveMigrations retries a
+	// journaled migration before declaring it orphaned: still listed by
+	// MigrationReport, no longer retried automatically. Zero uses
+	// DefaultMaxMigrationAttempts.
+	MaxMigrationAttempts int
+	// MaxMigrationAge is the age past which an unresolved journal record is
+	// declared orphaned. Zero uses DefaultMaxMigrationAge.
+	MaxMigrationAge time.Duration
 }
 
 // peer is one Vicinity entry: a linked remote site. Its connection is
@@ -254,6 +273,12 @@ func (s *Site) Behaviors() *core.BehaviorRegistry { return s.behaviors }
 
 // Generator returns the site's identity generator.
 func (s *Site) Generator() *naming.Generator { return s.gen }
+
+// Store returns the site's configured persist store (nil when the site
+// runs without one). Native behaviors that make durable state changes —
+// e.g. a counter whose acked increments must survive a crash — persist
+// through it from inside the invocation.
+func (s *Site) Store() persist.Store { return s.cfg.Store }
 
 // log emits a site-level message.
 func (s *Site) log(format string, args ...any) {

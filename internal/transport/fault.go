@@ -36,6 +36,13 @@ type FaultRule struct {
 	// dropped — modeling a request that executed remotely while the caller
 	// sees a transport failure (the ambiguous half of partial failure).
 	FailAfter bool
+	// DropNext, when non-nil, arms failures dynamically: each matching
+	// operation decrements the counter and fails while it was positive;
+	// at (or below) zero the rule passes. A fault schedule stores N here
+	// to drop the next N operations without rebuilding rule tables —
+	// FaultNet hands the same rule to every redial of a pair, so the
+	// armed count survives reconnects.
+	DropNext *atomic.Int64
 
 	calls atomic.Int64
 }
@@ -61,6 +68,9 @@ func (r *FaultRule) delay(ctx context.Context) error {
 // shouldFail decides whether matching operation n (1-based) fails.
 func (r *FaultRule) shouldFail(n int64, chance func(float64) bool) bool {
 	if r.Fail {
+		return true
+	}
+	if r.DropNext != nil && r.DropNext.Add(-1) >= 0 {
 		return true
 	}
 	if r.FailFirst > 0 && n <= int64(r.FailFirst) {
@@ -100,6 +110,12 @@ type FaultConn struct {
 	VerbRules map[string]*FaultRule
 	// PingRule, when set, injects faults into Ping.
 	PingRule *FaultRule
+	// Gate, when non-nil, replaces the conn's own cut flag with shared
+	// state: the wire is severed while Gate is true. FaultNet points every
+	// conn of an ordered site pair at one gate, so a partition applied to
+	// the pair survives redials (a reconnect cannot tunnel through a cut
+	// that is still in force). Cut and Heal write through to the gate.
+	Gate *atomic.Bool
 
 	cut   atomic.Bool
 	calls atomic.Int64
@@ -118,10 +134,30 @@ func (f *FaultConn) Calls() int64 { return f.calls.Load() }
 func (f *FaultConn) Pings() int64 { return f.pings.Load() }
 
 // Cut severs the wire: every Call and Ping fails ErrInjected until Heal.
-func (f *FaultConn) Cut() { f.cut.Store(true) }
+func (f *FaultConn) Cut() {
+	if f.Gate != nil {
+		f.Gate.Store(true)
+		return
+	}
+	f.cut.Store(true)
+}
 
 // Heal restores a wire severed by Cut.
-func (f *FaultConn) Heal() { f.cut.Store(false) }
+func (f *FaultConn) Heal() {
+	if f.Gate != nil {
+		f.Gate.Store(false)
+		return
+	}
+	f.cut.Store(false)
+}
+
+// severed reports whether the wire is currently cut (gate or local flag).
+func (f *FaultConn) severed() bool {
+	if f.Gate != nil {
+		return f.Gate.Load()
+	}
+	return f.cut.Load()
+}
 
 // chance draws from the seeded source.
 func (f *FaultConn) chance(p float64) bool {
@@ -136,7 +172,7 @@ func (f *FaultConn) chance(p float64) bool {
 // Call implements Conn with injection.
 func (f *FaultConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
 	n := f.calls.Add(1)
-	if f.cut.Load() {
+	if f.severed() {
 		return nil, ErrInjected
 	}
 	if rule := f.VerbRules[verb]; rule != nil {
@@ -183,7 +219,7 @@ func (f *FaultConn) Call(ctx context.Context, verb string, payload []byte) ([]by
 // Ping implements Conn with injection (PingRule).
 func (f *FaultConn) Ping(ctx context.Context) error {
 	f.pings.Add(1)
-	if f.cut.Load() {
+	if f.severed() {
 		return ErrInjected
 	}
 	if rule := f.PingRule; rule != nil {

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// echoListener binds name on the net with a handler that counts and echoes.
+func echoListener(t *testing.T, net *InProcNet, name string) *atomic.Int64 {
+	t.Helper()
+	var served atomic.Int64
+	_, err := net.Listen(name, func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		served.Add(1)
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatalf("listen %s: %v", name, err)
+	}
+	return &served
+}
+
+func TestFaultNetCutSurvivesRedial(t *testing.T) {
+	inner := NewInProcNet()
+	echoListener(t, inner, "b")
+	fnet := NewFaultNet(inner)
+
+	conn, err := fnet.DialFrom("a", "b")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := conn.Call(context.Background(), "v", []byte("x")); err != nil {
+		t.Fatalf("call before cut: %v", err)
+	}
+
+	fnet.Cut("a", "b")
+	if _, err := conn.Call(context.Background(), "v", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call after cut: got %v, want ErrInjected", err)
+	}
+	// A fresh dial — the shape of a ResilientConn redial — must not tunnel
+	// through the standing partition.
+	conn.Close()
+	conn2, err := fnet.DialFrom("a", "b")
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	if _, err := conn2.Call(context.Background(), "v", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("redial tunneled through cut: got %v, want ErrInjected", err)
+	}
+	if err := conn2.Ping(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ping through cut: got %v, want ErrInjected", err)
+	}
+
+	fnet.Heal("a", "b")
+	if _, err := conn2.Call(context.Background(), "v", nil); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestFaultNetCutIsDirectional(t *testing.T) {
+	inner := NewInProcNet()
+	echoListener(t, inner, "a")
+	echoListener(t, inner, "b")
+	fnet := NewFaultNet(inner)
+
+	fnet.Link("a", "b").Cut()
+	ab, _ := fnet.DialFrom("a", "b")
+	ba, _ := fnet.DialFrom("b", "a")
+	if _, err := ab.Call(context.Background(), "v", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a→b through one-way cut: got %v, want ErrInjected", err)
+	}
+	if _, err := ba.Call(context.Background(), "v", nil); err != nil {
+		t.Fatalf("b→a should be open: %v", err)
+	}
+}
+
+func TestFaultNetDropNextSharedAcrossRedials(t *testing.T) {
+	inner := NewInProcNet()
+	served := echoListener(t, inner, "b")
+	fnet := NewFaultNet(inner)
+
+	var armed atomic.Int64
+	rule := fnet.Link("a", "b").Rule("work")
+	rule.FailAfter = true
+	rule.DropNext = &armed
+	armed.Store(2)
+
+	// First drop consumed on one conn, second on a fresh one: the armed
+	// count lives on the link, not the conn.
+	conn, _ := fnet.DialFrom("a", "b")
+	if _, err := conn.Call(context.Background(), "work", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed drop 1: got %v, want ErrInjected", err)
+	}
+	conn.Close()
+	conn2, _ := fnet.DialFrom("a", "b")
+	if _, err := conn2.Call(context.Background(), "work", nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed drop 2: got %v, want ErrInjected", err)
+	}
+	if _, err := conn2.Call(context.Background(), "work", nil); err != nil {
+		t.Fatalf("disarmed call: %v", err)
+	}
+	// FailAfter delivered every request before dropping the response.
+	if got := served.Load(); got != 3 {
+		t.Fatalf("served = %d, want 3 (drops happen after delivery)", got)
+	}
+	// Other verbs on the same link are untouched.
+	if _, err := conn2.Call(context.Background(), "other", nil); err != nil {
+		t.Fatalf("other verb: %v", err)
+	}
+}
