@@ -132,6 +132,38 @@ func BenchmarkP_RemoteInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkP_ContendedDispatch: P distinct callers hammering ONE object,
+// alternating between two methods so every call misses the monomorphic L1
+// and is served from the shared L2 — the composed caller × method entries.
+// Before the L2 moved behind an atomic table pointer this path serialized
+// every reader on the object's cache RWMutex; this tier pins the
+// contention profile of the lock-free read path.
+func BenchmarkP_ContendedDispatch(b *testing.B) {
+	obj := experiments.BenchObject(4, 4)
+	arg := value.NewInt(1)
+	for _, p := range pSweep() {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			runAtP(b, p, func(pb *testing.PB) {
+				// Each worker is its own principal, so the table serves P
+				// distinct caller × method keys concurrently.
+				caller := security.Principal{Object: experiments.Gen.New(), Domain: "bench"}
+				toggle := false
+				for pb.Next() {
+					name := "work"
+					if toggle {
+						name = "workExt"
+					}
+					toggle = !toggle
+					if _, err := obj.Invoke(caller, name, arg); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // churnPeriod is how many invocations each mixed-tier worker performs
 // between agent hops.
 const churnPeriod = 128

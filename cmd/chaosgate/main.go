@@ -35,6 +35,17 @@ type SLO struct {
 	// MinOKOps is the floor on successful ops per run — proof the run
 	// did real work.
 	MinOKOps int64 `json:"min_ok_ops"`
+	// MaxBackstopFirings caps ErrAdmissionTimeout occurrences per run.
+	// With edge-chasing deadlock detection live every injected cycle must
+	// resolve by probe, so this is normally 0: one firing is one
+	// availability incident the detector failed to prevent.
+	MaxBackstopFirings int64 `json:"max_backstop_firings"`
+	// MinDeadlocksResolved is a sweep-wide floor on probe-resolved
+	// injected cycles — proof the deadlock churn actually exercised the
+	// detector. It is summed across the sweep (individual seeds may
+	// legitimately draw schedules whose pairs are all skipped for
+	// overlapping faults) and not enforced on single-seed reproductions.
+	MinDeadlocksResolved int64 `json:"min_deadlocks_resolved"`
 }
 
 func loadSLO(path string) (SLO, error) {
@@ -72,6 +83,11 @@ func evaluate(rep *chaos.Report, slo SLO) []string {
 	if rep.OKOps < slo.MinOKOps {
 		breaches = append(breaches, fmt.Sprintf(
 			"only %d ok ops (min %d) — the run did no real work", rep.OKOps, slo.MinOKOps))
+	}
+	if rep.BackstopFirings > slo.MaxBackstopFirings {
+		breaches = append(breaches, fmt.Sprintf(
+			"%d admission-timeout backstop firings (max %d) — deadlock detection failed",
+			rep.BackstopFirings, slo.MaxBackstopFirings))
 	}
 	return breaches
 }
@@ -119,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	agg := sweep{Passed: true}
 	failed := make([]int64, 0)
+	var deadlocksResolved int64
 	for _, sd := range seedList {
 		cfg := chaos.Config{
 			Seed:         sd,
@@ -148,10 +165,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		agg.Runs = append(agg.Runs, rep)
+		deadlocksResolved += rep.DeadlocksResolved
 		breaches := evaluate(rep, slo)
 		if len(breaches) == 0 {
-			fmt.Fprintf(stdout, "chaosgate: seed %d PASS (ops=%d avail=%.3f p99=%.1fms)\n",
-				sd, rep.Ops, rep.Availability, rep.P99Ms)
+			fmt.Fprintf(stdout, "chaosgate: seed %d PASS (ops=%d avail=%.3f p99=%.1fms deadlocks=%d/%d)\n",
+				sd, rep.Ops, rep.Availability, rep.P99Ms, rep.DeadlocksResolved, rep.DeadlocksInjected)
 			continue
 		}
 		agg.Passed = false
@@ -164,6 +182,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %s\n", v)
 		}
 	}
+	// The deadlock-churn floor is sweep-wide: any one seed may skip all
+	// its drawn pairs (overlapping faults), but a sweep that never
+	// resolved a single injected cycle proved nothing about the detector.
+	// Single-seed reproduction runs are exempt.
+	if *seed < 0 && deadlocksResolved < slo.MinDeadlocksResolved {
+		agg.Passed = false
+		fmt.Fprintf(stdout, "chaosgate: sweep resolved %d injected deadlocks (min %d) — churn never exercised the detector\n",
+			deadlocksResolved, slo.MinDeadlocksResolved)
+	}
 	if *outPath != "" {
 		raw, err := json.MarshalIndent(agg, "", "  ")
 		if err == nil {
@@ -175,9 +202,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if !agg.Passed {
-		fmt.Fprintf(stdout, "chaosgate: FAILED seeds %v\n", failed)
-		fmt.Fprintf(stdout, "reproduce: go run ./cmd/chaosgate -seed %d -sites %d -epochs %d -clients %d -ops %d -agents %d -hops %d -v\n",
-			failed[0], *sites, *epochs, *clients, *ops, *agents, *hops)
+		if len(failed) > 0 {
+			fmt.Fprintf(stdout, "chaosgate: FAILED seeds %v\n", failed)
+			fmt.Fprintf(stdout, "reproduce: go run ./cmd/chaosgate -seed %d -sites %d -epochs %d -clients %d -ops %d -agents %d -hops %d -v\n",
+				failed[0], *sites, *epochs, *clients, *ops, *agents, *hops)
+		}
 		return 1
 	}
 	fmt.Fprintf(stdout, "chaosgate: all %d seeds passed\n", len(seedList))

@@ -11,13 +11,15 @@ import (
 )
 
 func slo() SLO {
-	return SLO{MinAvailability: 0.25, MaxP99Ms: 5000, MaxViolations: 0, MinOKOps: 1}
+	return SLO{MinAvailability: 0.25, MaxP99Ms: 5000, MaxViolations: 0, MinOKOps: 1,
+		MaxBackstopFirings: 0, MinDeadlocksResolved: 1}
 }
 
 func healthyReport() *chaos.Report {
 	return &chaos.Report{
 		Seed: 1, Ops: 100, OKOps: 80, Availability: 0.8,
 		P99Ms: 120, Violations: nil, OrphanedMigrations: []string{},
+		DeadlocksInjected: 2, DeadlocksResolved: 2, BackstopFirings: 0,
 	}
 }
 
@@ -66,6 +68,16 @@ func TestEvaluateFlagsIdleRun(t *testing.T) {
 	rep.Availability = 1 // degenerate: 0/0 runs report availability 0, but guard anyway
 	if b := evaluate(rep, slo()); len(b) == 0 {
 		t.Fatal("idle run passed the gate")
+	}
+}
+
+// TestEvaluateFlagsBackstopFiring: any admission-timeout backstop firing
+// is a deadlock the probes failed to detect — a per-run breach.
+func TestEvaluateFlagsBackstopFiring(t *testing.T) {
+	rep := healthyReport()
+	rep.BackstopFirings = 1
+	if b := evaluate(rep, slo()); len(b) != 1 || !strings.Contains(b[0], "backstop") {
+		t.Fatalf("breaches = %v, want backstop breach", b)
 	}
 }
 

@@ -15,7 +15,11 @@
 //   - every site's view of every service ambassador converges to the
 //     latest rewrite once partitions heal;
 //   - no migration stays IN-DOUBT once its destination is reachable, and
-//     none is orphaned.
+//     none is orphaned;
+//   - every deliberately injected cross-site Serialized admission cycle
+//     (deadlock churn) resolves via edge-chasing probes: exactly one
+//     chain fails ErrDeadlock, the other completes, and the
+//     admission-timeout backstop never fires anywhere in the run.
 //
 // The fault schedule is drawn entirely up front from the run's seed, so a
 // failing run is reproducible from its seed alone; availability and
@@ -72,6 +76,11 @@ type Config struct {
 	// catches a real bug rather than vacuously passing.
 	SabotageDuplicateAgent bool
 	SabotageCounterDrift   bool
+	// SabotageDeadlockBlind installs the dlock objects without Serialized
+	// admission, so injected "cycles" never actually interlock and both
+	// calls succeed — the exactly-one-ErrDeadlock-victim invariant must
+	// catch that the detector was never exercised.
+	SabotageDeadlockBlind bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -102,6 +111,28 @@ func (cfg Config) withDefaults() Config {
 // before it is acknowledged, which is what makes "counter value == acks
 // issued" checkable across crashes.
 const behaviorAdd = "chaos.add"
+
+// behaviorCycle and behaviorEnter drive the deadlock churn: "cycle" is
+// invoked on a site's Serialized dlock, rendezvouses with its partner (so
+// both chains provably hold their local admission before either calls
+// out), then invokes "enter" on the partner site's dlock — closing a
+// genuine cross-site admission cycle that only the edge-chasing probes
+// can break before the backstop.
+const (
+	behaviorCycle = "chaos.cycle"
+	behaviorEnter = "chaos.enter"
+	// dlockName is each site's deadlock-churn lock APO. It is installed
+	// after the setup PersistAll — deliberately outside the Home manifest,
+	// because an Image does not carry Serialized admission options and a
+	// crash-restart would otherwise resurrect it as a plain object; heal()
+	// re-installs it fresh instead.
+	dlockName = "dlock"
+	// dlockBackstop is the dlock AdmissionTimeout — the firing the run
+	// must never see (probes detect in ~reprobeInterval), kept under the
+	// sites' CallTimeout so a detection bug surfaces as the countable
+	// ErrAdmissionTimeout rather than an opaque call timeout.
+	dlockBackstop = 8 * time.Second
+)
 
 // agentScript walks the itinerary stored on the agent: pop the next hop
 // and chain another dispatch through the hosting IOO, or rest when empty.
@@ -136,6 +167,15 @@ type harness struct {
 	ambVersion []int
 	// objLocks serializes read-modify-write-persist on counter objects.
 	objLocks sync.Map
+	// barriers holds one two-party rendezvous (a *sync.WaitGroup at 2) per
+	// in-flight deadlock pair, keyed by the pair's schedule key; the cycle
+	// behavior joins it so both chains hold their local dlock before
+	// either calls across.
+	barriers sync.Map
+	// dlocksInjected / dlocksResolved count the deadlock pairs actually
+	// run and the ones that resolved cleanly (one victim, one survivor).
+	dlocksInjected int64
+	dlocksResolved int64
 
 	opMu    sync.Mutex
 	classes map[string]int64
@@ -264,7 +304,40 @@ func newHarness(cfg Config) (*harness, error) {
 			return nil, fmt.Errorf("chaos: persist %s: %w", h.names[i], err)
 		}
 	}
+	// Installed after PersistAll on purpose: see dlockName.
+	for i := range h.sites {
+		if err := h.installDlock(i); err != nil {
+			return nil, err
+		}
+	}
 	return h, nil
+}
+
+// installDlock installs site i's deadlock-churn lock: a Serialized APO
+// whose "cycle" method closes a cross-site admission cycle with a partner
+// site, with the admission-timeout backstop the invariant forbids firing.
+// Under SabotageDeadlockBlind the Serialized option is withheld.
+func (h *harness) installDlock(i int) error {
+	s := h.sites[i]
+	var opts []core.BuildOption
+	if !h.cfg.SabotageDeadlockBlind {
+		opts = []core.BuildOption{core.Serialized(), core.AdmissionTimeout(dlockBackstop)}
+	}
+	b := s.NewAPOBuilder("ChaosDlock", opts...)
+	cycle, err := s.Behaviors().Lookup(behaviorCycle)
+	if err != nil {
+		return fmt.Errorf("chaos: dlock at %s: %w", h.names[i], err)
+	}
+	enter, err := s.Behaviors().Lookup(behaviorEnter)
+	if err != nil {
+		return fmt.Errorf("chaos: dlock at %s: %w", h.names[i], err)
+	}
+	b.FixedMethod("cycle", cycle)
+	b.FixedMethod("enter", enter)
+	if err := s.AddAPO(dlockName, b.MustBuild()); err != nil {
+		return fmt.Errorf("chaos: dlock at %s: %w", h.names[i], err)
+	}
+	return nil
 }
 
 // newSite builds (or rebuilds, after a crash) site i over its store, with
@@ -299,11 +372,30 @@ func (h *harness) newSite(i int) (*hadas.Site, core.Body, error) {
 	return s, addBody, nil
 }
 
-// registerBehaviors installs the counter-increment behavior on a site.
-// The increment is serialized per object and persisted before the ack; a
-// persist failure rolls the in-memory value back so an unacknowledged
-// increment can never survive into a restart.
+// registerBehaviors installs the chaos behaviors on a site: the counter
+// increment, and the deadlock-churn cycle/enter pair. The increment is
+// serialized per object and persisted before the ack; a persist failure
+// rolls the in-memory value back so an unacknowledged increment can never
+// survive into a restart.
 func (h *harness) registerBehaviors(s *hadas.Site) core.Body {
+	s.Behaviors().Register(behaviorEnter, func(*core.Invocation, []value.Value) (value.Value, error) {
+		return value.NewString("held"), nil
+	})
+	s.Behaviors().Register(behaviorCycle, func(inv *core.Invocation, args []value.Value) (value.Value, error) {
+		if len(args) < 2 {
+			return value.Null, fmt.Errorf("chaos: cycle wants (peer, key)")
+		}
+		peer, key := args[0].String(), args[1].String()
+		// Rendezvous with the partner chain: past this point both chains
+		// hold their local dlock admission, so the cross calls below
+		// necessarily interlock.
+		if barAny, ok := h.barriers.Load(key); ok {
+			bar := barAny.(*sync.WaitGroup)
+			bar.Done()
+			bar.Wait()
+		}
+		return s.InvokeRemoteFrom(inv, peer, inv.Self().Principal(), dlockName, "enter")
+	})
 	return s.Behaviors().Register(behaviorAdd, func(inv *core.Invocation, args []value.Value) (value.Value, error) {
 		self := inv.Self()
 		muAny, _ := h.objLocks.LoadOrStore(self.ID().String(), &sync.Mutex{})
@@ -396,6 +488,16 @@ func (h *harness) runWorkload(e int, plan epochPlan) {
 			h.rewriteOp(o)
 		}(plan.rewrite)
 	}
+	pairs := plan.effectiveDlocks()
+	outcomes := make([][2]error, len(pairs))
+	h.dlocksInjected += int64(len(pairs))
+	for k, pr := range pairs {
+		wg.Add(1)
+		go func(k int, pr [2]int) {
+			defer wg.Done()
+			h.runDeadlockPair(e, k, pr, &outcomes[k])
+		}(k, pr)
+	}
 	for _, p := range plan.midCuts {
 		h.fnet.Cut(h.names[p[0]], h.names[p[1]])
 	}
@@ -404,6 +506,69 @@ func (h *harness) runWorkload(e int, plan epochPlan) {
 		h.down[plan.crash] = true
 	}
 	wg.Wait()
+	// Judge the pairs only after every goroutine has drained, in schedule
+	// order, so the transcript stays byte-identical across same-seed runs.
+	for k, pr := range pairs {
+		h.judgeDeadlockPair(e, pr, outcomes[k])
+	}
+}
+
+// runDeadlockPair drives one injected cycle: both sites' dlocks are
+// invoked concurrently, each chain admits its local lock, the two
+// rendezvous, then each calls into the other's lock. Results land in out
+// by slot (0: pr[0]'s chain, 1: pr[1]'s chain).
+func (h *harness) runDeadlockPair(e, k int, pr [2]int, out *[2]error) {
+	key := fmt.Sprintf("dl-e%d-p%d", e, k)
+	bar := &sync.WaitGroup{}
+	bar.Add(2)
+	h.barriers.Store(key, bar)
+	defer h.barriers.Delete(key)
+	var wg sync.WaitGroup
+	for slot := 0; slot < 2; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			from, to := pr[slot], pr[1-slot]
+			obj, err := h.sites[from].APO(dlockName)
+			if err != nil {
+				bar.Done() // release the partner; the judge flags the miss
+				out[slot] = err
+				return
+			}
+			start := time.Now()
+			_, err = obj.Invoke(obj.Principal(), "cycle",
+				value.NewString(h.names[to]), value.NewString(key))
+			h.record(start, err)
+			out[slot] = err
+		}(slot)
+	}
+	wg.Wait()
+}
+
+// judgeDeadlockPair asserts the deadlock invariant for one injected
+// cycle: the probes must have broken it — exactly one chain failed
+// ErrDeadlock, the other completed, and the admission-timeout backstop
+// stayed silent.
+func (h *harness) judgeDeadlockPair(e int, pr [2]int, errs [2]error) {
+	for slot := range errs {
+		if errors.Is(errs[slot], core.ErrAdmissionTimeout) {
+			h.violate(e, "dlock s%d-s%d: admission-timeout backstop fired at s%d instead of probe detection",
+				pr[0], pr[1], pr[slot])
+			return
+		}
+	}
+	va, vb := errors.Is(errs[0], core.ErrDeadlock), errors.Is(errs[1], core.ErrDeadlock)
+	switch {
+	case va && !vb && errs[1] == nil:
+		h.dlocksResolved++
+		h.emit(fmt.Sprintf("epoch %d: dlock s%d-s%d: cycle resolved, victim s%d", e, pr[0], pr[1], pr[0]))
+	case vb && !va && errs[0] == nil:
+		h.dlocksResolved++
+		h.emit(fmt.Sprintf("epoch %d: dlock s%d-s%d: cycle resolved, victim s%d", e, pr[0], pr[1], pr[1]))
+	default:
+		h.violate(e, "dlock s%d-s%d: want exactly one ErrDeadlock victim and one success, got [%v / %v]",
+			pr[0], pr[1], errs[0], errs[1])
+	}
 }
 
 // runClient fires OpsPerClient remote counter increments from random
@@ -545,6 +710,13 @@ func (h *harness) heal(e int) {
 	for _, i := range restarted {
 		if _, err := h.sites[i].BootstrapHome(); err != nil && !errors.Is(err, persist.ErrNoSlot) {
 			h.violate(e, "bootstrap %s after restart: %v", h.names[i], err)
+		}
+		// The dlock is never in the persisted manifest (an Image cannot
+		// carry its Serialized admission), so the reborn site gets a fresh
+		// one — losing it silently would turn later injected cycles into
+		// ordinary calls and void the deadlock invariant.
+		if err := h.installDlock(i); err != nil {
+			h.violate(e, "reinstall dlock at %s: %v", h.names[i], err)
 		}
 		// Re-exchange service ambassadors: the reborn site lost its hosted
 		// ambassadors, and every other host must refresh its deployment
@@ -831,6 +1003,10 @@ func classify(err error) string {
 		return "in_doubt"
 	case errors.Is(err, hadas.ErrAgentMigrating):
 		return "migrating"
+	case errors.Is(err, core.ErrDeadlock):
+		return "deadlock"
+	case errors.Is(err, core.ErrAdmissionTimeout):
+		return "admission_timeout"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
 	default:

@@ -40,6 +40,63 @@ func TestChaosRunPasses(t *testing.T) {
 	}
 }
 
+// TestChaosDeadlockChurn: the injected cross-site Serialized cycles all
+// resolve via edge-chasing probes — one ErrDeadlock victim and one
+// survivor per cycle, and the admission-timeout backstop never fires
+// anywhere in the run.
+func TestChaosDeadlockChurn(t *testing.T) {
+	rep, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("run failed:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.DeadlocksInjected == 0 {
+		t.Fatal("seed 1 injected no deadlock pairs — churn fixture lost its coverage")
+	}
+	if rep.DeadlocksResolved != rep.DeadlocksInjected {
+		t.Fatalf("resolved %d of %d injected cycles", rep.DeadlocksResolved, rep.DeadlocksInjected)
+	}
+	if rep.BackstopFirings != 0 {
+		t.Fatalf("admission-timeout backstop fired %d times", rep.BackstopFirings)
+	}
+	found := false
+	for _, line := range rep.Transcript {
+		if strings.Contains(line, "cycle resolved, victim") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no cycle-resolved line in the transcript")
+	}
+}
+
+// TestChaosCatchesMissedDeadlock: with the dlocks sabotaged to plain
+// (non-Serialized) objects the injected "cycles" never interlock and both
+// calls succeed — the exactly-one-victim invariant must flag that the
+// detector went unexercised rather than pass vacuously.
+func TestChaosCatchesMissedDeadlock(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.SabotageDeadlockBlind = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("blinded deadlock detection went undetected")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "exactly one ErrDeadlock victim") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no deadlock violation among: %v", rep.Violations)
+	}
+}
+
 // TestChaosDeterminism: the same seed yields byte-identical fault
 // schedules and invariant transcripts — a failing run can be replayed
 // from its seed alone.

@@ -25,6 +25,15 @@ type Report struct {
 	P95Ms float64 `json:"p95_ms"`
 	P99Ms float64 `json:"p99_ms"`
 
+	// DeadlocksInjected counts the cross-site admission cycles the run
+	// deliberately formed; DeadlocksResolved the ones the edge-chasing
+	// probes broke cleanly (exactly one ErrDeadlock victim, one
+	// survivor). BackstopFirings counts ErrAdmissionTimeout anywhere in
+	// the run — with the detector live it must be zero (the SLO gates it).
+	DeadlocksInjected int64 `json:"deadlocks_injected"`
+	DeadlocksResolved int64 `json:"deadlocks_resolved"`
+	BackstopFirings   int64 `json:"backstop_firings"`
+
 	Violations         []string `json:"violations"`
 	OrphanedMigrations []string `json:"orphaned_migrations"`
 	Passed             bool     `json:"passed"`
@@ -57,6 +66,9 @@ func (h *harness) report(started time.Time, sched *schedule) *Report {
 		r.Ops += n
 	}
 	r.OKOps = h.classes["ok"]
+	r.DeadlocksInjected = h.dlocksInjected
+	r.DeadlocksResolved = h.dlocksResolved
+	r.BackstopFirings = h.classes["admission_timeout"]
 	if r.Ops > 0 {
 		r.Availability = float64(r.OKOps) / float64(r.Ops)
 	}

@@ -29,6 +29,43 @@ type epochPlan struct {
 	// in place this epoch, à la the §5 database-shutdown scenario (-1:
 	// none).
 	rewrite int
+	// dlocks are site pairs deliberately driven into a cross-site
+	// Serialized admission cycle this epoch — deadlock churn for the
+	// edge-chasing detector. Pairs overlapping this epoch's cuts, crash,
+	// or each other are skipped at runtime (effectiveDlocks), so every
+	// cycle that actually forms has a healthy probe path and must resolve
+	// via ErrDeadlock, never the admission-timeout backstop.
+	dlocks [][2]int
+}
+
+// effectiveDlocks filters the drawn deadlock pairs down to the ones the
+// epoch actually runs. A pair's chains and probes travel only the link
+// between its two sites, so a pair is skipped exactly when that path is
+// compromised — the epoch cuts the pair's own link (start or mid-epoch)
+// or crashes a member — or when it shares a site with an earlier kept
+// pair (compound cycles have more than one victim and a different
+// invariant). Cuts elsewhere in the mesh are irrelevant and don't cost
+// churn coverage. The filter is a pure function of the plan, so the
+// effective set is as reproducible as the schedule itself.
+func (p epochPlan) effectiveDlocks() [][2]int {
+	cutPair := make(map[[2]int]bool)
+	for _, cs := range [][][2]int{p.cuts, p.midCuts} {
+		for _, c := range cs {
+			cutPair[[2]int{c[0], c[1]}] = true
+			cutPair[[2]int{c[1], c[0]}] = true
+		}
+	}
+	busy := make(map[int]bool)
+	var out [][2]int
+	for _, pr := range p.dlocks {
+		if pr[0] == p.crash || pr[1] == p.crash || cutPair[pr] ||
+			busy[pr[0]] || busy[pr[1]] {
+			continue
+		}
+		busy[pr[0]], busy[pr[1]] = true, true
+		out = append(out, pr)
+	}
+	return out
 }
 
 type schedule struct {
@@ -70,6 +107,9 @@ func buildSchedule(rng *rand.Rand, cfg Config) *schedule {
 		}
 		if rng.Float64() < 0.6 {
 			p.rewrite = rng.Intn(cfg.Sites)
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			p.dlocks = append(p.dlocks, drawPair(rng, cfg.Sites))
 		}
 		sc.epochs = append(sc.epochs, p)
 	}
@@ -113,6 +153,9 @@ func (sc *schedule) render() []string {
 		fmt.Fprintf(&b, " journeys[%s]", strings.Join(js, " "))
 		if p.rewrite >= 0 {
 			fmt.Fprintf(&b, " rewrite[s%d]", p.rewrite)
+		}
+		if len(p.dlocks) > 0 {
+			fmt.Fprintf(&b, " dlocks%s(run%s)", pairList(p.dlocks), pairList(p.effectiveDlocks()))
 		}
 		out = append(out, b.String())
 	}

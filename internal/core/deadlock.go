@@ -1,0 +1,560 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Distributed deadlock detection over Serialized admissions, in the
+// edge-chasing style of Chandy–Misra–Haas: the in-process waits-for graph
+// (serialize.go) sees every blocked edge inside one process, but a cycle
+// that closes through a remote site is invisible to both halves. To catch
+// those, every call chain gets a globally unique identity ("site:seq"),
+// the identity travels on every wire invoke frame, and a per-site Detector
+// tracks three registries the local graph cannot express:
+//
+//   - chains:   every chain identity known at this site (minted locally,
+//               or adopted because a remote invocation carried it in),
+//   - outbound: chains currently inside a remote call to a peer — the
+//               *remote edge* of the waits-for graph,
+//   - blocked:  chains currently blocked on a local admission, each with
+//               an abort channel the probe machinery can fire.
+//
+// When a chain blocks, the detector chases the wait→holder edges locally;
+// if the walk ends at a chain that is off inside a remote call, the probe
+// (initiator, target, path) is forwarded to that peer, which continues the
+// chase through its own graph. A probe arriving back at a chain whose
+// identity equals the initiator proves a cycle; the deterministic victim
+// (lowest chain identity on the cycle) is aborted with ErrDeadlock naming
+// the full cross-site cycle — long before any AdmissionTimeout backstop.
+//
+// Hygiene: probes carry a TTL (site hops) and a path cap, duplicate
+// (initiator, target) forwards are suppressed within a short window, and a
+// probe naming a chain this site no longer knows (completed or aborted) is
+// simply dropped — a stale probe can never abort a live chain, because an
+// abort only fires if the named victim is *currently* blocked here on the
+// exact object the cycle names.
+
+const (
+	// DefaultProbeTTL caps how many sites one probe may traverse.
+	DefaultProbeTTL = 32
+	// maxProbePath caps the steps a probe accumulates; a path this long is
+	// either a huge genuine cycle or a forwarding loop — drop it and let
+	// the admission timeout backstop the (pathological) former.
+	maxProbePath = 64
+	// reprobeInterval is the cadence at which a still-blocked chain
+	// re-chases, covering probes lost to partitions or races.
+	reprobeInterval = 100 * time.Millisecond
+	// probeDedupWindow suppresses identical (initiator, target) forwards
+	// arriving within this window, bounding probe storms under re-probing.
+	probeDedupWindow = 50 * time.Millisecond
+)
+
+// ProbeStep is one wait→holder edge of the chased path, in wire-portable
+// (string) form.
+type ProbeStep struct {
+	Chain  string // blocked chain's identity
+	Site   string // site where it blocks
+	Object string // object whose admission it waits for
+	Holder string // chain currently holding that admission
+}
+
+// Probe is one edge-chasing message: "initiator is (transitively) blocked
+// behind target — continue the chase from target at your site".
+type Probe struct {
+	Initiator string
+	Target    string
+	TTL       int
+	Path      []ProbeStep
+}
+
+// Verdict is a probe's reply. A zero Verdict means the chase dead-ended
+// (no cycle provable through this site). Every site on the reply path
+// attempts the abort, so the verdict reaches the victim wherever it blocks.
+type Verdict struct {
+	Cycle     string // human-readable description of the full cycle
+	Victim    string // chain identity chosen to abort (lowest on the cycle)
+	VictimObj string // object the victim waits on — abort precondition
+}
+
+// ProbeForwarder sends a probe to a named peer site and returns its
+// verdict. Implemented by hadas.Site over the protocol's probe verb.
+type ProbeForwarder interface {
+	ForwardProbe(peer string, p Probe) (Verdict, error)
+}
+
+// DetectorHost is implemented by resolvers (sites) that run a Detector;
+// admit discovers the detector through the blocked object's resolver.
+type DetectorHost interface {
+	DeadlockDetector() *Detector
+}
+
+// Detector is one site's share of the distributed detection state.
+type Detector struct {
+	site string
+	fwd  ProbeForwarder
+
+	mu       sync.Mutex
+	chains   map[string]*chainEntry
+	outbound map[*callChain]*outboundEdge
+	blocked  map[*callChain]*blockedWait
+	seen     map[probeKey]time.Time
+}
+
+// chainEntry refcounts a chain identity's liveness at this site: one ref
+// for a locally minted chain until its top-level invocation completes,
+// plus one per active adoption by an incoming remote invocation. At zero
+// the entry is dropped, and any later probe naming the identity dead-ends.
+type chainEntry struct {
+	ch   *callChain
+	refs int
+}
+
+// outboundEdge marks a chain as inside n remote calls to peer — the
+// remote continuation of the waits-for graph.
+type outboundEdge struct {
+	peer string
+	n    int
+}
+
+// blockedWait is one blocked admission the probe machinery may abort.
+type blockedWait struct {
+	obj   *Object
+	abort chan string // cap 1: receives the cycle description
+	done  chan struct{}
+}
+
+type probeKey struct {
+	initiator string
+	target    string
+}
+
+// NewDetector creates the per-site detector. fwd carries probes to peers.
+func NewDetector(site string, fwd ProbeForwarder) *Detector {
+	return &Detector{
+		site:     site,
+		fwd:      fwd,
+		chains:   make(map[string]*chainEntry),
+		outbound: make(map[*callChain]*outboundEdge),
+		blocked:  make(map[*callChain]*blockedWait),
+		seen:     make(map[probeKey]time.Time),
+	}
+}
+
+// Site returns the detector's site name (the origin stamped on minted
+// chain identities).
+func (d *Detector) Site() string { return d.site }
+
+// ChainCount reports how many chain identities the site currently tracks
+// — operational introspection, and the hook tests use to assert that
+// completed chains are forgotten (so stale probes dead-end).
+func (d *Detector) ChainCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.chains)
+}
+
+// ensureGID mints the chain's global identity on first need. Identity is
+// minted lazily — at first export or first block — so the warm dispatch
+// path never pays for it.
+func (c *callChain) ensureGID(site string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gid == "" {
+		c.origin = site
+		c.gid = site + ":" + strconv.FormatUint(c.id, 10)
+	}
+	return c.gid
+}
+
+// GID returns the chain's global identity, or "" if never minted.
+func (c *callChain) GID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gid
+}
+
+// gidOrLabel prefers the global identity for diagnostics that travel.
+func (c *callChain) gidOrLabel() string {
+	if gid := c.GID(); gid != "" {
+		return gid
+	}
+	return c.label()
+}
+
+// addReg records that d holds a liveness ref on c (released by
+// completeLocal when the chain's top-level invocation returns).
+func (c *callChain) addReg(d *Detector) {
+	c.mu.Lock()
+	c.regs = append(c.regs, d)
+	c.mu.Unlock()
+}
+
+// completeLocal releases the chain's liveness ref in every detector that
+// registered it. Called once, by the frame that created the chain.
+func (c *callChain) completeLocal() {
+	c.mu.Lock()
+	regs := c.regs
+	c.regs = nil
+	c.mu.Unlock()
+	for _, d := range regs {
+		d.unregister(c)
+	}
+}
+
+// register ensures ch is tracked at this site, holding a liveness ref the
+// chain releases at completion. Idempotent per (detector, chain).
+func (d *Detector) register(ch *callChain) string {
+	gid := ch.ensureGID(d.site)
+	d.mu.Lock()
+	e := d.chains[gid]
+	fresh := e == nil
+	if fresh {
+		e = &chainEntry{ch: ch, refs: 1}
+		d.chains[gid] = e
+	}
+	d.mu.Unlock()
+	if fresh {
+		ch.addReg(d)
+	}
+	return gid
+}
+
+// unregister drops one liveness ref (see chainEntry).
+func (d *Detector) unregister(ch *callChain) {
+	gid := ch.GID()
+	d.mu.Lock()
+	if e := d.chains[gid]; e != nil && e.ch == ch {
+		e.refs--
+		if e.refs <= 0 {
+			delete(d.chains, gid)
+			delete(d.outbound, ch)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// AdoptedChain is a remote chain identity bound to this site for the
+// duration of one incoming invocation; Object.InvokeWithChain runs under it
+// so re-entry and blocking at this site are attributed to the right chain.
+type AdoptedChain struct {
+	ch *callChain
+}
+
+// Adopt binds an incoming chain identity to this site: a chain minted here
+// (and still live) is re-entered directly, so a call cycling back home runs
+// inside the admissions it already holds; a foreign identity gets a local
+// incarnation, created once and shared by every concurrent arrival of the
+// same chain. The returned release drops the adoption ref; at zero refs
+// (and local completion, if minted here) the identity is forgotten and
+// stale probes naming it dead-end.
+func (d *Detector) Adopt(gid string) (*AdoptedChain, func()) {
+	if gid == "" {
+		return nil, func() {}
+	}
+	d.mu.Lock()
+	e := d.chains[gid]
+	if e == nil {
+		origin, seq := parseGID(gid)
+		e = &chainEntry{ch: &callChain{id: seq, origin: origin, gid: gid, entry: "remote"}}
+		d.chains[gid] = e
+	}
+	e.refs++
+	ch := e.ch
+	d.mu.Unlock()
+	return &AdoptedChain{ch: ch}, func() { d.release(gid, ch) }
+}
+
+func (d *Detector) release(gid string, ch *callChain) {
+	d.mu.Lock()
+	if e := d.chains[gid]; e != nil && e.ch == ch {
+		e.refs--
+		if e.refs <= 0 {
+			delete(d.chains, gid)
+			delete(d.outbound, ch)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// parseGID splits "origin:seq"; a malformed identity orders as
+// (whole-string, 0), keeping victim selection total and deterministic.
+func parseGID(gid string) (origin string, seq uint64) {
+	i := strings.LastIndexByte(gid, ':')
+	if i < 0 {
+		return gid, 0
+	}
+	n, err := strconv.ParseUint(gid[i+1:], 10, 64)
+	if err != nil {
+		return gid, 0
+	}
+	return gid[:i], n
+}
+
+// gidLess is the deterministic victim order: origin site first
+// (lexicographic), then mint sequence. Every site computes the same victim
+// for the same cycle, so exactly one chain aborts.
+func gidLess(a, b string) bool {
+	ao, as := parseGID(a)
+	bo, bs := parseGID(b)
+	if ao != bo {
+		return ao < bo
+	}
+	return as < bs
+}
+
+// BeginRemoteCall publishes the remote edge for a chain about to enter a
+// call to peer, returning the chain identity to stamp on the wire frame.
+// The returned done withdraws the edge when the call completes. A chain
+// that holds no identity-worthy state (inv.chain nil — the warm local
+// path) stays unregistered and ships no identity.
+func (inv *Invocation) BeginRemoteCall(d *Detector, peer string) (string, func()) {
+	if inv == nil || inv.chain == nil || d == nil {
+		return "", func() {}
+	}
+	ch := inv.chain
+	gid := d.register(ch)
+	d.mu.Lock()
+	oe := d.outbound[ch]
+	if oe == nil {
+		oe = &outboundEdge{}
+		d.outbound[ch] = oe
+	}
+	oe.peer = peer
+	oe.n++
+	d.mu.Unlock()
+	return gid, func() {
+		d.mu.Lock()
+		if cur := d.outbound[ch]; cur == oe {
+			oe.n--
+			if oe.n <= 0 {
+				delete(d.outbound, ch)
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// detector finds the deadlock detector of the object's site, if any.
+func (o *Object) detector() *Detector {
+	o.mu.Lock()
+	r := o.resolver
+	o.mu.Unlock()
+	if h, ok := r.(DetectorHost); ok {
+		return h.DeadlockDetector()
+	}
+	return nil
+}
+
+// blockBegin registers ch as blocked on o's admission and starts the
+// edge chase (immediately, then at reprobeInterval while still blocked).
+// It returns the abort channel admit selects on, and the end function that
+// withdraws the registration once the wait resolves either way.
+func (d *Detector) blockBegin(ch *callChain, o *Object) (<-chan string, func()) {
+	d.register(ch)
+	bw := &blockedWait{
+		obj:   o,
+		abort: make(chan string, 1),
+		done:  make(chan struct{}),
+	}
+	d.mu.Lock()
+	d.blocked[ch] = bw
+	d.mu.Unlock()
+	go d.reprobe(ch, bw)
+	var once sync.Once
+	return bw.abort, func() {
+		once.Do(func() {
+			d.mu.Lock()
+			if d.blocked[ch] == bw {
+				delete(d.blocked, ch)
+			}
+			d.mu.Unlock()
+			close(bw.done)
+		})
+	}
+}
+
+// reprobe chases on block and keeps re-chasing while the wait lasts —
+// the retry that makes detection robust to lost probes and edge races.
+func (d *Detector) reprobe(ch *callChain, bw *blockedWait) {
+	for {
+		d.chase(ch)
+		select {
+		case <-bw.done:
+			return
+		case <-time.After(reprobeInterval):
+		}
+	}
+}
+
+// chase runs one edge chase starting from a locally blocked chain.
+func (d *Detector) chase(ch *callChain) {
+	d.mu.Lock()
+	_, stillBlocked := d.blocked[ch]
+	d.mu.Unlock()
+	if !stillBlocked {
+		return
+	}
+	gid := ch.GID()
+	d.act(gid, d.walk(gid, ch, nil), DefaultProbeTTL)
+}
+
+// HandleProbe continues a chase arriving from a peer: locate the target
+// chain, walk the local graph from it, and either prove the cycle, forward
+// to the next site, or dead-end. Stale probes — TTL or path exhausted,
+// duplicates within the dedup window, or targets this site no longer
+// knows — drop to a zero verdict.
+func (d *Detector) HandleProbe(p Probe) Verdict {
+	if p.TTL <= 0 || len(p.Path) > maxProbePath {
+		return Verdict{}
+	}
+	key := probeKey{initiator: p.Initiator, target: p.Target}
+	now := time.Now()
+	d.mu.Lock()
+	if last, ok := d.seen[key]; ok && now.Sub(last) < probeDedupWindow {
+		d.mu.Unlock()
+		return Verdict{}
+	}
+	d.seen[key] = now
+	if len(d.seen) > 1024 {
+		for k, t := range d.seen {
+			if now.Sub(t) >= probeDedupWindow {
+				delete(d.seen, k)
+			}
+		}
+	}
+	e := d.chains[p.Target]
+	d.mu.Unlock()
+	if e == nil {
+		return Verdict{} // chain completed or never reached here: stale probe
+	}
+	return d.act(p.Initiator, d.walk(p.Initiator, e.ch, p.Path), p.TTL-1)
+}
+
+// walkResult is the outcome of one local graph walk: exactly one of cycle
+// (closed here) or fwdPeer (chase continues remotely) is set; neither
+// means the chase dead-ended on a running chain.
+type walkResult struct {
+	cycle     []ProbeStep
+	fwdPeer   string
+	fwdTarget string
+	path      []ProbeStep
+}
+
+// walk follows wait→holder edges from start under a consistent snapshot of
+// the local graph, extending path. Lock order: waitsFor.mu, then d.mu
+// (chain mutexes are only taken leaf-wise via GID()).
+func (d *Detector) walk(initiator string, start *callChain, path []ProbeStep) walkResult {
+	steps := append([]ProbeStep(nil), path...)
+	waitsFor.mu.Lock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	defer waitsFor.mu.Unlock()
+
+	cur := start
+	for len(steps) <= maxProbePath {
+		obj := waitsFor.waiting[cur]
+		if obj == nil {
+			// Not blocked here: the chain is either running (dead end) or
+			// off inside a remote call — the edge the probe must chase.
+			if oe := d.outbound[cur]; oe != nil {
+				return walkResult{fwdPeer: oe.peer, fwdTarget: cur.GID(), path: steps}
+			}
+			return walkResult{}
+		}
+		holder := waitsFor.holder[obj]
+		if holder == nil {
+			return walkResult{} // slot in hand-off; a reprobe will re-check
+		}
+		steps = append(steps, ProbeStep{
+			Chain:  cur.gidOrLabel(),
+			Site:   d.site,
+			Object: objLabel(obj),
+			Holder: holder.gidOrLabel(),
+		})
+		if hgid := holder.GID(); hgid != "" && hgid == initiator {
+			return walkResult{cycle: steps}
+		}
+		cur = holder
+	}
+	return walkResult{} // path cap: drop, the backstop covers pathology
+}
+
+// act finishes one chase leg: deliver the verdict of a closed cycle
+// (aborting the victim if it blocks here), or forward the probe and relay
+// the peer's verdict (again attempting the abort — the reply path visits
+// every site of the cycle, so the abort lands wherever the victim waits).
+func (d *Detector) act(initiator string, res walkResult, ttl int) Verdict {
+	if res.cycle != nil {
+		v := Verdict{
+			Cycle:  describeCycle(res.cycle),
+			Victim: chooseVictim(res.cycle),
+		}
+		for _, s := range res.cycle {
+			if s.Chain == v.Victim {
+				v.VictimObj = s.Object
+				break
+			}
+		}
+		d.abortIfBlocked(v)
+		return v
+	}
+	if res.fwdPeer == "" || ttl <= 0 {
+		return Verdict{}
+	}
+	v, err := d.fwd.ForwardProbe(res.fwdPeer, Probe{
+		Initiator: initiator,
+		Target:    res.fwdTarget,
+		TTL:       ttl,
+		Path:      res.path,
+	})
+	_ = err // a lost probe is re-sent by the reprobe loop
+	if v.Victim != "" {
+		d.abortIfBlocked(v)
+	}
+	return v
+}
+
+// abortIfBlocked fires the victim's abort channel iff the victim is
+// currently blocked at this site on the very object the cycle names —
+// the guard that makes stale verdicts harmless to live chains.
+func (d *Detector) abortIfBlocked(v Verdict) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.chains[v.Victim]
+	if e == nil {
+		return false
+	}
+	bw := d.blocked[e.ch]
+	if bw == nil || objLabel(bw.obj) != v.VictimObj {
+		return false
+	}
+	select {
+	case bw.abort <- v.Cycle:
+	default:
+	}
+	return true
+}
+
+// chooseVictim picks the lowest chain identity on the cycle.
+func chooseVictim(cycle []ProbeStep) string {
+	victim := cycle[0].Chain
+	for _, s := range cycle[1:] {
+		if gidLess(s.Chain, victim) {
+			victim = s.Chain
+		}
+	}
+	return victim
+}
+
+// describeCycle renders the full cross-site cycle for the victim's error.
+func describeCycle(cycle []ProbeStep) string {
+	parts := make([]string, len(cycle))
+	for i, s := range cycle {
+		parts[i] = "chain " + s.Chain + " at " + s.Site +
+			" waits for " + s.Object + " held by chain " + s.Holder
+	}
+	return "cross-site cycle: " + strings.Join(parts, "; ")
+}

@@ -119,11 +119,9 @@ func (o *Object) levelDecision(caller security.Principal, ls *levelsSnap, k int,
 		action: security.ActionInvoke, item: meta.name, level: k}
 	c := &o.cache
 	var ent *matchEntry
-	c.mu.RLock()
-	if c.gen == ls.gen {
-		ent = c.match[key]
+	if t := c.tables.Load(); t != nil && t.gen == ls.gen {
+		ent = t.decision(key)
 	}
-	c.mu.RUnlock()
 	if ent != nil && ent.fresh() &&
 		!(ent.polDep && ls.pol != nil && ls.pol.Generation() != ent.polGen) {
 		if ls.aud != nil {
@@ -205,19 +203,100 @@ type hotKey struct {
 
 // dispatchCache memoizes Lookup and Match for level-0 dispatch. One lives
 // inline in every Object; the zero value is an empty cache. hot is the
-// single-entry lock-free L1; the maps are the shared L2 behind a RWMutex.
+// single-entry lock-free L1; the shared L2 is a cacheTables published
+// through an atomic pointer, so concurrent readers on different Ps never
+// serialize on a mutex word — under contention an RWMutex's reader count
+// is a single cache line every RLock bounces between cores, and the L2
+// sits on the path of every caller-alternating workload. fillMu guards
+// only table rotation (once per structural generation), never reads.
+type dispatchCache struct {
+	hot    atomic.Pointer[hotEntry]
+	tables atomic.Pointer[cacheTables]
+	fillMu sync.Mutex
+}
+
+// cacheTables is one structural generation's worth of memoized dispatch
+// state. The maps are sync.Maps — after the first fill for a key, reads
+// are lock-free and contention-free (sync.Map's read path is an atomic
+// load of an immutable read-only map). A generation bump abandons the
+// whole table: the next fill rotates in a fresh one and the old becomes
+// garbage, which is the wholesale invalidation the old design expressed
+// by resetting maps in place.
+//
 // hots holds composed hotEntry values per caller × method, so workloads
 // that alternate between methods republish the same immutable entry into
 // the L1 instead of allocating a fresh one on every switch.
-type dispatchCache struct {
-	hot     atomic.Pointer[hotEntry]
-	mu      sync.RWMutex
-	gen     uint64            // Object.structGen the entries were filled against
-	pol     *security.Policy  // captured policy (changing it bumps structGen)
-	aud     *security.Auditor // captured auditor (changing it bumps structGen)
-	methods map[string]*methodSnap
-	match   map[matchKey]*matchEntry
-	hots    map[hotKey]*hotEntry
+type cacheTables struct {
+	gen      uint64
+	pol      *security.Policy  // captured policy (changing it bumps structGen)
+	aud      *security.Auditor // captured auditor (changing it bumps structGen)
+	methods  sync.Map          // method name -> *methodSnap
+	match    sync.Map          // matchKey -> *matchEntry
+	hots     sync.Map          // hotKey -> *hotEntry
+	nmethods atomic.Int64      // approximate key counts backing the size bounds
+	nmatch   atomic.Int64
+	nhots    atomic.Int64
+}
+
+// method returns the cached Lookup snapshot for name, or nil.
+func (t *cacheTables) method(name string) *methodSnap {
+	if v, ok := t.methods.Load(name); ok {
+		return v.(*methodSnap)
+	}
+	return nil
+}
+
+// decision returns the cached Match decision under key, or nil.
+func (t *cacheTables) decision(key matchKey) *matchEntry {
+	if v, ok := t.match.Load(key); ok {
+		return v.(*matchEntry)
+	}
+	return nil
+}
+
+// boundedStore stores val under key, admitting a NEW key only while the
+// map holds fewer than limit keys (replacing a present key is always
+// allowed — that is how stale entries heal in place). The count is
+// approximate under racing inserts of the same fresh key; the bound is a
+// memory backstop against caller churn, not an exact capacity, and a
+// dropped fill only costs the next call a slow-path recompute.
+func boundedStore(m *sync.Map, n *atomic.Int64, limit int64, key, val any) {
+	if _, ok := m.Load(key); ok {
+		m.Store(key, val)
+		return
+	}
+	if n.Add(1) <= limit {
+		m.Store(key, val)
+	}
+}
+
+// tablesFor returns the table for the given structural generation,
+// rotating a fresh one in if the published table is older. A fill tagged
+// with a generation older than the published table is dropped (nil): its
+// entries would fail the use-time gen comparison anyway, and refusing
+// them means a racing stale fill can never evict fresh state.
+func (c *dispatchCache) tablesFor(gen uint64, pol *security.Policy, aud *security.Auditor) *cacheTables {
+	if t := c.tables.Load(); t != nil {
+		if t.gen == gen {
+			return t
+		}
+		if t.gen > gen {
+			return nil
+		}
+	}
+	c.fillMu.Lock()
+	defer c.fillMu.Unlock()
+	if t := c.tables.Load(); t != nil {
+		if t.gen == gen {
+			return t
+		}
+		if t.gen > gen {
+			return nil
+		}
+	}
+	t := &cacheTables{gen: gen, pol: pol, aud: aud}
+	c.tables.Store(t)
+	return t
 }
 
 // bumpStruct invalidates every dispatch-cache entry of the object. Called
@@ -252,42 +331,38 @@ func (o *Object) fastLookup(caller security.Principal, name string) (snap *metho
 		return hot.snap, hot.err, true
 	}
 
+	t := c.tables.Load()
+	if t == nil || t.gen != sg {
+		return nil, nil, false
+	}
 	self := caller.Object == o.id
 	hk := hotKey{name: name, obj: caller.Object, domain: caller.Domain}
-	var ent *matchEntry
-	c.mu.RLock()
-	if c.gen != sg {
-		c.mu.RUnlock()
-		return nil, nil, false
-	}
 	// Composed entry for this caller × method: republish it to the L1
 	// unchanged — no allocation when a workload alternates methods.
-	if he := c.hots[hk]; he != nil && he.snap.fresh() &&
-		(!he.polDep || he.pol == nil || he.pol.Generation() == he.polGen) {
-		c.mu.RUnlock()
-		if he.aud != nil {
-			he.aud.Record(caller, security.ActionInvoke, name, he.allowed)
+	if v, found := t.hots.Load(hk); found {
+		he := v.(*hotEntry)
+		if he.snap.fresh() &&
+			(!he.polDep || he.pol == nil || he.pol.Generation() == he.polGen) {
+			if he.aud != nil {
+				he.aud.Record(caller, security.ActionInvoke, name, he.allowed)
+			}
+			c.hot.Store(he)
+			return he.snap, he.err, true
 		}
-		c.hot.Store(he)
-		return he.snap, he.err, true
 	}
-	snap = c.methods[name]
+	snap = t.method(name)
 	if snap == nil || !snap.fresh() {
-		c.mu.RUnlock()
 		return nil, nil, false
 	}
-	pol, aud := c.pol, c.aud
-	if !self {
-		ent = c.match[matchKey{object: caller.Object, domain: caller.Domain,
-			action: security.ActionInvoke, item: name}]
-	}
-	c.mu.RUnlock()
+	pol, aud := t.pol, t.aud
 	var he *hotEntry
 	if self {
 		// Self-containment: an object always controls itself.
 		he = &hotEntry{gen: sg, name: name, obj: caller.Object, domain: caller.Domain,
 			snap: snap, allowed: true, pol: pol, aud: aud}
 	} else {
+		ent := t.decision(matchKey{object: caller.Object, domain: caller.Domain,
+			action: security.ActionInvoke, item: name})
 		if ent == nil || !ent.fresh() {
 			return nil, nil, false
 		}
@@ -302,14 +377,7 @@ func (o *Object) fastLookup(caller security.Principal, name string) (snap *metho
 		aud.Record(caller, security.ActionInvoke, name, he.allowed)
 	}
 	c.hot.Store(he)
-	c.mu.Lock()
-	if c.gen == sg {
-		if c.hots == nil || len(c.hots) >= maxMatchEntries {
-			c.hots = make(map[hotKey]*hotEntry)
-		}
-		c.hots[hk] = he
-	}
-	c.mu.Unlock()
+	boundedStore(&t.hots, &t.nhots, maxMatchEntries, hk, he)
 	return he.snap, he.err, true
 }
 
@@ -322,22 +390,19 @@ func (o *Object) fastDecision(caller security.Principal, action security.Action,
 	}
 	c := &o.cache
 	sg := o.structGen.Load()
-	c.mu.RLock()
-	if c.gen != sg {
-		c.mu.RUnlock()
+	t := c.tables.Load()
+	if t == nil || t.gen != sg {
 		return nil, false
 	}
-	ent := c.match[matchKey{object: caller.Object, domain: caller.Domain, action: action, item: item}]
-	pol, aud := c.pol, c.aud
-	c.mu.RUnlock()
+	ent := t.decision(matchKey{object: caller.Object, domain: caller.Domain, action: action, item: item})
 	if ent == nil || !ent.fresh() {
 		return nil, false
 	}
-	if ent.polDep && pol != nil && pol.Generation() != ent.polGen {
+	if ent.polDep && t.pol != nil && t.pol.Generation() != ent.polGen {
 		return nil, false
 	}
-	if aud != nil {
-		aud.Record(caller, action, item, ent.allowed)
+	if t.aud != nil {
+		t.aud.Record(caller, action, item, ent.allowed)
 	}
 	return ent.err, true
 }
@@ -345,33 +410,20 @@ func (o *Object) fastDecision(caller security.Principal, action security.Action,
 // store fills cache entries computed against the given structGen. A nil
 // snap stores only the match entry (data access); a nil ent stores only the
 // snapshot (self calls bypass Match). Fills tagged with a generation older
-// than the cache's are dropped — their entries would fail the use-time
-// comparison anyway, and keeping them out means a racing stale fill cannot
-// evict the fresh map. A fill from a newer generation resets the maps.
+// than the published table are dropped — their entries would fail the
+// use-time comparison anyway, and refusing them means a racing stale fill
+// cannot evict fresh state. A fill from a newer generation rotates in a
+// fresh table.
 func (c *dispatchCache) store(gen uint64, pol *security.Policy, aud *security.Auditor,
 	name string, snap *methodSnap, key matchKey, ent *matchEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if gen < c.gen {
+	t := c.tablesFor(gen, pol, aud)
+	if t == nil {
 		return
 	}
-	if c.gen != gen || c.methods == nil {
-		c.gen = gen
-		c.pol, c.aud = pol, aud
-		c.methods = make(map[string]*methodSnap)
-		c.match = make(map[matchKey]*matchEntry)
-		c.hots = nil // recreated lazily on the next compose
-	}
 	if snap != nil {
-		if len(c.methods) >= maxMethodEntries {
-			c.methods = make(map[string]*methodSnap)
-		}
-		c.methods[name] = snap
+		boundedStore(&t.methods, &t.nmethods, maxMethodEntries, name, snap)
 	}
 	if ent != nil {
-		if len(c.match) >= maxMatchEntries {
-			c.match = make(map[matchKey]*matchEntry)
-		}
-		c.match[key] = ent
+		boundedStore(&t.match, &t.nmatch, maxMatchEntries, key, ent)
 	}
 }

@@ -30,9 +30,20 @@ func neighborObject(t *testing.T) *Object {
 
 // cachedMethodSnap reads the L2 snapshot cached for name, if any.
 func cachedMethodSnap(o *Object, name string) *methodSnap {
-	o.cache.mu.RLock()
-	defer o.cache.mu.RUnlock()
-	return o.cache.methods[name]
+	t := o.cache.tables.Load()
+	if t == nil || t.gen != o.structGen.Load() {
+		return nil
+	}
+	return t.method(name)
+}
+
+// cachedMatchEntry reads the L2 Match decision cached under key, if any.
+func cachedMatchEntry(o *Object, key matchKey) *matchEntry {
+	t := o.cache.tables.Load()
+	if t == nil || t.gen != o.structGen.Load() {
+		return nil
+	}
+	return t.decision(key)
 }
 
 // TestPerItemInvalidationKeepsMethodNeighborsWarm: editing method "a" must
@@ -97,9 +108,7 @@ func TestPerItemInvalidationKeepsDataNeighborsWarm(t *testing.T) {
 	sg := obj.structGen.Load()
 	keyX := matchKey{object: caller.Object, domain: caller.Domain,
 		action: security.ActionGet, item: "x"}
-	obj.cache.mu.RLock()
-	entX := obj.cache.match[keyX]
-	obj.cache.mu.RUnlock()
+	entX := cachedMatchEntry(obj, keyX)
 	if entX == nil {
 		t.Fatal("no cached Match decision for x after warming")
 	}
@@ -115,9 +124,7 @@ func TestPerItemInvalidationKeepsDataNeighborsWarm(t *testing.T) {
 	if _, err := obj.Get(caller, "y"); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("stale allow on y after revoke: err = %v, want ErrDenied", err)
 	}
-	obj.cache.mu.RLock()
-	got := obj.cache.match[keyX]
-	obj.cache.mu.RUnlock()
+	got := cachedMatchEntry(obj, keyX)
 	if got != entX {
 		t.Errorf("neighbor x's Match decision was evicted by an edit of y")
 	} else if !got.fresh() {
@@ -193,6 +200,70 @@ func TestDispatchCacheConcurrentNeighborEdit(t *testing.T) {
 		t.Errorf("neighbor b's snapshot was evicted during the edit storm")
 	} else if !got.fresh() {
 		t.Errorf("neighbor b's snapshot went stale during the edit storm")
+	}
+}
+
+// TestDispatchCacheContendedRotation races many distinct callers over the
+// lock-free L2 read path while a mutator keeps rotating the table (cache
+// flush bumps structGen) and editing a method. Readers must always see
+// correct outcomes — never a stale body, a denied allow, or a torn table —
+// and the cache must still converge to a warm state after the storm.
+// Run under -race this pins the memory-safety of the atomic table swap.
+func TestDispatchCacheContendedRotation(t *testing.T) {
+	obj := neighborObject(t)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct principals: each worker owns its own caller × method
+			// entries, so the table serves many keys at once.
+			caller := callerFor("elsewhere")
+			for !stop.Load() {
+				if v, err := obj.Invoke(caller, "b"); err != nil || v.String() != "b1" {
+					t.Errorf("worker %d: b = (%v, %v)", w, v, err)
+					return
+				}
+				// "a" is being rewritten concurrently; any of its bodies is
+				// fine, an error is not.
+				if _, err := obj.Invoke(caller, "a"); err != nil {
+					t.Errorf("worker %d: a: %v", w, err)
+					return
+				}
+				if v, err := obj.Get(caller, "x"); err != nil || !v.Equal(value.NewInt(1)) {
+					t.Errorf("worker %d: x = (%v, %v)", w, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	bodies := []string{`fn() { return "a2"; }`, `fn() { return "a3"; }`}
+	for i := 0; i < 200; i++ {
+		obj.FlushDispatchCache() // forces a table rotation under the readers
+		if _, err := obj.InvokeSelf("setMethod", value.NewString("a"),
+			value.NewMap(map[string]value.Value{"body": value.NewString(bodies[i%2])})); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// The cache must re-warm after the churn: two calls fill, then the
+	// entry is served and survives.
+	caller := callerFor("elsewhere")
+	for i := 0; i < 3; i++ {
+		if v, err := obj.Invoke(caller, "b"); err != nil || v.String() != "b1" {
+			t.Fatalf("post-storm b = (%v, %v)", v, err)
+		}
+	}
+	if snap := cachedMethodSnap(obj, "b"); snap == nil {
+		t.Error("cache did not re-warm after rotation storm")
+	} else if !snap.fresh() {
+		t.Error("re-warmed snapshot for b is stale")
 	}
 }
 

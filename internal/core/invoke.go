@@ -139,6 +139,22 @@ func (inv *Invocation) captureArgs(args []value.Value) []value.Value {
 // levels are installed the call enters the highest level; otherwise it goes
 // straight to level 0 (Lookup → Match → Apply).
 func (o *Object) Invoke(caller security.Principal, name string, args ...value.Value) (value.Value, error) {
+	return o.invokeChained(caller, nil, name, args)
+}
+
+// InvokeWithChain is Invoke under an adopted remote call chain (handed in
+// by the site's invoke handler): admissions taken and blocks published
+// during the call are attributed to the chain's global identity, so a call
+// cycling back to a site re-enters its own admissions, and a cross-site
+// blockage becomes a chaseable waits-for edge.
+func (o *Object) InvokeWithChain(caller security.Principal, ac *AdoptedChain, name string, args ...value.Value) (value.Value, error) {
+	if ac == nil || ac.ch == nil {
+		return o.invokeChained(caller, nil, name, args)
+	}
+	return o.invokeChained(caller, ac.ch, name, args)
+}
+
+func (o *Object) invokeChained(caller security.Principal, chain *callChain, name string, args []value.Value) (value.Value, error) {
 	// Short circuit for the hottest shape: no meta-invoke levels, no
 	// admission gate, no pre/post guards, and the dispatch cache holds both
 	// the method snapshot and the Match decision. Equivalent to
@@ -149,7 +165,7 @@ func (o *Object) Invoke(caller security.Principal, name string, args ...value.Va
 			if decision != nil {
 				return value.Null, decision
 			}
-			inv := getInvocation(o, caller, name, 0, 1, nil)
+			inv := getInvocation(o, caller, name, 0, 1, chain)
 			argv := inv.captureArgs(args)
 			var v value.Value
 			var err error
@@ -166,8 +182,15 @@ func (o *Object) Invoke(caller security.Principal, name string, args ...value.Va
 		}
 	}
 
-	inv := getInvocation(o, caller, "", 0, 0, nil)
+	inv := getInvocation(o, caller, "", 0, 0, chain)
 	v, err := o.invokeFrom(inv, name, inv.captureArgs(args))
+	// A chain minted inside this call (first serialized admission) dies with
+	// it: drop its detector registrations so stale probes naming it dead-end.
+	// An adopted chain (chain != nil) outlives the call — its site handler
+	// owns the release.
+	if chain == nil && inv.chain != nil {
+		inv.chain.completeLocal()
+	}
 	putInvocation(inv)
 	return v, err
 }

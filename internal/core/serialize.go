@@ -71,10 +71,13 @@ var chainSeq atomic.Uint64
 // bodies may hand work to helper goroutines that call back in — the small
 // mutex keeps that safe.
 type callChain struct {
-	id    uint64
-	entry string // "<class>.<method>" of the chain's first serialized entry
-	mu    sync.Mutex
-	held  []*Object
+	id     uint64
+	entry  string // "<class>.<method>" of the chain's first serialized entry
+	mu     sync.Mutex
+	held   []*Object
+	origin string      // site that minted the global identity ("" until minted)
+	gid    string      // global identity "origin:id", minted lazily (deadlock.go)
+	regs   []*Detector // detectors holding a liveness ref on this chain
 }
 
 func newCallChain(o *Object, method string) *callChain {
@@ -219,6 +222,14 @@ func (o *Object) admit(inv *Invocation, method string) (func(), error) {
 	if cycle := publishWait(chain, o); cycle != "" {
 		return nil, fmt.Errorf("%w: %s", ErrDeadlock, cycle)
 	}
+	// Cycles the local graph cannot close (through a remote site) are the
+	// detector's job: register the block so edge-chasing probes can find —
+	// and, if this chain is the chosen victim, abort — this wait.
+	var abortCh <-chan string
+	blockEnd := func() {}
+	if det := o.detector(); det != nil {
+		abortCh, blockEnd = det.blockBegin(chain, o)
+	}
 	timeout := o.admitTimeout
 	if timeout <= 0 {
 		timeout = DefaultAdmissionTimeout
@@ -227,11 +238,32 @@ func (o *Object) admit(inv *Invocation, method string) (func(), error) {
 	defer timer.Stop()
 	select {
 	case o.admission <- struct{}{}:
+		blockEnd()
 		chain.acquired(o)
 		return func() { chain.released(o) }, nil
-	case <-timer.C:
+	case desc := <-abortCh:
+		blockEnd()
 		unpublishWait(chain)
-		return nil, fmt.Errorf("%w: %s waited %v for %s", ErrAdmissionTimeout,
-			chain.label(), timeout, objLabel(o))
+		return nil, fmt.Errorf("%w: %s", ErrDeadlock, desc)
+	case <-timer.C:
+		blockEnd()
+		unpublishWait(chain)
+		return nil, fmt.Errorf("%w: %s waited %v for %s (%s)", ErrAdmissionTimeout,
+			chain.label(), timeout, objLabel(o), holderDesc(o))
 	}
+}
+
+// holderDesc names the chain holding o's admission at backstop time, so a
+// timeout firing is debuggable: it identifies both sides of the blockage.
+func holderDesc(o *Object) string {
+	waitsFor.mu.Lock()
+	holder := waitsFor.holder[o]
+	waitsFor.mu.Unlock()
+	if holder == nil {
+		return "currently unheld"
+	}
+	if gid := holder.GID(); gid != "" {
+		return "held by " + holder.label() + " (" + gid + ")"
+	}
+	return "held by " + holder.label()
 }

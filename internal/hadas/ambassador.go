@@ -262,14 +262,16 @@ func relayBehavior(inv *core.Invocation, args []value.Value) (value.Value, error
 		return value.Null, err
 	}
 	if originSite.String() == site.Name() {
-		// Degenerate case: ambassador hosted at its own origin.
+		// Degenerate case: ambassador hosted at its own origin. InvokeOn
+		// (rather than target.Invoke) keeps the relaying call chain, so a
+		// serialized origin admits its own relayed re-entry.
 		target, err := site.ResolveObject(originObject.String())
 		if err != nil {
 			return value.Null, err
 		}
-		return target.Invoke(self.Principal(), inv.Method(), args...)
+		return inv.InvokeOn(target, inv.Method(), args...)
 	}
-	return site.InvokeRemote(originSite.String(), self.Principal(),
+	return site.InvokeRemoteFrom(inv, originSite.String(), self.Principal(),
 		originObject.String(), inv.Method(), args...)
 }
 

@@ -56,11 +56,13 @@ func (s *Site) handle(ctx context.Context, verb string, payload []byte) ([]byte,
 	case verbExport:
 		resp, err = s.handleExport(m)
 	case verbInvoke:
-		resp, err = s.handleInvoke(m)
+		resp, err = s.handleInvoke(ctx, m)
 	case verbDispatch:
 		resp, err = s.handleDispatch(ctx, m)
 	case verbMigrationStatus:
 		resp, err = s.handleMigrationStatus(ctx, m)
+	case verbProbe:
+		resp, err = s.handleProbe(m)
 	default:
 		return nil, fmt.Errorf("%w: unknown verb %q", core.ErrNotFound, verb)
 	}
@@ -217,13 +219,17 @@ func (s *Site) installPeer(name, domain, addr string, conn transport.Conn, ambBy
 // retrySafeVerb reports whether a protocol verb may be replayed after a
 // transport failure. The link handshake is idempotent (re-linking
 // overwrites the same Vicinity entry), the migration status query is a
-// pure read, and dispatch became retry-safe once receipt dedups on the
+// pure read, dispatch became retry-safe once receipt dedups on the
 // migration ID (a replayed hadas.dispatch returns the recorded outcome,
-// it never double-installs or re-runs onArrival). hadas.export still
-// appends a deployment record at the origin and hadas.invoke runs
-// arbitrary method bodies — a duplicate could double a side effect.
+// it never double-installs or re-runs onArrival), and a deadlock probe
+// only reads the waits-for graph — at worst a replay re-delivers the same
+// verdict to the same victim, which the blocked-chain registry dedups.
+// hadas.export still appends a deployment record at the origin and
+// hadas.invoke runs arbitrary method bodies — a duplicate could double a
+// side effect.
 func retrySafeVerb(verb string) bool {
-	return verb == verbLink || verb == verbDispatch || verb == verbMigrationStatus
+	return verb == verbLink || verb == verbDispatch ||
+		verb == verbMigrationStatus || verb == verbProbe
 }
 
 // newPeerConn wraps conn (possibly nil — then dialed on first use) in the
@@ -479,7 +485,26 @@ func (s *Site) handleExport(m map[string]value.Value) (value.Value, error) {
 // remote site.
 func (s *Site) InvokeRemote(peerName string, caller security.Principal,
 	target, method string, args ...value.Value) (value.Value, error) {
-	resp, err := s.callPeer(peerName, verbInvoke, value.NewMap(map[string]value.Value{
+	return s.invokeRemote(nil, peerName, caller, target, method, args)
+}
+
+// InvokeRemoteFrom is InvokeRemote on behalf of an executing invocation:
+// the invocation's call chain travels on the wire frame, so the remote
+// site attributes admissions (and blocks) to the same chain, and the
+// chain's outbound remote edge is published for the deadlock detector
+// while the call is in flight. Method bodies that relay across sites
+// (ambassadors, agents) must come through here, or a cycle closing
+// through the remote site is invisible until the admission timeout.
+func (s *Site) InvokeRemoteFrom(inv *core.Invocation, peerName string,
+	caller security.Principal, target, method string, args ...value.Value) (value.Value, error) {
+	return s.invokeRemote(inv, peerName, caller, target, method, args)
+}
+
+func (s *Site) invokeRemote(inv *core.Invocation, peerName string,
+	caller security.Principal, target, method string, args []value.Value) (value.Value, error) {
+	gid, done := inv.BeginRemoteCall(s.det, peerName)
+	defer done()
+	resp, err := s.callPeerChain(peerName, verbInvoke, gid, value.NewMap(map[string]value.Value{
 		"site":   value.NewString(s.cfg.Name),
 		"caller": value.NewString(caller.Object.String()),
 		"target": value.NewString(target),
@@ -487,7 +512,7 @@ func (s *Site) InvokeRemote(peerName string, caller security.Principal,
 		"args":   value.NewList(args),
 	}))
 	if err != nil {
-		return value.Null, err
+		return value.Null, rewrapRemote(err)
 	}
 	m, ok := resp.Map()
 	if !ok {
@@ -500,8 +525,11 @@ func (s *Site) InvokeRemote(peerName string, caller security.Principal,
 // identity is kept, but its trust domain is assigned by this host from the
 // link agreement — a remote caller cannot claim a better domain than its
 // site has (the paper's mutual-security stance; full authentication is the
-// subject of the companion papers [16], [17]).
-func (s *Site) handleInvoke(m map[string]value.Value) (value.Value, error) {
+// subject of the companion papers [16], [17]). A chain identity on the
+// request frame is adopted for the call's duration, so the invocation
+// re-enters admissions its chain already holds here, and a block becomes
+// a chaseable waits-for edge attributed to the right chain.
+func (s *Site) handleInvoke(ctx context.Context, m map[string]value.Value) (value.Value, error) {
 	fromSite := field(m, "site")
 	domain, err := s.peerDomain(fromSite)
 	if err != nil {
@@ -527,7 +555,14 @@ func (s *Site) handleInvoke(m map[string]value.Value) (value.Value, error) {
 		args = list
 	}
 	caller := security.Principal{Object: callerID, Domain: domain}
-	result, err := target.Invoke(caller, field(m, "method"), args...)
+	var result value.Value
+	if gid := transport.ChainFrom(ctx); gid != "" {
+		ac, release := s.det.Adopt(gid)
+		defer release()
+		result, err = target.InvokeWithChain(caller, ac, field(m, "method"), args...)
+	} else {
+		result, err = target.Invoke(caller, field(m, "method"), args...)
+	}
 	if err != nil {
 		return value.Null, err
 	}

@@ -141,6 +141,12 @@ type Site struct {
 	auditor   *security.Auditor
 	ioo       *core.Object
 
+	// det is the site's share of distributed deadlock detection: it tracks
+	// chains blocked on local admissions, chains off inside remote calls,
+	// and chains adopted from incoming invocations, and it chases
+	// edge-probes across sites through the probe verb (deadlock.go).
+	det *core.Detector
+
 	// journal holds migration protocol state (origin journal records and
 	// the destination dedup table). It is the configured Store when one is
 	// set — records then survive a crash — and an in-memory store
@@ -229,6 +235,7 @@ func NewSite(cfg Config) (*Site, error) {
 		arrivals:    make(map[string]*arrival),
 		arrByAgent:  make(map[naming.ID][]*arrival),
 	}
+	s.det = core.NewDetector(cfg.Name, s)
 	if cfg.Store != nil {
 		s.journal = cfg.Store
 	} else {
@@ -412,7 +419,8 @@ func (s *Site) host(obj *core.Object) {
 
 // NewAPOBuilder starts construction of an APO homed at this site: the
 // builder is pre-wired to the site's policy, registry and resolver.
-func (s *Site) NewAPOBuilder(class string) *core.Builder {
+// Additional build options (e.g. core.Serialized) are applied on top.
+func (s *Site) NewAPOBuilder(class string, extra ...core.BuildOption) *core.Builder {
 	opts := []core.BuildOption{
 		core.InDomain(s.cfg.Domain),
 		core.WithPolicy(s.policy),
@@ -424,6 +432,7 @@ func (s *Site) NewAPOBuilder(class string) *core.Builder {
 	if s.cfg.Output != nil {
 		opts = append(opts, core.WithOutput(s.cfg.Output))
 	}
+	opts = append(opts, extra...)
 	return core.NewBuilder(s.gen, class, opts...)
 }
 
@@ -557,11 +566,17 @@ func (s *Site) peerDomain(name string) (string, error) {
 // degradation Ambassadors rely on — instead of burning the call timeout
 // on a peer already known to be dead.
 func (s *Site) callPeer(peerName, verb string, req value.Value) (value.Value, error) {
+	return s.callPeerChain(peerName, verb, "", req)
+}
+
+// callPeerChain is callPeer with a call-chain identity stamped on the
+// request frame (empty: the request runs on no serialized chain).
+func (s *Site) callPeerChain(peerName, verb, chain string, req value.Value) (value.Value, error) {
 	conn, err := s.connTo(peerName)
 	if err != nil {
 		return value.Null, err
 	}
-	out, err := s.callConn(conn, verb, req)
+	out, err := s.callConnChain(conn, verb, chain, req)
 	if errors.Is(err, transport.ErrCircuitOpen) {
 		return value.Null, fmt.Errorf("%w: site %q: %v", ErrPeerDown, peerName, err)
 	}
@@ -570,9 +585,13 @@ func (s *Site) callPeer(peerName, verb string, req value.Value) (value.Value, er
 
 // callConn runs one round trip under the site's configured call timeout.
 func (s *Site) callConn(conn transport.Conn, verb string, req value.Value) (value.Value, error) {
+	return s.callConnChain(conn, verb, "", req)
+}
+
+func (s *Site) callConnChain(conn transport.Conn, verb, chain string, req value.Value) (value.Value, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
 	defer cancel()
-	out, err := conn.Call(ctx, verb, encodeReq(req))
+	out, err := conn.Call(transport.WithChain(ctx, chain), verb, encodeReq(req))
 	if err != nil {
 		return value.Null, err
 	}

@@ -115,7 +115,7 @@ func (s *tcpServer) serveConn(c net.Conn) {
 			reqWG.Add(1)
 			go func(f wire.Frame) {
 				defer reqWG.Done()
-				out, err := s.handler(ctx, f.Verb, f.Payload)
+				out, err := s.handler(WithChain(ctx, f.Chain), f.Verb, f.Payload)
 				if err != nil {
 					_ = write(wire.Frame{Type: wire.FrameError, RequestID: f.RequestID,
 						Verb: f.Verb, Payload: []byte(err.Error())})
@@ -227,7 +227,8 @@ func (c *tcpConn) roundTrip(ctx context.Context, f wire.Frame) (wire.Frame, erro
 
 // Call implements Conn.
 func (c *tcpConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
-	resp, err := c.roundTrip(ctx, wire.Frame{Type: wire.FrameRequest, Verb: verb, Payload: payload})
+	resp, err := c.roundTrip(ctx, wire.Frame{Type: wire.FrameRequest, Verb: verb,
+		Chain: ChainFrom(ctx), Payload: payload})
 	if err != nil {
 		return nil, err
 	}

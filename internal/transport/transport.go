@@ -37,6 +37,29 @@ func (e *RemoteError) Error() string {
 // for concurrent use; the transport may dispatch requests in parallel.
 type Handler func(ctx context.Context, verb string, payload []byte) ([]byte, error)
 
+// chainKey carries the caller's call-chain identity through a request
+// context: stamped into the wire frame by the TCP client, restored into
+// the handler context by the TCP server, and passed straight through by
+// the in-process loopback. Sites use it for distributed deadlock
+// detection — see internal/core's Detector.
+type chainKey struct{}
+
+// WithChain tags ctx with the call-chain identity an outgoing request
+// runs on behalf of.
+func WithChain(ctx context.Context, chain string) context.Context {
+	if chain == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, chainKey{}, chain)
+}
+
+// ChainFrom reads the call-chain identity from a request context ("" when
+// the request carries none).
+func ChainFrom(ctx context.Context) string {
+	chain, _ := ctx.Value(chainKey{}).(string)
+	return chain
+}
+
 // Conn is a client connection to one remote site.
 type Conn interface {
 	// Call sends a request and waits for the matching response.

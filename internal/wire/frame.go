@@ -38,11 +38,14 @@ func (t FrameType) String() string {
 }
 
 // Frame is one transport message: a type, a correlation id, a verb naming
-// the operation, and an opaque payload.
+// the operation, the call chain on whose behalf the request runs (empty
+// when the caller holds no serialized admissions — then nothing upstream
+// can deadlock on it), and an opaque payload.
 type Frame struct {
 	Type      FrameType
 	RequestID uint64
 	Verb      string
+	Chain     string
 	Payload   []byte
 }
 
@@ -55,6 +58,7 @@ func WriteFrame(w io.Writer, f Frame) error {
 	body.Byte(byte(f.Type))
 	body.Uvarint(f.RequestID)
 	body.String(f.Verb)
+	body.String(f.Chain)
 	body.BytesField(f.Payload)
 
 	var hdr [4]byte
@@ -98,6 +102,9 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, err
 	}
 	if f.Verb, err = rd.String(); err != nil {
+		return Frame{}, err
+	}
+	if f.Chain, err = rd.String(); err != nil {
 		return Frame{}, err
 	}
 	if f.Payload, err = rd.BytesField(); err != nil {
