@@ -10,6 +10,13 @@ BENCH_TRACKED = E3|E5|E11
 BENCH_TIME    = 100000x
 BENCH_COUNT   = 3
 
+# E14 (single-RTT fan-out) is tracked too, but separately: its ops run at
+# wall-clock scale — the rtt=1ms tier pays a synthetic WAN round trip per
+# op — so it gets a short benchtime of its own rather than riding
+# BENCH_TIME.
+BENCH_WALL      = E14
+BENCH_WALL_TIME = 100x
+
 # The parallel tier (bench_parallel_test.go): P-swept RunParallel
 # throughput over the sharded Home container (DESIGN.md §11). Tracked in
 # the same BENCH_PR.json snapshots as the scalar set, but at a shorter
@@ -56,6 +63,7 @@ bench-smoke:
 # tier run as two invocations (different benchtimes) into one snapshot.
 bench-record:
 	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(BENCH_WALL)' -benchtime=$(BENCH_WALL_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
 	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
 		| $(GO) run ./cmd/benchguard -mode record
 
@@ -64,6 +72,7 @@ bench-record:
 # snapshot.
 bench-check:
 	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(BENCH_WALL)' -benchtime=$(BENCH_WALL_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
 	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
 		| $(GO) run ./cmd/benchguard -mode check
 
@@ -76,6 +85,7 @@ bench-check:
 # benchguard swallows the failure, silently recording a partial snapshot.
 bench-parallel:
 	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(BENCH_WALL)' -benchtime=$(BENCH_WALL_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
 	   $(GO) test -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem -timeout=60m . ; } \
 		| $(GO) run ./cmd/benchguard -mode record
 

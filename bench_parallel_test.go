@@ -164,6 +164,37 @@ func BenchmarkP_ContendedDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkP_CoalescedRemoteInvoke: concurrent clients sharing ONE real
+// TCP connection to a peer site. Every worker's request frame funnels
+// through the connection's writer goroutine, so this tier measures what
+// write coalescing buys: concurrent small frames batch into single
+// socket writes instead of serializing on a per-call write lock.
+func BenchmarkP_CoalescedRemoteInvoke(b *testing.B) {
+	origin, peers, cleanup, err := experiments.FanOutSites(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	peer := peers[0]
+	client := security.Principal{Object: origin.Generator().New(), Domain: origin.Domain()}
+	arg := value.NewString("bob")
+	if _, err := origin.InvokeRemote(peer, client, "payroll", "salaryOf", arg); err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pSweep() {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			runAtP(b, p, func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := origin.InvokeRemote(peer, client, "payroll", "salaryOf", arg); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // churnPeriod is how many invocations each mixed-tier worker performs
 // between agent hops.
 const churnPeriod = 128

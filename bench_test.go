@@ -7,9 +7,11 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/hadas"
 	"repro/internal/persist"
 	"repro/internal/security"
 	"repro/internal/value"
@@ -668,6 +670,96 @@ func BenchmarkE11_AgentHop(b *testing.B) {
 		}
 		if v.String() != "home" {
 			b.Fatalf("journey = %v", v)
+		}
+	}
+}
+
+// ---- E14: single-RTT fan-out over pipelined TCP ----
+
+// fanOutCalls builds one salaryOf call per peer for the E14 topology.
+func fanOutCalls(origin *hadas.Site, peers []string) []hadas.FanOutCall {
+	client := security.Principal{Object: origin.Generator().New(), Domain: origin.Domain()}
+	arg := value.NewString("bob")
+	calls := make([]hadas.FanOutCall, len(peers))
+	for i, p := range peers {
+		calls[i] = hadas.FanOutCall{Peer: p, Caller: client,
+			Target: "payroll", Method: "salaryOf", Args: []value.Value{arg}}
+	}
+	return calls
+}
+
+// e14RTTs is the synthetic round-trip sweep: raw loopback (where RTT ≈ 0
+// and the series exposes the per-call CPU epsilon) and a 1ms WAN-like hop
+// (where the single-RTT claim lives).
+var e14RTTs = []struct {
+	label string
+	rtt   time.Duration
+}{
+	{"rtt=0", 0},
+	{"rtt=1ms", time.Millisecond},
+}
+
+// BenchmarkE14_PipelinedFanOut: one origin querying N peer sites over real
+// TCP in a single InvokeFanOut round. The E14 claim is that the series
+// grows like one RTT plus a small per-call epsilon — peers run
+// concurrently and same-peer requests leave in one coalesced flush — not
+// like N round trips (the BenchmarkE14_SequentialCalls series): at
+// rtt=1ms the fan-out stays ≈1ms flat while sequential grows ≈N ms.
+func BenchmarkE14_PipelinedFanOut(b *testing.B) {
+	for _, tier := range e14RTTs {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/sites=%d", tier.label, n), func(b *testing.B) {
+				origin, peers, cleanup, err := experiments.FanOutSitesRTT(n, tier.rtt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cleanup()
+				calls := fanOutCalls(origin, peers)
+				for _, r := range origin.InvokeFanOut(calls) { // warm connections
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, r := range origin.InvokeFanOut(calls) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE14_SequentialCalls is the pre-pipelining baseline: the same N
+// remote queries issued one blocking InvokeRemote at a time, paying one
+// round trip per peer.
+func BenchmarkE14_SequentialCalls(b *testing.B) {
+	for _, tier := range e14RTTs {
+		for _, n := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/sites=%d", tier.label, n), func(b *testing.B) {
+				origin, peers, cleanup, err := experiments.FanOutSitesRTT(n, tier.rtt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cleanup()
+				calls := fanOutCalls(origin, peers)
+				for _, c := range calls { // warm connections
+					if _, err := origin.InvokeRemote(c.Peer, c.Caller, c.Target, c.Method, c.Args...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, c := range calls {
+						if _, err := origin.InvokeRemote(c.Peer, c.Caller, c.Target, c.Method, c.Args...); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,76 @@
+package repro
+
+// The E14 acceptance gate (see EXPERIMENTS.md): a pipelined fan-out from
+// one origin to 8 peer sites over real TCP must complete in less than
+// twice the wall-clock of a single remote call. The topology injects a
+// 1ms synthetic round trip per connection (loopback RTT is ~0, which
+// would reduce the gate to measuring per-call CPU cost): sequential
+// dispatch would cost ~8 RTTs, the single-round fan-out ~1. Timed with
+// min-of-N samples (minimum is the right estimator for "how fast can
+// this path go" under scheduler noise) plus a small absolute floor so a
+// noisy CI box cannot fail the gate on jitter.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// minDuration returns the fastest of n runs of f.
+func minDuration(n int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestE14FanOutWithinTwiceSingleRTT(t *testing.T) {
+	const sites = 8
+	origin, peers, cleanup, err := experiments.FanOutSitesRTT(sites, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	calls := fanOutCalls(origin, peers)
+
+	// Warm every connection and verify the batch answers correctly.
+	for i, r := range origin.InvokeFanOut(calls) {
+		if r.Err != nil {
+			t.Fatalf("warm-up call %d (%s): %v", i, r.Peer, r.Err)
+		}
+		if got, _ := r.Result.Int(); got != 9000 {
+			t.Fatalf("warm-up call %d (%s) = %v, want 9000", i, r.Peer, r.Result)
+		}
+	}
+
+	const trials = 64
+	single := minDuration(trials, func() {
+		c := calls[0]
+		if _, err := origin.InvokeRemote(c.Peer, c.Caller, c.Target, c.Method, c.Args...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	fanout := minDuration(trials, func() {
+		for _, r := range origin.InvokeFanOut(calls) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	})
+
+	limit := 2 * single
+	if floor := 2 * time.Millisecond; limit < floor {
+		limit = floor
+	}
+	t.Logf("single call RTT %v, fan-out to %d sites %v (limit %v)", single, sites, fanout, limit)
+	if fanout >= limit {
+		t.Fatalf("fan-out to %d sites took %v, want < %v (2× single-call RTT %v): pipelining is not collapsing the batch into one round",
+			sites, fanout, limit, single)
+	}
+}

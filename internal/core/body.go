@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mscript"
 	"repro/internal/value"
@@ -82,9 +83,32 @@ type scriptBody struct {
 
 var _ Body = (*scriptBody)(nil)
 
+// scriptCache memoizes parsed, mobility-checked function literals by
+// source text. An agent image re-materializes its script methods at every
+// hop, and an itinerary replays the same few bodies over and over — the
+// cache turns re-landing into a lookup instead of a lex+parse. Sharing
+// the parsed literal is safe because a scriptBody already serves every
+// concurrent invocation from one *FnLit: the interpreter never mutates a
+// parsed function. The cache is capacity-bounded and simply stops
+// admitting new entries at the cap (no eviction churn; a site's steady
+// working set of mobile bodies is small).
+var scriptCache sync.Map // source string → *scriptCacheEntry
+var scriptCacheSize atomic.Int64
+
+const scriptCacheCap = 1024
+
+type scriptCacheEntry struct {
+	fn    *mscript.FnLit
+	canon string // canonical source, computed once at parse
+}
+
 // NewScriptBody parses src as a function literal and verifies it is mobile
 // (self-contained up to the host bindings self/args/ctx).
 func NewScriptBody(src string) (Body, error) {
+	if e, ok := scriptCache.Load(src); ok {
+		ent := e.(*scriptCacheEntry)
+		return &scriptBody{fn: ent.fn, src: ent.canon}, nil
+	}
 	fn, err := mscript.ParseFunction(src)
 	if err != nil {
 		return nil, fmt.Errorf("script body: %w", err)
@@ -93,7 +117,13 @@ func NewScriptBody(src string) (Body, error) {
 		return nil, fmt.Errorf("script body: %w", err)
 	}
 	c := &mscript.Closure{Fn: fn, Env: mscript.NewEnv()}
-	return &scriptBody{fn: fn, src: c.Source()}, nil
+	canon := c.Source()
+	if scriptCacheSize.Load() < scriptCacheCap {
+		if _, loaded := scriptCache.LoadOrStore(src, &scriptCacheEntry{fn: fn, canon: canon}); !loaded {
+			scriptCacheSize.Add(1)
+		}
+	}
+	return &scriptBody{fn: fn, src: canon}, nil
 }
 
 // BodyFromClosure converts an interpreter closure (e.g. a fn literal a

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hadas"
@@ -185,6 +187,115 @@ func TwoSites() (host, origin *hadas.Site, cleanup func(), err error) {
 		return nil, nil, nil, err
 	}
 	return host, origin, cleanup, nil
+}
+
+// FanOutPeerName returns the i-th peer name FanOutSites builds.
+func FanOutPeerName(i int) string { return fmt.Sprintf("fan-peer-%02d", i) }
+
+// latencyConn injects a fixed synthetic round-trip delay in front of an
+// inner connection: each Call — and each CallMulti batch as a whole —
+// pays the delay exactly once, the way a WAN round trip would. Loopback
+// RTT is effectively zero, so without this the E14 series only measures
+// per-call CPU cost; with it, the series separates "one round trip per
+// batch" (pipelined fan-out) from "one round trip per call" (sequential).
+type latencyConn struct {
+	inner transport.Conn
+	rtt   time.Duration
+}
+
+func (c latencyConn) wait(ctx context.Context) error {
+	t := time.NewTimer(c.rtt)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c latencyConn) Call(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+	if err := c.wait(ctx); err != nil {
+		return nil, err
+	}
+	return c.inner.Call(ctx, verb, payload)
+}
+
+func (c latencyConn) CallMulti(ctx context.Context, reqs []transport.MultiRequest) []transport.MultiResult {
+	if err := c.wait(ctx); err != nil {
+		out := make([]transport.MultiResult, len(reqs))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	return transport.DoMulti(ctx, c.inner, reqs)
+}
+
+func (c latencyConn) Ping(ctx context.Context) error { return c.inner.Ping(ctx) }
+func (c latencyConn) Close() error                   { return c.inner.Close() }
+
+// FanOutSites builds the E14 topology: one origin linked to n peer sites
+// over real TCP loopback (the coalescing, pipelining carrier — not the
+// in-process shortcut), each peer serving the employee database APO.
+func FanOutSites(n int) (origin *hadas.Site, peers []string, cleanup func(), err error) {
+	return FanOutSitesRTT(n, 0)
+}
+
+// FanOutSitesRTT is FanOutSites with a synthetic round-trip delay on every
+// connection the origin dials, modelling peers a WAN hop away.
+func FanOutSitesRTT(n int, rtt time.Duration) (origin *hadas.Site, peers []string, cleanup func(), err error) {
+	dial := transport.DialTCP
+	if rtt > 0 {
+		dial = func(addr string) (transport.Conn, error) {
+			c, err := transport.DialTCP(addr)
+			if err != nil {
+				return nil, err
+			}
+			return latencyConn{inner: c, rtt: rtt}, nil
+		}
+	}
+	var sites []*hadas.Site
+	cleanup = func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}
+	mk := func(name string) (*hadas.Site, string, error) {
+		s, err := hadas.NewSite(hadas.Config{Name: name, Dial: dial})
+		if err != nil {
+			return nil, "", err
+		}
+		addr, err := s.Serve("127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, "", err
+		}
+		sites = append(sites, s)
+		return s, addr, nil
+	}
+	origin, _, err = mk("fan-origin")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	peers = make([]string, n)
+	for i := range peers {
+		peers[i] = FanOutPeerName(i)
+		p, addr, err := mk(peers[i])
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		if err := InstallEmployeeDB(p); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		if _, err := origin.Link(addr); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+	}
+	return origin, peers, cleanup, nil
 }
 
 // residentPoolCap bounds the distinct objects LoadedSites builds: above it,

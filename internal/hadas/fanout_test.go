@@ -1,0 +1,228 @@
+package hadas
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/security"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// TestInvokeFanOutAcrossPeers pins the single-round fan-out contract:
+// a mixed batch across two peers comes back in batch order, remote
+// failures stay per-entry, and every successful result matches what a
+// sequential InvokeRemote would have returned.
+func TestInvokeFanOutAcrossPeers(t *testing.T) {
+	net := transport.NewInProcNet()
+	tokyo := newTestSite(t, net, "tokyo")
+	osaka := newTestSite(t, net, "osaka")
+	kyoto := newTestSite(t, net, "kyoto")
+	addEmployeeDB(t, osaka)
+	addEmployeeDB(t, kyoto)
+	link(t, tokyo, "osaka")
+	link(t, tokyo, "kyoto")
+
+	client := security.Principal{Object: tokyo.Generator().New(), Domain: tokyo.Domain()}
+	calls := []FanOutCall{
+		{Peer: "osaka", Caller: client, Target: "payroll", Method: "salaryOf", Args: []value.Value{value.NewString("bob")}},
+		{Peer: "kyoto", Caller: client, Target: "payroll", Method: "salaryOf", Args: []value.Value{value.NewString("bob")}},
+		{Peer: "osaka", Caller: client, Target: "payroll", Method: "noSuchMethod"},
+		{Peer: "kyoto", Caller: client, Target: "payroll", Method: "salaryOf", Args: []value.Value{value.NewString("alice")}},
+	}
+	results := tokyo.InvokeFanOut(calls)
+	if len(results) != len(calls) {
+		t.Fatalf("got %d results, want %d", len(results), len(calls))
+	}
+	for _, i := range []int{0, 1, 3} {
+		if results[i].Err != nil {
+			t.Errorf("call %d (%s): %v", i, results[i].Peer, results[i].Err)
+			continue
+		}
+		want, err := tokyo.InvokeRemote(calls[i].Peer, client, "payroll", "salaryOf", calls[i].Args[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Result.String() != want.String() {
+			t.Errorf("call %d = %v, want %v", i, results[i].Result, want)
+		}
+	}
+	if results[2].Err == nil {
+		t.Error("bad method: fan-out entry succeeded, want per-entry error")
+	}
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Error("one bad entry poisoned its batch siblings")
+	}
+}
+
+// TestInvokeFanOutUnlinkedPeer: an unreachable peer fails only its own
+// entries; the rest of the batch still completes.
+func TestInvokeFanOutUnlinkedPeer(t *testing.T) {
+	net := transport.NewInProcNet()
+	tokyo := newTestSite(t, net, "tokyo")
+	osaka := newTestSite(t, net, "osaka")
+	addEmployeeDB(t, osaka)
+	link(t, tokyo, "osaka")
+
+	client := security.Principal{Object: tokyo.Generator().New(), Domain: tokyo.Domain()}
+	results := tokyo.InvokeFanOut([]FanOutCall{
+		{Peer: "nowhere", Caller: client, Target: "payroll", Method: "salaryOf", Args: []value.Value{value.NewString("bob")}},
+		{Peer: "osaka", Caller: client, Target: "payroll", Method: "salaryOf", Args: []value.Value{value.NewString("bob")}},
+	})
+	if !errors.Is(results[0].Err, ErrNotLinked) {
+		t.Errorf("unlinked peer: err = %v, want ErrNotLinked", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Errorf("healthy peer: %v", results[1].Err)
+	}
+}
+
+// TestTraceAgentOneRound replays the a→b→c itinerary of
+// TestAgentItineraryTrace, but resolves it with the single fan-out round
+// of TraceAgent: one pipelined query per linked peer, itinerary stitched
+// locally from the departed next-hop records.
+func TestTraceAgentOneRound(t *testing.T) {
+	net := transport.NewInProcNet()
+	sites := map[string]*Site{}
+	for _, n := range []string{"a", "b", "c"} {
+		sites[n] = newMigSite(t, net, n, persist.NewMemStore())
+	}
+	for _, x := range []string{"a", "b", "c"} {
+		for _, y := range []string{"a", "b", "c"} {
+			if x != y {
+				link(t, sites[x], y)
+			}
+		}
+	}
+	inertAgent(t, sites["a"], "ag")
+	if _, err := sites["a"].DispatchAgent("ag", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sites["b"].DispatchAgent("ag", "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	// From the birth site, starting locally.
+	path, st, err := sites["a"].TraceAgent("", "ag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(path, ">") != "a>b>c" || st.State != AgentStatusResident {
+		t.Fatalf("trace = %v ending %+v, want a>b>c resident", path, st)
+	}
+
+	// From an uninvolved observer, starting at the birth site: same
+	// answer, still one round.
+	path, st, err = sites["c"].TraceAgent("a", "ag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(path, ">") != "a>b>c" || st.State != AgentStatusResident {
+		t.Fatalf("observer trace = %v ending %+v, want a>b>c resident", path, st)
+	}
+
+	// An agent nobody ever saw ends immediately with state unknown.
+	path, st, err = sites["b"].TraceAgent("", "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || st.State != "unknown" {
+		t.Fatalf("ghost trace = %v ending %+v, want single-hop unknown", path, st)
+	}
+}
+
+// tcpSitePair builds two sites linked over real TCP loopback, so the
+// chunked-streaming path (not just the inproc loopback) carries the
+// agent images.
+func tcpSitePair(t *testing.T) (*Site, *Site) {
+	t.Helper()
+	mk := func(name string) (*Site, string) {
+		s, err := NewSite(Config{
+			Name:       name,
+			Store:      persist.NewMemStore(),
+			Dial:       transport.DialTCP,
+			Resilience: migPolicy(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := s.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s, addr
+	}
+	a, _ := mk("a")
+	b, baddr := mk("b")
+	if _, err := a.Link(baddr); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestDispatchLargeImageOverTCP ships an agent whose image is well past
+// StreamThreshold across a real socket: the dispatch payload travels as a
+// credit-windowed chunk stream and must land intact, exactly once.
+func TestDispatchLargeImageOverTCP(t *testing.T) {
+	a, b := tcpSitePair(t)
+
+	cargo := strings.Repeat("x", 3*transport.StreamThreshold)
+	builder := a.NewAPOBuilder("Freighter")
+	builder.ExtData("cargo", value.NewString(cargo))
+	agent := builder.MustBuild()
+	if err := a.AddAPO("freighter", agent); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := a.DispatchAgent("freighter", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := copies("freighter", a, b); got != 1 {
+		t.Fatalf("agent copies = %d, want exactly 1", got)
+	}
+	obj, err := b.ResolveObject("freighter")
+	if err != nil {
+		t.Fatalf("agent not at destination: %v", err)
+	}
+	v, err := obj.Get(obj.Principal(), "cargo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Str(); got != cargo {
+		t.Fatalf("cargo corrupted in flight: %d bytes, want %d", len(got), len(cargo))
+	}
+}
+
+// TestDispatchLargeImageDestDownOverTCP: when the destination dies, a
+// streamed dispatch must fail cleanly with the agent still (and only) at
+// the origin — never a half-assembled image installed anywhere.
+func TestDispatchLargeImageDestDownOverTCP(t *testing.T) {
+	a, b := tcpSitePair(t)
+
+	builder := a.NewAPOBuilder("Freighter")
+	builder.ExtData("cargo", value.NewString(strings.Repeat("y", 2*transport.StreamThreshold)))
+	if err := a.AddAPO("freighter", builder.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := a.DispatchAgent("freighter", "b"); err == nil {
+		t.Fatal("dispatch to a dead site succeeded")
+	}
+	// The agent must be recoverable at the origin: either still live, or
+	// journaled under an unresolved (in-doubt) migration record awaiting
+	// recovery. Either way nothing was installed at the dead destination.
+	if _, err := a.ResolveObject("freighter"); err != nil {
+		if len(a.InDoubtMigrations()) == 0 {
+			t.Fatalf("agent neither live nor journaled at origin: %v", err)
+		}
+	}
+	if _, err := b.ResolveObject("freighter"); err == nil {
+		t.Fatal("half-dispatched agent installed at the dead destination")
+	}
+}

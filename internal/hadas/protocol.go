@@ -576,9 +576,11 @@ func (s *Site) handleInvoke(ctx context.Context, m map[string]value.Value) (valu
 // to the APO and its Ambassador on the fly"). The fan-out consults the
 // peer-health table first: hosts whose circuit breaker is open are skipped
 // (logged, and reported through the returned error) instead of being
-// rediscovered down one call at a time, and healthy hosts are updated
-// first so one dead peer never delays the rest. It returns the number of
-// ambassadors updated; the error, if any, is the first failure.
+// rediscovered down one call at a time; the surviving updates then go out
+// as one InvokeFanOut round — pipelined per peer, peers in parallel — so
+// refreshing N ambassadors costs one RTT, not N, and one dead peer never
+// delays the rest. It returns the number of ambassadors updated; the
+// error, if any, is the first failure.
 func (s *Site) UpdateAmbassadors(apoName, method string, args ...value.Value) (int, error) {
 	apo, err := s.APO(apoName)
 	if err != nil {
@@ -610,12 +612,16 @@ func (s *Site) UpdateAmbassadors(apoName, method string, args ...value.Value) (i
 		live = append(live, d)
 	}
 
+	calls := make([]FanOutCall, len(live))
+	for i, d := range live {
+		calls[i] = FanOutCall{Peer: d.hostSite, Caller: apo.Principal(),
+			Target: d.ambassadorID.String(), Method: method, Args: args}
+	}
 	updated := 0
-	for _, d := range live {
-		_, err := s.InvokeRemote(d.hostSite, apo.Principal(), d.ambassadorID.String(), method, args...)
-		if err != nil {
+	for _, res := range s.InvokeFanOut(calls) {
+		if res.Err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("update ambassador at %s: %w", d.hostSite, err)
+				firstErr = fmt.Errorf("update ambassador at %s: %w", res.Peer, res.Err)
 			}
 			continue
 		}

@@ -1,0 +1,465 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The conformance suite pins the contract every carrier must honor —
+// out-of-order completion, interleaved large (streamed) calls, cancel
+// mid-stream, and batch correlation under coalescing — and runs it against
+// both the TCP and the in-process backends, so a future carrier inherits
+// the same bar.
+
+// backends builds one connection per carrier, all serving h.
+func backends(t *testing.T, h Handler) map[string]Conn {
+	t.Helper()
+	out := make(map[string]Conn)
+
+	srv, err := ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	tc, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tc.Close() })
+	out["tcp"] = tc
+
+	inet := NewInProcNet()
+	lis, err := inet.Listen("conf", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	ic, err := inet.Dial("conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ic.Close() })
+	out["inproc"] = ic
+
+	return out
+}
+
+// streamPayload builds a patterned payload big enough to stream (each byte
+// derived from its offset, so truncation or reordering is detectable).
+func streamPayload(seed byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed ^ byte(i) ^ byte(i>>8)
+	}
+	return p
+}
+
+// TestConformanceOutOfOrder pins that a later request can complete while
+// an earlier one is still executing: the demux correlates by request id,
+// not arrival order.
+func TestConformanceOutOfOrder(t *testing.T) {
+	releases := map[string]chan struct{}{
+		"tcp":    make(chan struct{}),
+		"inproc": make(chan struct{}),
+	}
+	h := func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		if verb == "block" {
+			select {
+			case <-releases[string(payload)]:
+				return []byte("unblocked"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return payload, nil
+	}
+	for name, conn := range backends(t, h) {
+		t.Run(name, func(t *testing.T) {
+			release := releases[name]
+			blocked := make(chan error, 1)
+			go func() {
+				out, err := conn.Call(context.Background(), "block", []byte(name))
+				if err == nil && string(out) != "unblocked" {
+					err = fmt.Errorf("blocked call returned %q", out)
+				}
+				blocked <- err
+			}()
+			// The fast call must complete while the first is still held.
+			deadline := time.Now().Add(5 * time.Second)
+			done := false
+			for !done && time.Now().Before(deadline) {
+				out, err := conn.Call(context.Background(), "fast", []byte("x"))
+				if err != nil {
+					t.Fatalf("fast call: %v", err)
+				}
+				if string(out) != "x" {
+					t.Fatalf("fast call = %q", out)
+				}
+				done = true
+			}
+			select {
+			case err := <-blocked:
+				t.Fatalf("blocked call completed before release: %v", err)
+			default:
+			}
+			close(release)
+			if err := <-blocked; err != nil {
+				t.Fatalf("blocked call: %v", err)
+			}
+		})
+	}
+}
+
+// TestConformanceInterleavedStreams runs several concurrent calls whose
+// requests and responses are both large enough to stream in chunks; every
+// payload must come back intact even though the chunk runs interleave on
+// one connection.
+func TestConformanceInterleavedStreams(t *testing.T) {
+	h := func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		return payload, nil // echo: request stream in, response stream out
+	}
+	for name, conn := range backends(t, h) {
+		t.Run(name, func(t *testing.T) {
+			const streams = 4
+			var wg sync.WaitGroup
+			errs := make([]error, streams)
+			for i := 0; i < streams; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					want := streamPayload(byte(i), StreamThreshold*2+i*1000)
+					got, err := conn.Call(context.Background(), "echo", want)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if !bytes.Equal(got, want) {
+						errs[i] = fmt.Errorf("stream %d corrupted: %d bytes back, want %d",
+							i, len(got), len(want))
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("stream %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceCancelMidStream pins stream teardown: a caller that gives
+// up on a large in-flight call gets its context error, the handler sees
+// the cancellation, and the connection keeps working for later calls.
+func TestConformanceCancelMidStream(t *testing.T) {
+	sawCancel := make(chan struct{}, 16)
+	h := func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		if verb == "hold" {
+			<-ctx.Done()
+			sawCancel <- struct{}{}
+			return nil, ctx.Err()
+		}
+		return payload, nil
+	}
+	for name, conn := range backends(t, h) {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			_, err := conn.Call(ctx, "hold", streamPayload(7, StreamThreshold*2))
+			// The caller may see its own deadline, or (on carriers that
+			// deliver the handler's reply first) the handler's ctx error as
+			// a RemoteError — either way the call must fail, not hang.
+			var re *RemoteError
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.As(err, &re) {
+				t.Fatalf("cancelled call: err = %v, want deadline exceeded or remote cancellation", err)
+			}
+			select {
+			case <-sawCancel:
+			case <-time.After(5 * time.Second):
+				t.Fatal("handler never observed the cancellation")
+			}
+			// The connection must remain usable: only the stream died.
+			out, err := conn.Call(context.Background(), "echo", []byte("after"))
+			if err != nil {
+				t.Fatalf("call after cancel: %v", err)
+			}
+			if string(out) != "after" {
+				t.Fatalf("call after cancel = %q", out)
+			}
+		})
+	}
+}
+
+// TestConformanceBatchCorrelation pins DoMulti's contract under write
+// coalescing: results arrive in request order with per-entry outcomes,
+// even though the batch leaves in one flush and completes out of order.
+func TestConformanceBatchCorrelation(t *testing.T) {
+	h := func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		if verb == "fail" {
+			return nil, fmt.Errorf("no: %s", payload)
+		}
+		return append([]byte(verb+"="), payload...), nil
+	}
+	for name, conn := range backends(t, h) {
+		t.Run(name, func(t *testing.T) {
+			const n = 32
+			reqs := make([]MultiRequest, n)
+			for i := range reqs {
+				verb := "ok"
+				if i%5 == 0 {
+					verb = "fail"
+				}
+				reqs[i] = MultiRequest{Verb: verb, Payload: []byte(fmt.Sprintf("req-%02d", i))}
+			}
+			results := DoMulti(context.Background(), conn, reqs)
+			if len(results) != n {
+				t.Fatalf("got %d results, want %d", len(results), n)
+			}
+			for i, res := range results {
+				if i%5 == 0 {
+					var re *RemoteError
+					if !errors.As(res.Err, &re) {
+						t.Errorf("result %d: err = %v, want RemoteError", i, res.Err)
+					}
+					continue
+				}
+				if res.Err != nil {
+					t.Errorf("result %d: %v", i, res.Err)
+					continue
+				}
+				want := fmt.Sprintf("ok=req-%02d", i)
+				if string(res.Payload) != want {
+					t.Errorf("result %d = %q, want %q (misrouted under coalescing?)",
+						i, res.Payload, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceMultiMixedSizes pins that a batch mixing small pipelined
+// requests with stream-sized ones still correlates every result.
+func TestConformanceMultiMixedSizes(t *testing.T) {
+	h := func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		return payload, nil
+	}
+	for name, conn := range backends(t, h) {
+		t.Run(name, func(t *testing.T) {
+			reqs := []MultiRequest{
+				{Verb: "echo", Payload: []byte("small-0")},
+				{Verb: "echo", Payload: streamPayload(1, StreamThreshold+5)},
+				{Verb: "echo", Payload: []byte("small-2")},
+				{Verb: "echo", Payload: streamPayload(3, StreamThreshold*2)},
+			}
+			results := DoMulti(context.Background(), conn, reqs)
+			for i, res := range results {
+				if res.Err != nil {
+					t.Errorf("result %d: %v", i, res.Err)
+					continue
+				}
+				if !bytes.Equal(res.Payload, reqs[i].Payload) {
+					t.Errorf("result %d: %d bytes back, want %d",
+						i, len(res.Payload), len(reqs[i].Payload))
+				}
+			}
+		})
+	}
+}
+
+// ---- TCP-specific regression tests ----
+
+// brokenConn is a scripted net.Conn whose Read hands serveConn one request
+// and whose Write always fails; Close is observable. It pins the
+// response-write-error path deterministically.
+type brokenConn struct {
+	readOnce sync.Once
+	frames   []byte // pre-encoded inbound frames
+	closed   chan struct{}
+	closeOne sync.Once
+}
+
+func (b *brokenConn) Read(p []byte) (int, error) {
+	var served bool
+	b.readOnce.Do(func() {
+		served = true
+	})
+	if served {
+		n := copy(p, b.frames)
+		return n, nil
+	}
+	<-b.closed // block like an idle socket until closed
+	return 0, errors.New("use of closed connection")
+}
+
+func (b *brokenConn) Write(p []byte) (int, error) {
+	return 0, errors.New("connection reset by peer")
+}
+
+func (b *brokenConn) Close() error {
+	b.closeOne.Do(func() { close(b.closed) })
+	return nil
+}
+
+func (b *brokenConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (b *brokenConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (b *brokenConn) SetDeadline(t time.Time) error      { return nil }
+func (b *brokenConn) SetReadDeadline(t time.Time) error  { return nil }
+func (b *brokenConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestServerClosesConnOnWriteError is the regression test for the silent
+// response-write failure: when a response cannot be written, the server
+// must close the connection (so the peer's failAll fires at once) instead
+// of dropping the response and leaving the client to hang out its timeout.
+func TestServerClosesConnOnWriteError(t *testing.T) {
+	frames, err := encodeFrames(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := &brokenConn{frames: frames, closed: make(chan struct{})}
+	srv := &tcpServer{handler: func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		return []byte("reply"), nil
+	}}
+	srv.wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		srv.serveConn(bc)
+		close(done)
+	}()
+	select {
+	case <-bc.closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never closed the conn after a response-write error")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveConn did not return after closing the conn")
+	}
+}
+
+func encodeFrames(t *testing.T) ([]byte, error) {
+	t.Helper()
+	return wire.AppendFrame(nil, wire.Frame{Type: wire.FrameRequest, RequestID: 1,
+		Verb: "echo", Payload: []byte("hi")})
+}
+
+// TestClientCancelReleasesStreamState is the regression test for the
+// ctx-cancel leak: after a caller abandons a streamed call, no pending
+// entry (and hence no chunk assembly buffer) may survive on the client —
+// including when the server's late response stream arrives afterwards.
+func TestClientCancelReleasesStreamState(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		if verb == "hold" {
+			select {
+			case <-release:
+				// Answer anyway with a stream-sized payload: the client
+				// abandoned the call, so these chunks must be refused and
+				// cancelled, not buffered against a dead id.
+				return streamPayload(9, StreamThreshold*2), nil
+			case <-ctx.Done():
+				once.Do(func() { close(release) })
+				return nil, ctx.Err()
+			}
+		}
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	tc := conn.(*tcpConn)
+
+	// A streamed request whose caller gives up mid-call.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := conn.Call(ctx, "hold", streamPayload(5, StreamThreshold*3)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	once.Do(func() { close(release) })
+
+	// The abandoned id must leave no pending state behind, now or after
+	// any late frames drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tc.mu.Lock()
+		n := len(tc.pending)
+		tc.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d pending entries leaked after cancel", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Poke the connection and re-check: late chunks for the dead id must
+	// not have re-materialized state.
+	if _, err := conn.Call(context.Background(), "echo", []byte("alive")); err != nil {
+		t.Fatalf("call after cancel: %v", err)
+	}
+	tc.mu.Lock()
+	n := len(tc.pending)
+	tc.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries re-appeared after late stream", n)
+	}
+}
+
+// TestMidStreamDropFailsClean pins the partial-failure contract for
+// streams: killing the server mid-call must surface a transport error to
+// the caller — never a truncated payload presented as success.
+func TestMidStreamDropFailsClean(t *testing.T) {
+	started := make(chan struct{}, 1)
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, verb string, payload []byte) ([]byte, error) {
+		started <- struct{}{}
+		<-ctx.Done() // hold the call until the teardown cancels it
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	result := make(chan error, 1)
+	go func() {
+		out, err := conn.Call(context.Background(), "drop", streamPayload(2, StreamThreshold*4))
+		if err == nil {
+			err = fmt.Errorf("call survived server death with %d bytes", len(out))
+		}
+		result <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the server")
+	}
+	srv.Close() // hard drop mid-call
+	select {
+	case err := <-result:
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("caller saw a context error, want a transport error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("caller hung after mid-stream drop")
+	}
+}

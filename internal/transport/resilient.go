@@ -384,6 +384,67 @@ func (r *ResilientConn) Call(ctx context.Context, verb string, payload []byte) (
 	}
 }
 
+// CallMulti implements MultiCaller: the whole batch is admitted through
+// the breaker once, then pipelined over the inner connection (DoMulti
+// falls back to concurrent Calls when the carrier cannot pipeline).
+// Accounting is per-batch: one answered request — success or *RemoteError*
+// — proves the wire healthy; a batch that fails wholesale at the transport
+// level counts as a single breaker failure, and ErrClosed discards the
+// dead connection so the next operation redials. Individual requests are
+// never retried here: a fan-out caller sees every per-call outcome and
+// decides itself what is worth re-issuing.
+func (r *ResilientConn) CallMulti(ctx context.Context, reqs []MultiRequest) []MultiResult {
+	failBatch := func(err error) []MultiResult {
+		results := make([]MultiResult, len(reqs))
+		for i := range results {
+			results[i] = MultiResult{Err: err}
+		}
+		return results
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	if err := r.admit(ctx); err != nil {
+		return failBatch(err)
+	}
+	c, err := r.conn()
+	if err != nil {
+		r.recordFailure(err)
+		return failBatch(err)
+	}
+	results := DoMulti(ctx, c, reqs)
+
+	answered := false
+	var transportErr error
+	sawClosed := false
+	for _, res := range results {
+		if res.Err == nil {
+			answered = true
+			continue
+		}
+		var re *RemoteError
+		if errors.As(res.Err, &re) {
+			answered = true // the peer executed and replied
+			continue
+		}
+		if countsAsFailure(res.Err) && transportErr == nil {
+			transportErr = res.Err
+		}
+		if errors.Is(res.Err, ErrClosed) {
+			sawClosed = true
+		}
+	}
+	if sawClosed {
+		r.dropInner(c)
+	}
+	if answered {
+		r.recordSuccess()
+	} else if transportErr != nil {
+		r.recordFailure(transportErr)
+	}
+	return results
+}
+
 // Ping implements Conn, breaker-aware: with the breaker open it performs
 // the half-open probe itself once the cooldown allows (background health
 // probers drive recovery by calling this), otherwise it fails fast.

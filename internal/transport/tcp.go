@@ -86,23 +86,169 @@ func (s *tcpServer) acceptLoop() {
 	}
 }
 
+// assembly accumulates one inbound request stream. A stream that overruns
+// MaxStreamPayload is poisoned: its buffer is dropped, later chunks are
+// refused, and the eventual FrameStreamEnd answers with an error instead
+// of dispatching a truncated payload.
+type assembly struct {
+	buf      []byte
+	poisoned bool
+}
+
+// serverConnState is the per-connection demux state of a server: partial
+// request-stream assemblies, the cancel func of every in-flight handler
+// (so a peer's FrameCancel aborts the work, not just the reply), and the
+// credit window of every outbound response stream.
+type serverConnState struct {
+	mu      sync.Mutex
+	asm     map[uint64]*assembly
+	cancels map[uint64]context.CancelFunc
+	streams map[uint64]*streamWindow
+}
+
+func newServerConnState() *serverConnState {
+	return &serverConnState{
+		asm:     make(map[uint64]*assembly),
+		cancels: make(map[uint64]context.CancelFunc),
+		streams: make(map[uint64]*streamWindow),
+	}
+}
+
+// appendChunk folds one chunk into the request's assembly; false means the
+// assembly is poisoned (over limit) and the sender should be cancelled.
+func (st *serverConnState) appendChunk(id uint64, p []byte) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.asm[id]
+	if a == nil {
+		a = &assembly{}
+		st.asm[id] = a
+	}
+	if a.poisoned || len(a.buf)+len(p) > MaxStreamPayload {
+		a.poisoned = true
+		a.buf = nil
+		return false
+	}
+	a.buf = append(a.buf, p...)
+	return true
+}
+
+// finish removes and returns the assembled payload; ok is false when the
+// stream was poisoned. A stream-end with no prior chunks is a legal empty
+// payload.
+func (st *serverConnState) finish(id uint64) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.asm[id]
+	delete(st.asm, id)
+	if a == nil {
+		return nil, true
+	}
+	if a.poisoned {
+		return nil, false
+	}
+	return a.buf, true
+}
+
+func (st *serverConnState) addCancel(id uint64, cancel context.CancelFunc) {
+	st.mu.Lock()
+	st.cancels[id] = cancel
+	st.mu.Unlock()
+}
+
+func (st *serverConnState) dropCancel(id uint64) {
+	st.mu.Lock()
+	delete(st.cancels, id)
+	st.mu.Unlock()
+}
+
+func (st *serverConnState) addStream(id uint64, win *streamWindow) {
+	st.mu.Lock()
+	st.streams[id] = win
+	st.mu.Unlock()
+}
+
+func (st *serverConnState) dropStream(id uint64) {
+	st.mu.Lock()
+	delete(st.streams, id)
+	st.mu.Unlock()
+}
+
+// grant routes peer credit to the response stream it refills.
+func (st *serverConnState) grant(id uint64, n int64) {
+	st.mu.Lock()
+	win := st.streams[id]
+	st.mu.Unlock()
+	if win != nil && n > 0 {
+		win.grant(n)
+	}
+}
+
+// cancelRequest handles a peer's FrameCancel: the partial request assembly
+// is released, the in-flight handler's context is cancelled, and an
+// outbound response stream stops sending.
+func (st *serverConnState) cancelRequest(id uint64) {
+	st.mu.Lock()
+	delete(st.asm, id)
+	cancel := st.cancels[id]
+	win := st.streams[id]
+	st.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if win != nil {
+		win.cancel()
+	}
+}
+
 func (s *tcpServer) serveConn(c net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(c)
 	defer c.Close()
 
-	br := bufio.NewReader(c)
-	var writeMu sync.Mutex
-	write := func(f wire.Frame) error {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return wire.WriteFrame(c, f)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	// Teardown order (LIFO): cancel handler contexts and fail the writer
+	// first, so handlers blocked on stream credit unblock before reqWG.Wait.
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
+	out := newFrameQueue(c, func(error) {
+		// A response that cannot be written strands every call pending on
+		// this connection: close the socket so the peer's failAll fires at
+		// once instead of the client waiting out its timeout.
+		c.Close()
+	})
+	defer out.close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 
+	st := newServerConnState()
+
+	dispatch := func(f wire.Frame) {
+		rctx, rcancel := context.WithCancel(WithChain(ctx, f.Chain))
+		st.addCancel(f.RequestID, rcancel)
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			defer rcancel()
+			defer st.dropCancel(f.RequestID)
+			result, err := s.handler(rctx, f.Verb, f.Payload)
+			if err != nil {
+				_ = out.send(wire.Frame{Type: wire.FrameError, RequestID: f.RequestID,
+					Verb: f.Verb, Payload: []byte(err.Error())})
+				return
+			}
+			if len(result) <= StreamThreshold {
+				_ = out.send(wire.Frame{Type: wire.FrameResponse, RequestID: f.RequestID,
+					Verb: f.Verb, Payload: result})
+				return
+			}
+			win := newStreamWindow()
+			st.addStream(f.RequestID, win)
+			defer st.dropStream(f.RequestID)
+			_ = sendChunks(rctx, out, f.RequestID, win, f.Verb, "", result)
+		}()
+	}
+
+	br := bufio.NewReader(c)
 	for {
 		f, err := wire.ReadFrame(br)
 		if err != nil {
@@ -110,20 +256,28 @@ func (s *tcpServer) serveConn(c net.Conn) {
 		}
 		switch f.Type {
 		case wire.FramePing:
-			_ = write(wire.Frame{Type: wire.FramePong, RequestID: f.RequestID})
+			_ = out.send(wire.Frame{Type: wire.FramePong, RequestID: f.RequestID})
 		case wire.FrameRequest:
-			reqWG.Add(1)
-			go func(f wire.Frame) {
-				defer reqWG.Done()
-				out, err := s.handler(WithChain(ctx, f.Chain), f.Verb, f.Payload)
-				if err != nil {
-					_ = write(wire.Frame{Type: wire.FrameError, RequestID: f.RequestID,
-						Verb: f.Verb, Payload: []byte(err.Error())})
-					return
-				}
-				_ = write(wire.Frame{Type: wire.FrameResponse, RequestID: f.RequestID,
-					Verb: f.Verb, Payload: out})
-			}(f)
+			dispatch(f)
+		case wire.FrameChunk:
+			if st.appendChunk(f.RequestID, f.Payload) {
+				_ = out.send(creditFrame(f.RequestID, len(f.Payload)))
+			} else {
+				_ = out.send(wire.Frame{Type: wire.FrameCancel, RequestID: f.RequestID})
+			}
+		case wire.FrameStreamEnd:
+			payload, ok := st.finish(f.RequestID)
+			if !ok {
+				_ = out.send(wire.Frame{Type: wire.FrameError, RequestID: f.RequestID,
+					Verb: f.Verb, Payload: []byte("request stream exceeds payload limit")})
+				continue
+			}
+			dispatch(wire.Frame{Type: wire.FrameRequest, RequestID: f.RequestID,
+				Verb: f.Verb, Chain: f.Chain, Payload: payload})
+		case wire.FrameCredit:
+			st.grant(f.RequestID, creditBytes(f.Payload))
+		case wire.FrameCancel:
+			st.cancelRequest(f.RequestID)
 		default:
 			// Unknown frame types are ignored for forward compatibility.
 		}
@@ -131,7 +285,9 @@ func (s *tcpServer) serveConn(c net.Conn) {
 }
 
 // DialTCP connects to a framed-message server. The connection multiplexes
-// concurrent calls over one socket with request-id correlation.
+// concurrent calls over one socket with request-id correlation; frames
+// from concurrent callers are coalesced into batched writes, and payloads
+// above StreamThreshold travel as credit-windowed chunk streams.
 func DialTCP(addr string) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -139,17 +295,27 @@ func DialTCP(addr string) (Conn, error) {
 	}
 	c := &tcpConn{
 		nc:      nc,
-		pending: make(map[uint64]chan wire.Frame),
+		pending: make(map[uint64]*clientCall),
 	}
+	c.out = newFrameQueue(nc, func(error) { c.teardown() })
 	go c.readLoop()
 	return c, nil
 }
 
+// clientCall is one in-flight request: its completion channel, the
+// incremental assembly of a streamed response, and — while the request
+// itself streams — the sender-side credit window.
+type clientCall struct {
+	ch  chan wire.Frame // buffered 1; closed by failAll
+	buf []byte          // streamed-response assembly (grows under c.mu)
+	win *streamWindow   // non-nil only while the request streams out
+}
+
 type tcpConn struct {
 	nc      net.Conn
-	writeMu sync.Mutex
+	out     *frameQueue
 	mu      sync.Mutex // guards pending and closed
-	pending map[uint64]chan wire.Frame
+	pending map[uint64]*clientCall
 	// closed is set by failAll under mu and re-checked at registration under
 	// the same mutex: a request can never slip into pending after failAll has
 	// drained it (a request registered then would hang forever — no reader is
@@ -167,60 +333,164 @@ func (c *tcpConn) readLoop() {
 			c.failAll()
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[f.RequestID]
-		if ok {
-			delete(c.pending, f.RequestID)
-		}
-		c.mu.Unlock()
-		if ok {
-			ch <- f // buffered; never blocks
+		switch f.Type {
+		case wire.FrameChunk:
+			c.mu.Lock()
+			pc, ok := c.pending[f.RequestID]
+			overflow := false
+			if ok {
+				if len(pc.buf)+len(f.Payload) > MaxStreamPayload {
+					overflow = true
+				} else {
+					pc.buf = append(pc.buf, f.Payload...)
+				}
+			}
+			c.mu.Unlock()
+			if overflow {
+				// A peer pushing past the payload limit is a protocol
+				// violation; tear the connection down like any other.
+				c.teardown()
+				return
+			}
+			if !ok {
+				// Stream for a caller that already gave up: nothing is
+				// retained, and the sender is told to stop.
+				_ = c.out.send(wire.Frame{Type: wire.FrameCancel, RequestID: f.RequestID})
+				continue
+			}
+			// Grant the consumed bytes back so the sender's window refills.
+			_ = c.out.send(creditFrame(f.RequestID, len(f.Payload)))
+		case wire.FrameStreamEnd:
+			c.mu.Lock()
+			pc, ok := c.pending[f.RequestID]
+			if ok {
+				delete(c.pending, f.RequestID)
+			}
+			c.mu.Unlock()
+			if ok {
+				pc.ch <- wire.Frame{Type: wire.FrameResponse, RequestID: f.RequestID,
+					Verb: f.Verb, Payload: pc.buf} // buffered; never blocks
+			}
+		case wire.FrameCredit:
+			c.mu.Lock()
+			pc, ok := c.pending[f.RequestID]
+			c.mu.Unlock()
+			if ok && pc.win != nil {
+				if n := creditBytes(f.Payload); n > 0 {
+					pc.win.grant(n)
+				}
+			}
+		case wire.FrameCancel:
+			// The peer refused our request stream (e.g. over limit).
+			c.mu.Lock()
+			pc, ok := c.pending[f.RequestID]
+			c.mu.Unlock()
+			if ok && pc.win != nil {
+				pc.win.cancel()
+			}
+		default:
+			c.mu.Lock()
+			pc, ok := c.pending[f.RequestID]
+			if ok {
+				delete(c.pending, f.RequestID)
+			}
+			c.mu.Unlock()
+			if ok {
+				pc.ch <- f // buffered; never blocks
+			}
 		}
 	}
 }
 
 func (c *tcpConn) failAll() {
+	c.out.close() // unblock senders and stream writers first
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for id, ch := range c.pending {
+	for id, pc := range c.pending {
 		delete(c.pending, id)
-		close(ch)
+		if pc.win != nil {
+			pc.win.cancel()
+		}
+		close(pc.ch)
+	}
+}
+
+// teardown is the internal hard stop: close the socket (ending readLoop)
+// and fail every pending call.
+func (c *tcpConn) teardown() {
+	c.closeOnce.Do(func() { c.nc.Close() })
+	c.failAll()
+}
+
+// register allocates a request id and its pending entry; ok is false when
+// the connection is already closed.
+func (c *tcpConn) register(streaming bool) (uint64, *clientCall, bool) {
+	id := c.nextID.Add(1)
+	pc := &clientCall{ch: make(chan wire.Frame, 1)}
+	if streaming {
+		pc.win = newStreamWindow()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, false
+	}
+	c.pending[id] = pc
+	return id, pc, true
+}
+
+// abandon deregisters a call whose caller stopped waiting (ctx cancel or
+// send failure). Dropping the pending entry releases any partially
+// assembled response buffer, and the best-effort FrameCancel makes the
+// peer drop its partial assembly, cancel the handler, and stop streaming —
+// so no chunk buffer outlives the caller on either end.
+func (c *tcpConn) abandon(id uint64) {
+	c.mu.Lock()
+	pc, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	if pc.win != nil {
+		pc.win.cancel()
+	}
+	if !closed {
+		_ = c.out.send(wire.Frame{Type: wire.FrameCancel, RequestID: id})
 	}
 }
 
 func (c *tcpConn) roundTrip(ctx context.Context, f wire.Frame) (wire.Frame, error) {
-	id := c.nextID.Add(1)
-	f.RequestID = id
-	ch := make(chan wire.Frame, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	streaming := f.Type == wire.FrameRequest && len(f.Payload) > StreamThreshold
+	id, pc, ok := c.register(streaming)
+	if !ok {
 		return wire.Frame{}, ErrClosed
 	}
-	c.pending[id] = ch
-	c.mu.Unlock()
+	f.RequestID = id
 
-	c.writeMu.Lock()
-	err := wire.WriteFrame(c.nc, f)
-	c.writeMu.Unlock()
+	var err error
+	if streaming {
+		err = sendChunks(ctx, c.out, id, pc.win, f.Verb, f.Chain, f.Payload)
+	} else {
+		err = c.out.send(f)
+	}
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.abandon(id)
 		return wire.Frame{}, fmt.Errorf("send: %w", err)
 	}
 
 	select {
-	case resp, ok := <-ch:
+	case resp, ok := <-pc.ch:
 		if !ok {
 			return wire.Frame{}, ErrClosed
 		}
 		return resp, nil
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.abandon(id)
 		return wire.Frame{}, ctx.Err()
 	}
 }
@@ -232,6 +502,10 @@ func (c *tcpConn) Call(ctx context.Context, verb string, payload []byte) ([]byte
 	if err != nil {
 		return nil, err
 	}
+	return unpackResponse(verb, resp)
+}
+
+func unpackResponse(verb string, resp wire.Frame) ([]byte, error) {
 	switch resp.Type {
 	case wire.FrameResponse:
 		return resp.Payload, nil
@@ -240,6 +514,64 @@ func (c *tcpConn) Call(ctx context.Context, verb string, payload []byte) ([]byte
 	default:
 		return nil, fmt.Errorf("unexpected %s frame", resp.Type)
 	}
+}
+
+// CallMulti implements MultiCaller: all requests are registered up front
+// and enqueued back-to-back — the writer goroutine coalesces them into one
+// batched write, so K calls cost one flush and one round trip instead of K
+// sequential RTTs — then completions are collected out of order. Requests
+// large enough to stream fall back to individual concurrent Calls so their
+// windowed chunks never serialize the batch.
+func (c *tcpConn) CallMulti(ctx context.Context, reqs []MultiRequest) []MultiResult {
+	results := make([]MultiResult, len(reqs))
+	ids := make([]uint64, len(reqs))
+	pcs := make([]*clientCall, len(reqs))
+	chain := ChainFrom(ctx)
+
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		if len(r.Payload) > StreamThreshold {
+			wg.Add(1)
+			go func(i int, r MultiRequest) {
+				defer wg.Done()
+				p, err := c.Call(ctx, r.Verb, r.Payload)
+				results[i] = MultiResult{Payload: p, Err: err}
+			}(i, r)
+			continue
+		}
+		id, pc, ok := c.register(false)
+		if !ok {
+			results[i] = MultiResult{Err: ErrClosed}
+			continue
+		}
+		if err := c.out.send(wire.Frame{Type: wire.FrameRequest, RequestID: id,
+			Verb: r.Verb, Chain: chain, Payload: r.Payload}); err != nil {
+			c.abandon(id)
+			results[i] = MultiResult{Err: fmt.Errorf("send: %w", err)}
+			continue
+		}
+		ids[i], pcs[i] = id, pc
+	}
+
+	for i, pc := range pcs {
+		if pc == nil {
+			continue
+		}
+		select {
+		case resp, ok := <-pc.ch:
+			if !ok {
+				results[i] = MultiResult{Err: ErrClosed}
+				continue
+			}
+			p, err := unpackResponse(reqs[i].Verb, resp)
+			results[i] = MultiResult{Payload: p, Err: err}
+		case <-ctx.Done():
+			c.abandon(ids[i])
+			results[i] = MultiResult{Err: ctx.Err()}
+		}
+	}
+	wg.Wait()
+	return results
 }
 
 // Ping implements Conn.

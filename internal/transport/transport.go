@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Errors of the transport layer.
@@ -68,6 +69,50 @@ type Conn interface {
 	Ping(ctx context.Context) error
 	// Close releases the connection. Pending calls fail with ErrClosed.
 	Close() error
+}
+
+// MultiRequest is one call of a fan-out batch.
+type MultiRequest struct {
+	Verb    string
+	Payload []byte
+}
+
+// MultiResult is the outcome of one call of a fan-out batch; exactly one
+// of Payload and Err is meaningful, and results keep request order.
+type MultiResult struct {
+	Payload []byte
+	Err     error
+}
+
+// MultiCaller is the optional pipelining face of a connection: CallMulti
+// issues every request back-to-back without awaiting interleaved replies,
+// so a K-wide batch costs one round trip instead of K. The request-id
+// demux already tolerates out-of-order completion, which is what makes
+// this safe. Implementations must fill results[i] for reqs[i].
+type MultiCaller interface {
+	CallMulti(ctx context.Context, reqs []MultiRequest) []MultiResult
+}
+
+// DoMulti issues reqs over c — pipelined in a single round trip when the
+// connection implements MultiCaller, otherwise as concurrent Calls (the
+// loopback and fault-injection carriers need no pipelining of their own).
+// The result slice always has len(reqs) entries in request order.
+func DoMulti(ctx context.Context, c Conn, reqs []MultiRequest) []MultiResult {
+	if mc, ok := c.(MultiCaller); ok {
+		return mc.CallMulti(ctx, reqs)
+	}
+	results := make([]MultiResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r MultiRequest) {
+			defer wg.Done()
+			p, err := c.Call(ctx, r.Verb, r.Payload)
+			results[i] = MultiResult{Payload: p, Err: err}
+		}(i, r)
+	}
+	wg.Wait()
+	return results
 }
 
 // Listener is a bound server endpoint.

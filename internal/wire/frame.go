@@ -10,13 +10,32 @@ import (
 // FrameType discriminates transport messages.
 type FrameType uint8
 
-// Frame types of the site-to-site protocol.
+// Frame types of the site-to-site protocol. Types 6-9 form the streaming
+// extension (protocol v2): large payloads travel as FrameChunk runs closed
+// by a FrameStreamEnd (which carries the verb for request streams), the
+// receiver grants window space back with FrameCredit, and FrameCancel
+// tears down a stream (or an in-flight request) early. Unknown types are
+// ignored by older receivers, so the schema can keep growing.
 const (
 	FrameRequest  FrameType = 1
 	FrameResponse FrameType = 2
 	FrameError    FrameType = 3
 	FramePing     FrameType = 4
 	FramePong     FrameType = 5
+	// FrameChunk carries one bounded slice of a streamed payload.
+	FrameChunk FrameType = 6
+	// FrameStreamEnd closes a chunk run: the assembled payload is complete.
+	// On a request stream it carries the Verb and Chain of the call the
+	// chunks spell out; on a response stream both are informational.
+	FrameStreamEnd FrameType = 7
+	// FrameCredit grants the stream sender window space: the payload is a
+	// uvarint of bytes the receiver has consumed (credit-based flow
+	// control — a slow receiver stalls its own stream, not the connection).
+	FrameCredit FrameType = 8
+	// FrameCancel aborts the request id it names: a partially-assembled
+	// request stream is discarded, an in-flight handler's context is
+	// cancelled, and a response stream stops sending.
+	FrameCancel FrameType = 9
 )
 
 // String returns the frame type name.
@@ -32,6 +51,14 @@ func (t FrameType) String() string {
 		return "ping"
 	case FramePong:
 		return "pong"
+	case FrameChunk:
+		return "chunk"
+	case FrameStreamEnd:
+		return "stream-end"
+	case FrameCredit:
+		return "credit"
+	case FrameCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -52,25 +79,36 @@ type Frame struct {
 // MaxFrame bounds a whole frame on the wire.
 const MaxFrame = MaxBlob + 4096
 
+// AppendFrame appends one length-prefixed frame to buf and returns the
+// extended slice — the allocation-free encoder the coalescing transport
+// writers batch frames with before a single syscall.
+func AppendFrame(buf []byte, f Frame) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length header, patched below
+	buf = append(buf, byte(f.Type))
+	buf = binary.AppendUvarint(buf, f.RequestID)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Verb)))
+	buf = append(buf, f.Verb...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Chain)))
+	buf = append(buf, f.Chain...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Payload)))
+	buf = append(buf, f.Payload...)
+	n := len(buf) - start - 4
+	if n > MaxFrame {
+		return buf[:start], fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCodec, n)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	return buf, nil
+}
+
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, f Frame) error {
-	var body Writer
-	body.Byte(byte(f.Type))
-	body.Uvarint(f.RequestID)
-	body.String(f.Verb)
-	body.String(f.Chain)
-	body.BytesField(f.Payload)
-
-	var hdr [4]byte
-	if body.Len() > MaxFrame {
-		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCodec, body.Len())
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
 	}
-	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
-	}
-	if _, err := w.Write(body.Bytes()); err != nil {
-		return fmt.Errorf("write frame body: %w", err)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	if bw, ok := w.(*bufio.Writer); ok {
 		return bw.Flush()

@@ -53,6 +53,46 @@ var frameGolden = []struct {
 			"14" + "68616461732e646561646c6f636b2e70726f6265" + // verb
 			"00" + "01" + "70",
 	},
+	// ---- streaming extension (protocol v2) ----
+	{
+		name: "stream chunk",
+		frame: Frame{
+			Type:      FrameChunk,
+			RequestID: 9,
+			Payload:   []byte{0xde, 0xad, 0xbe, 0xef},
+		},
+		hex: "00000009" + "06" + "09" + "00" + "00" + "04" + "deadbeef",
+	},
+	{
+		name: "stream end closing a request stream",
+		frame: Frame{
+			Type:      FrameStreamEnd,
+			RequestID: 9,
+			Verb:      "hadas.dispatch",
+			Chain:     "siteA:1",
+		},
+		hex: "0000001a" + "07" + "09" +
+			"0e" + "68616461732e6469737061746368" + // "hadas.dispatch"
+			"07" + "73697465413a31" + // "siteA:1"
+			"00",
+	},
+	{
+		name: "credit grant",
+		frame: Frame{
+			Type:      FrameCredit,
+			RequestID: 9,
+			Payload:   []byte{0x80, 0x80, 0x04}, // uvarint(65536)
+		},
+		hex: "00000008" + "08" + "09" + "00" + "00" + "03" + "808004",
+	},
+	{
+		name: "cancel",
+		frame: Frame{
+			Type:      FrameCancel,
+			RequestID: 9,
+		},
+		hex: "00000005" + "09" + "09" + "00" + "00" + "00",
+	},
 }
 
 func TestFrameGoldenVectors(t *testing.T) {
