@@ -26,6 +26,18 @@ BENCH_WALL_TIME = 100x
 PBENCH      = P_
 PBENCH_TIME = 20000x
 
+# The persistence tier (bench_persist_test.go): sustained Put throughput
+# of the group-commit WAL against the file-per-slot store under 8
+# concurrent writers — the ≥10× claim of DESIGN.md §15 — and E15,
+# bootstrap recovery time by slot count. Both are fsync-bound, so they
+# get their own short benchtimes: each persist op costs 30µs–700µs, and
+# one E15 iteration replays a whole log (the 1e6-slot tier builds a
+# ~150 MB one, skipped under -short in the routine runs).
+BENCH_PERSIST      = WALPut|FileStorePut
+BENCH_PERSIST_TIME = 2000x
+BENCH_RECOVER      = E15_BootstrapRecovery
+BENCH_RECOVER_TIME = 1x
+
 # verify is the tier-1 gate: formatting, static checks, build, tests
 # (including the race detector), a one-iteration benchmark smoke run, a
 # warn-only comparison of the tracked benchmarks against BENCH_PR.json,
@@ -64,7 +76,9 @@ bench-smoke:
 bench-record:
 	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
 	   $(GO) test -run='^$$' -bench='$(BENCH_WALL)' -benchtime=$(BENCH_WALL_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
-	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
+	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(BENCH_PERSIST)' -benchtime=$(BENCH_PERSIST_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(BENCH_RECOVER)' -benchtime=$(BENCH_RECOVER_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
 		| $(GO) run ./cmd/benchguard -mode record
 
 # bench-check warns (never fails) when a tracked benchmark runs >20%
@@ -73,7 +87,9 @@ bench-record:
 bench-check:
 	@{ $(GO) test -run='^$$' -bench='$(BENCH_TRACKED)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
 	   $(GO) test -run='^$$' -bench='$(BENCH_WALL)' -benchtime=$(BENCH_WALL_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
-	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
+	   $(GO) test -short -run='^$$' -bench='$(PBENCH)' -benchtime=$(PBENCH_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -run='^$$' -bench='$(BENCH_PERSIST)' -benchtime=$(BENCH_PERSIST_TIME) -count=$(BENCH_COUNT) -benchmem . ; \
+	   $(GO) test -short -run='^$$' -bench='$(BENCH_RECOVER)' -benchtime=$(BENCH_RECOVER_TIME) -count=$(BENCH_COUNT) -benchmem . ; } \
 		| $(GO) run ./cmd/benchguard -mode check
 
 # bench-parallel records the FULL parallel sweep — including the 1e6-object
@@ -98,13 +114,17 @@ chaos-short:
 	$(GO) run ./cmd/chaosgate -seeds 5 -seed-base 1 -slo CHAOS_SLO.json
 
 # chaos is the full sweep: more seeds, a bigger mesh, heavier churn, and
-# file-backed persist stores so crash/restart recovery exercises the real
-# store path. Not part of verify — run it before releases or after
-# touching the migration/recovery machinery.
+# disk-backed persist stores so crash/restart recovery exercises the real
+# store paths — once over the file-per-slot store and once over the WAL
+# (group commit + compaction under churn). Not part of verify — run it
+# before releases or after touching the migration/recovery machinery.
 chaos:
 	$(GO) run ./cmd/chaosgate -seeds 25 -seed-base 1 -sites 7 -epochs 4 \
 		-clients 4 -ops 15 -agents 6 -hops 3 \
-		-slo CHAOS_SLO.json -filestore /tmp/repro-chaos -out /tmp/repro-chaos-sweep.json
+		-slo CHAOS_SLO.json -store file -storedir /tmp/repro-chaos -out /tmp/repro-chaos-sweep.json
+	$(GO) run ./cmd/chaosgate -seeds 25 -seed-base 1 -sites 7 -epochs 4 \
+		-clients 4 -ops 15 -agents 6 -hops 3 \
+		-slo CHAOS_SLO.json -store wal -storedir /tmp/repro-chaos-wal -out /tmp/repro-chaos-wal-sweep.json
 
 # bench-profile writes CPU and heap profiles of the warm dispatch (E3) and
 # security (E5) benchmarks to profiles/ for `go tool pprof`.

@@ -1,0 +1,103 @@
+package repro
+
+// PR 10 persistence benchmarks: sustained Put throughput of the
+// log-structured WAL store against the slot-per-file store under
+// concurrent writers (group commit amortizes the fsync), and E15 —
+// bootstrap recovery time by slot count (replay + index rebuild).
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+// benchPutBackend drives 8 concurrent writers of distinct 256-byte slots
+// into one backend. On the WAL the writers coalesce into group commits —
+// one buffered write and one fsync per batch — where the file store pays
+// two fsyncs per record under a global lock.
+func benchPutBackend(b *testing.B, open func(dir string) (persist.Backend, error)) {
+	s, err := open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 256)
+	var seq atomic.Int64
+	b.SetParallelism(8) // 8 writer goroutines even at GOMAXPROCS=1
+	b.SetBytes(int64(len(val)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			if err := s.Put(fmt.Sprintf("slot-%09d", n), val); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkWALPut(b *testing.B) {
+	benchPutBackend(b, func(dir string) (persist.Backend, error) {
+		return persist.NewWALStore(dir)
+	})
+}
+
+func BenchmarkFileStorePut(b *testing.B) {
+	benchPutBackend(b, func(dir string) (persist.Backend, error) {
+		return persist.NewFileStore(dir)
+	})
+}
+
+// BenchmarkE15_BootstrapRecovery times a cold OpenWALStore — the full
+// log replay and index rebuild — by slot count. Population (batched
+// PutAll, outside the timer) includes no overwrites, so the measured
+// replay is exactly one record per slot; the experiments-table E15 adds
+// a garbage round. The 1e6 tier writes a ~150 MB log and is skipped
+// under -short.
+func BenchmarkE15_BootstrapRecovery(b *testing.B) {
+	for _, n := range []int{100, 10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("slots=%d", n), func(b *testing.B) {
+			if n >= 1_000_000 && testing.Short() {
+				b.Skip("1e6-slot tier skipped with -short")
+			}
+			dir := b.TempDir()
+			w, err := persist.NewWALStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := make([]byte, 128)
+			batch := make(map[string][]byte, 10_000)
+			for i := 0; i < n; i++ {
+				batch[fmt.Sprintf("slot-%09d", i)] = val
+				if len(batch) == 10_000 {
+					if err := w.PutAll(batch); err != nil {
+						b.Fatal(err)
+					}
+					batch = make(map[string][]byte, 10_000)
+				}
+			}
+			if err := w.PutAll(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := persist.NewWALStore(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if slots, err := re.List(); err != nil || len(slots) != n {
+					b.Fatalf("recovered %d slots, %v; want %d", len(slots), err, n)
+				}
+				re.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

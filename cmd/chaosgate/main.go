@@ -113,10 +113,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hops      = fs.Int("hops", 2, "max intermediate hops per journey")
 		sloPath   = fs.String("slo", "CHAOS_SLO.json", "SLO thresholds file")
 		outPath   = fs.String("out", "", "write the sweep report JSON here")
-		fileStore = fs.String("filestore", "", "persist sites to file stores under this directory (default: in-memory)")
+		storeKind = fs.String("store", "mem", "persistence backend per site: mem, file or wal")
+		storeDir  = fs.String("storedir", "", "directory for file/wal backends (required for them)")
+		fileStore = fs.String("filestore", "", "deprecated alias for -store file -storedir DIR")
 		verbose   = fs.Bool("v", false, "stream schedule and verdict lines")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fileStore != "" {
+		*storeKind, *storeDir = "file", *fileStore
+	}
+	if (*storeKind == "file" || *storeKind == "wal") && *storeDir == "" {
+		fmt.Fprintf(stderr, "chaosgate: -store %s requires -storedir\n", *storeKind)
 		return 2
 	}
 	slo, err := loadSLO(*sloPath)
@@ -149,15 +158,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *verbose {
 			cfg.Transcript = stdout
 		}
-		if *fileStore != "" {
-			base := filepath.Join(*fileStore, fmt.Sprintf("seed%d", sd))
+		switch *storeKind {
+		case "mem":
+			// chaos.Run defaults to a MemStore per site.
+		case "file", "wal":
+			base := filepath.Join(*storeDir, fmt.Sprintf("seed%d", sd))
 			if err := os.RemoveAll(base); err != nil {
 				fmt.Fprintf(stderr, "chaosgate: clear %s: %v\n", base, err)
 				return 2
 			}
-			cfg.Store = func(site string) (persist.Store, error) {
+			kind := *storeKind
+			cfg.Store = func(site string) (persist.Backend, error) {
+				if kind == "wal" {
+					return persist.NewWALStore(filepath.Join(base, site))
+				}
 				return persist.NewFileStore(filepath.Join(base, site))
 			}
+		default:
+			fmt.Fprintf(stderr, "chaosgate: unknown -store %q\n", *storeKind)
+			return 2
 		}
 		rep, err := chaos.Run(cfg)
 		if err != nil {

@@ -72,6 +72,7 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:0", "protocol listen address")
 		manifestPath = flag.String("manifest", "", "JSON manifest of APOs and programs")
 		storeDir     = flag.String("store", "", "directory for persistent object slots")
+		storeKind    = flag.String("store-backend", "file", "persistence backend: file, wal or mem")
 		callTimeout  = flag.Duration("call-timeout", hadas.DefaultCallTimeout, "per-call deadline for peer round trips")
 		probeEvery   = flag.Duration("probe-interval", 0, "background peer liveness probe period (0 disables probing)")
 		links        linkList
@@ -91,12 +92,29 @@ func main() {
 		}
 		return
 	}
-	if err := run(*name, *domain, *listen, *manifestPath, *storeDir, *callTimeout, *probeEvery, links); err != nil {
+	if err := run(*name, *domain, *listen, *manifestPath, *storeDir, *storeKind, *callTimeout, *probeEvery, links); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(name, domain, listen, manifestPath, storeDir string,
+// openStore builds the configured persistence backend. WAL is the
+// log-structured store (group commit, snapshot compaction); file is one
+// slot per file; mem is volatile (useful for ephemeral sites that still
+// want PersistAll semantics).
+func openStore(kind, dir string) (persist.Backend, error) {
+	switch kind {
+	case "file":
+		return persist.NewFileStore(dir)
+	case "wal":
+		return persist.NewWALStore(dir)
+	case "mem":
+		return persist.NewMemStore(), nil
+	default:
+		return nil, fmt.Errorf("hadasd: unknown -store-backend %q (want file, wal or mem)", kind)
+	}
+}
+
+func run(name, domain, listen, manifestPath, storeDir, storeKind string,
 	callTimeout, probeEvery time.Duration, links []string) error {
 	if name == "" {
 		return fmt.Errorf("hadasd: -name is required")
@@ -109,10 +127,11 @@ func run(name, domain, listen, manifestPath, storeDir string,
 		ProbeInterval: probeEvery,
 	}
 	if storeDir != "" {
-		store, err := persist.NewFileStore(storeDir)
+		store, err := openStore(storeKind, storeDir)
 		if err != nil {
 			return err
 		}
+		defer store.Close()
 		cfg.Store = store
 	}
 	site, err := hadas.NewSite(cfg)

@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e10)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e11, e15)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 

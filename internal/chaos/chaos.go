@@ -66,7 +66,7 @@ type Config struct {
 	MaxHops int
 	// Store builds the persist store for a site, once at setup; restarts
 	// reuse it. Nil uses a MemStore per site.
-	Store func(site string) (persist.Store, error)
+	Store func(site string) (persist.Backend, error)
 	// Transcript, when set, receives schedule and verdict lines as the
 	// run produces them.
 	Transcript io.Writer
@@ -153,7 +153,7 @@ type harness struct {
 	fnet *transport.FaultNet
 
 	names  []string
-	stores []persist.Store
+	stores []persist.Backend
 	sites  []*hadas.Site
 	down   []bool
 
@@ -225,7 +225,7 @@ func newHarness(cfg Config) (*harness, error) {
 		cfg:        cfg,
 		fnet:       transport.NewFaultNet(transport.NewInProcNet()),
 		names:      make([]string, cfg.Sites),
-		stores:     make([]persist.Store, cfg.Sites),
+		stores:     make([]persist.Backend, cfg.Sites),
 		sites:      make([]*hadas.Site, cfg.Sites),
 		down:       make([]bool, cfg.Sites),
 		dropArm:    make(map[[2]int]*atomic.Int64),
@@ -442,6 +442,14 @@ func (h *harness) close() {
 	for _, s := range h.sites {
 		if s != nil {
 			s.Close()
+		}
+	}
+	// Release the backends last: sites write checkpoints while closing.
+	// MemStore.Close is a no-op, so simulated restarts mid-run are
+	// unaffected; file-backed stores free their handles here.
+	for _, st := range h.stores {
+		if st != nil {
+			st.Close()
 		}
 	}
 }

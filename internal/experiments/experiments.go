@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +28,7 @@ func All() ([]Table, error) {
 		E9CoercionCost,
 		E10PersistenceCost,
 		E11AgentJourney,
+		E15BootstrapRecovery,
 	}
 	out := make([]Table, 0, len(runs))
 	for _, run := range runs {
@@ -39,14 +41,14 @@ func All() ([]Table, error) {
 	return out, nil
 }
 
-// ByID returns one experiment runner by its id ("e1".."e10").
+// ByID returns one experiment runner by its id ("e1".."e11", "e15").
 func ByID(id string) (func() (Table, error), bool) {
 	m := map[string]func() (Table, error){
 		"e1": E1InvocationLevels, "e2": E2Topology, "e3": E3InvocationCost,
 		"e4": E4MutabilityLookupCost, "e5": E5ACLCost, "e6": E6WrappingCost,
 		"e7": E7MigrationCost, "e8": E8DynamicUpdateAvailability,
 		"e9": E9CoercionCost, "e10": E10PersistenceCost,
-		"e11": E11AgentJourney,
+		"e11": E11AgentJourney, "e15": E15BootstrapRecovery,
 	}
 	f, ok := m[id]
 	return f, ok
@@ -575,6 +577,75 @@ func E10PersistenceCost() (Table, error) {
 		})
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("(%d, %d)", size.items, size.scripts), "mem", ns(dSave), ns(dLoad),
+		})
+	}
+	return t, nil
+}
+
+// E15BootstrapRecovery measures fast bootstrap recovery for the
+// log-structured store: the time for OpenWALStore to replay the log and
+// rebuild the slot index, by slot count. Recovery work scales with log
+// bytes, not fsyncs — the replay is a single sequential read — so even
+// large sites restart in bounded time. The population includes one full
+// round of overwrites, so replay also pays for realistic garbage. The
+// 1e6-slot tier lives in the root BenchmarkE15_BootstrapRecovery (it
+// would dominate the experiment suite's runtime here).
+func E15BootstrapRecovery() (Table, error) {
+	t := Table{
+		ID:    "E15",
+		Title: "bootstrap recovery: WAL reopen (replay + index rebuild) by slot count",
+		Comment: "each tier writes N slots of 128 B plus one overwrite round (≈50%\n" +
+			"garbage), closes, and times a cold OpenWALStore.",
+		Columns: []string{"slots", "log bytes", "recover", "per slot"},
+	}
+	for _, n := range []int{100, 10_000} {
+		dir, err := os.MkdirTemp("", "e15-wal-")
+		if err != nil {
+			return t, err
+		}
+		defer os.RemoveAll(dir)
+		w, err := persist.NewWALStore(dir)
+		if err != nil {
+			return t, err
+		}
+		val := make([]byte, 128)
+		for round := 0; round < 2; round++ {
+			batch := make(map[string][]byte, 1000)
+			for i := 0; i < n; i++ {
+				val[0] = byte(round)
+				batch[fmt.Sprintf("slot-%07d", i)] = val
+				if len(batch) == 1000 {
+					if err := w.PutAll(batch); err != nil {
+						return t, err
+					}
+					batch = make(map[string][]byte, 1000)
+				}
+			}
+			if err := w.PutAll(batch); err != nil {
+				return t, err
+			}
+		}
+		logBytes := w.Stats().TotalBytes
+		if err := w.Close(); err != nil {
+			return t, err
+		}
+		start := time.Now()
+		re, err := persist.NewWALStore(dir)
+		if err != nil {
+			return t, err
+		}
+		d := time.Since(start)
+		slots, err := re.List()
+		if err != nil {
+			return t, err
+		}
+		if len(slots) != n {
+			return t, fmt.Errorf("E15: recovered %d slots, want %d", len(slots), n)
+		}
+		re.Close()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", logBytes),
+			ns(d), ns(d / time.Duration(n)),
 		})
 	}
 	return t, nil

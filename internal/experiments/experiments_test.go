@@ -11,7 +11,7 @@ func TestExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite is measurement-heavy; skipped with -short")
 	}
-	ids := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	ids := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e15"}
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -164,7 +164,7 @@ func TestMigrationReportOverWire(t *testing.T) {
 // hadas.migration.status.
 func TestAgentItineraryTrace(t *testing.T) {
 	net := transport.NewInProcNet()
-	stores := map[string]persist.Store{
+	stores := map[string]persist.Backend{
 		"a": persist.NewMemStore(), "b": persist.NewMemStore(), "c": persist.NewMemStore(),
 	}
 	sites := map[string]*Site{}

@@ -12,7 +12,7 @@ import (
 	"repro/internal/value"
 )
 
-func newMemStoreForTest() persist.Store { return persist.NewMemStore() }
+func newMemStoreForTest() persist.Backend { return persist.NewMemStore() }
 
 // TestFig2Topology reproduces Figure 2's external view: three sites, fully
 // linked, each hosting APOs and ambassadors of the others, with the

@@ -39,7 +39,7 @@ func newMigSiteCfg(t *testing.T, net *transport.InProcNet, cfg Config) *Site {
 	return s
 }
 
-func newMigSite(t *testing.T, net *transport.InProcNet, name string, store persist.Store) *Site {
+func newMigSite(t *testing.T, net *transport.InProcNet, name string, store persist.Backend) *Site {
 	t.Helper()
 	return newMigSiteCfg(t, net, Config{Name: name, Store: store, Resilience: migPolicy()})
 }

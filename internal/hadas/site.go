@@ -83,8 +83,10 @@ type Config struct {
 	Budget mscript.Budget
 	// Output receives script prints and site logs (nil discards).
 	Output func(string)
-	// Store, when set, enables PersistAll/BootstrapAll.
-	Store persist.Store
+	// Store, when set, enables PersistAll/BootstrapAll. It is a full
+	// Backend so checkpoints can batch through PutAll (one durability
+	// barrier per PersistAll, not one per object).
+	Store persist.Backend
 	// CallTimeout bounds each remote protocol round trip, threaded through
 	// every remote verb. Zero uses DefaultCallTimeout.
 	CallTimeout time.Duration
@@ -285,7 +287,7 @@ func (s *Site) Generator() *naming.Generator { return s.gen }
 // runs without one). Native behaviors that make durable state changes —
 // e.g. a counter whose acked increments must survive a crash — persist
 // through it from inside the invocation.
-func (s *Site) Store() persist.Store { return s.cfg.Store }
+func (s *Site) Store() persist.Backend { return s.cfg.Store }
 
 // log emits a site-level message.
 func (s *Site) log(format string, args ...any) {
@@ -611,14 +613,20 @@ func (s *Site) PersistAll() error {
 		return fmt.Errorf("%w: site has no store", core.ErrNotFound)
 	}
 	entries := s.home.entries()
+	batch := make(map[string][]byte, len(entries)+1)
 	manifest := make(map[string]value.Value, len(entries))
 	for _, e := range entries {
-		if err := persist.SaveObject(s.cfg.Store, e.obj); err != nil {
+		slot, data, err := persist.EncodeObject(e.obj)
+		if err != nil {
 			return err
 		}
+		batch[slot] = data
 		manifest[e.name] = value.NewString(e.obj.ID().String())
 	}
-	return s.cfg.Store.Put(homeManifestSlot, encodeReq(value.NewMap(manifest)))
+	batch[homeManifestSlot] = encodeReq(value.NewMap(manifest))
+	// One PutAll: the whole checkpoint — every image plus the manifest —
+	// rides a single durability barrier.
+	return s.cfg.Store.PutAll(batch)
 }
 
 // BootstrapHome restores the site after a restart. It replays the

@@ -1,0 +1,189 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot compaction (DESIGN.md §15): once enough of the log is garbage
+// — overwritten records, tombstones and what they buried — the live
+// records are rewritten into one fresh segment and the manifest is
+// atomically swapped to [compacted, active...]. The swap is the only
+// commit point, so a crash anywhere during compaction recovers either the
+// old generation (the compacted output is an unreferenced stray, swept at
+// open) or the new one (the retired inputs are strays, swept at open) —
+// never a mix.
+//
+// Writers are never blocked by the heavy phase: the copy reads only
+// sealed (immutable) segments and writes a file the manifest does not
+// reference yet. flushMu is held only to seal the active segment at the
+// start and to swap the manifest at the end. A record overwritten or
+// deleted while the copy runs simply loses the swap race — the index
+// entry is replaced only if it still points at the pre-compaction
+// location — and its stale copy in the new segment becomes garbage for
+// the next cycle (replay order keeps it harmless: the compacted segment
+// replays first).
+
+// shouldCompactLocked is the background trigger. Caller holds mu.
+func (w *WALStore) shouldCompactLocked() bool {
+	return !w.opt.DisableAutoCompact && !w.compacting && !w.closed && w.poisoned == nil &&
+		len(w.segs) >= 1 && w.total >= w.opt.MinCompactBytes &&
+		float64(w.garbage) >= w.opt.GarbageRatio*float64(w.total)
+}
+
+// compactBG runs one background compaction; the trigger already set
+// w.compacting and added to the wait group.
+func (w *WALStore) compactBG() {
+	defer w.compactWG.Done()
+	err := w.compactOnce()
+	w.mu.Lock()
+	w.compacting = false
+	w.compactErr = err
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Compact runs one compaction cycle synchronously (waiting out any
+// background cycle already in flight). Mostly for tests and maintenance.
+func (w *WALStore) Compact() error {
+	w.mu.Lock()
+	for w.compacting {
+		w.cond.Wait()
+	}
+	if err := w.usableLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.compacting = true
+	w.mu.Unlock()
+	err := w.compactOnce()
+	w.mu.Lock()
+	w.compacting = false
+	w.compactErr = err
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return err
+}
+
+// compactOnce performs one full cycle: seal, snapshot, copy, swap,
+// retire.
+func (w *WALStore) compactOnce() error {
+	// Seal: roll the active segment so every compactable record lives in
+	// an immutable file, then remember the sealed set.
+	w.flushMu.Lock()
+	if w.active().size > 0 {
+		if err := w.roll(); err != nil {
+			w.flushMu.Unlock()
+			return err
+		}
+	}
+	sealed := append([]*segment(nil), w.segs[:len(w.segs)-1]...)
+	seq := w.nextSeq
+	w.nextSeq++
+	w.flushMu.Unlock()
+	if len(sealed) == 0 {
+		return nil
+	}
+	sealedSet := make(map[*segment]bool, len(sealed))
+	for _, s := range sealed {
+		sealedSet[s] = true
+	}
+
+	// Snapshot: the live records inside the sealed set, as of now.
+	w.mu.Lock()
+	snap := make(map[string]slotRef)
+	for k, ref := range w.index {
+		if sealedSet[ref.seg] {
+			snap[k] = ref
+		}
+	}
+	w.mu.Unlock()
+
+	// Copy: stream each live record, CRC re-verified, into the new
+	// segment. No lock held — inputs are immutable, the output is
+	// invisible until the manifest swap.
+	out, err := createSegment(w.dir, seq)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		out.f.Close()
+		os.Remove(filepath.Join(w.dir, out.name))
+		return err
+	}
+	bw := bufio.NewWriterSize(out.f, 1<<20)
+	newRefs := make(map[string]slotRef, len(snap))
+	var off int64
+	for k, ref := range snap {
+		raw := make([]byte, ref.recLen)
+		if _, err := ref.seg.f.ReadAt(raw, ref.off); err != nil {
+			return abort(fmt.Errorf("compact wal: read %q: %w", k, err))
+		}
+		if _, _, _, _, err := parseRecord(raw); err != nil {
+			return abort(fmt.Errorf("compact wal: %q: %w", k, err))
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return abort(fmt.Errorf("compact wal: %w", err))
+		}
+		newRefs[k] = slotRef{seg: out, off: off, recLen: ref.recLen}
+		off += ref.recLen
+	}
+	if err := bw.Flush(); err != nil {
+		return abort(fmt.Errorf("compact wal: %w", err))
+	}
+	if err := out.f.Sync(); err != nil {
+		return abort(fmt.Errorf("compact wal: %w", err))
+	}
+	out.size = off
+
+	// Swap: new manifest = [compacted] + everything not compacted (in
+	// order), then redirect surviving index entries and retire inputs.
+	w.flushMu.Lock()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		w.flushMu.Unlock()
+		return abort(fmt.Errorf("compact wal: %w", ErrClosed))
+	}
+	keep := make([]*segment, 0, len(w.segs)-len(sealed)+1)
+	keep = append(keep, out)
+	for _, s := range w.segs {
+		if !sealedSet[s] {
+			keep = append(keep, s)
+		}
+	}
+	names := make([]string, len(keep))
+	for i, s := range keep {
+		names[i] = s.name
+	}
+	if err := writeManifest(w.dir, names); err != nil {
+		w.mu.Unlock()
+		w.flushMu.Unlock()
+		return abort(err)
+	}
+	w.segs = keep
+	for k, oldRef := range snap {
+		if cur, ok := w.index[k]; ok && cur.seg == oldRef.seg && cur.off == oldRef.off {
+			w.index[k] = newRefs[k]
+		}
+	}
+	var total, live int64
+	for _, s := range w.segs {
+		total += s.size
+	}
+	for _, ref := range w.index {
+		live += ref.recLen
+	}
+	w.total, w.garbage = total, total-live
+	for _, s := range sealed {
+		w.retired = append(w.retired, s)
+		os.Remove(filepath.Join(w.dir, s.name))
+	}
+	w.mu.Unlock()
+	w.flushMu.Unlock()
+	// Make the unlinks durable; the swept-at-open path covers a crash
+	// before this lands.
+	return syncPath(w.dir)
+}

@@ -22,6 +22,18 @@ func SaveObject(store Store, obj *core.Object) error {
 	return nil
 }
 
+// EncodeObject snapshots an object and returns the slot name and encoded
+// image that SaveObject would write, without touching a store. Callers
+// assembling a batch for Backend.PutAll use this to pay one durability
+// barrier for a whole checkpoint instead of one per object.
+func EncodeObject(obj *core.Object) (slot string, data []byte, err error) {
+	img, err := obj.Snapshot()
+	if err != nil {
+		return "", nil, fmt.Errorf("persist %s: %w", obj.ID(), err)
+	}
+	return img.ID.String(), wire.EncodeImage(img), nil
+}
+
 // LoadObject bootstraps one object from its slot.
 func LoadObject(store Store, slot string, reg *core.BehaviorRegistry,
 	opts ...core.MaterializeOption) (*core.Object, error) {

@@ -40,7 +40,12 @@ func testStores(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Store{"mem": NewMemStore(), "file": fs}
+	ws, err := NewWALStore(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ws.Close() })
+	return map[string]Store{"mem": NewMemStore(), "file": fs, "wal": ws}
 }
 
 func TestStoreBasics(t *testing.T) {

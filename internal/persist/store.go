@@ -31,10 +31,14 @@ var (
 	ErrNoSlot = errors.New("no such slot")
 	// ErrCorrupt reports a slot whose checksum does not match its content.
 	ErrCorrupt = errors.New("slot content corrupt")
+	// ErrClosed reports an operation against a closed backend.
+	ErrClosed = errors.New("store closed")
 )
 
-// Store is the host-allocated space objects persist themselves into.
-// Implementations must be safe for concurrent use.
+// Store is the host-allocated space objects persist themselves into — the
+// object-facing subset of the contract: an object writing itself to disk
+// needs nothing beyond named slots of bytes. Implementations must be safe
+// for concurrent use.
 type Store interface {
 	// Put writes data into a slot, replacing previous content atomically.
 	Put(slot string, data []byte) error
@@ -46,16 +50,59 @@ type Store interface {
 	List() ([]string, error)
 }
 
+// Backend is the full host-side storage contract: Store plus the batch
+// and lifecycle operations a site needs to checkpoint many objects
+// cheaply. All implementations are exercised by one conformance suite
+// (conformance_test.go) so they stay behaviorally interchangeable — the
+// substrate can evolve (file-per-slot → log-structured) without the
+// object-side persistence scheme noticing.
+type Backend interface {
+	Store
+	// PutAll writes a batch of slots through one durability barrier:
+	// when it returns nil every slot in the batch is durable. Cheaper
+	// than len(batch) Puts wherever the implementation can amortize its
+	// sync cost (the WAL's group commit, FileStore's single dir-fsync).
+	// Batch visibility is per-slot, not transactional: a crash mid-batch
+	// may persist a prefix of the batch.
+	PutAll(batch map[string][]byte) error
+	// Sync is a durability barrier: it returns once every previously
+	// acknowledged write is on stable storage.
+	Sync() error
+	// Close flushes and releases the backend. Operations on a closed
+	// backend may fail with ErrClosed. Close is idempotent.
+	Close() error
+}
+
 // MemStore is an in-memory Store for tests and ephemeral sites.
 type MemStore struct {
 	mu sync.RWMutex
 	m  map[string][]byte
 }
 
-var _ Store = (*MemStore)(nil)
+var _ Backend = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// PutAll implements Backend under one lock acquisition.
+func (s *MemStore) PutAll(batch map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for slot, data := range batch {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.m[slot] = cp
+	}
+	return nil
+}
+
+// Sync implements Backend; memory has no stable storage to reach.
+func (s *MemStore) Sync() error { return nil }
+
+// Close implements Backend. The store stays usable — an in-memory store
+// has nothing to release, and chaos-restart tests reuse it as the
+// "disk" that survives a simulated crash.
+func (s *MemStore) Close() error { return nil }
 
 // Put implements Store.
 func (s *MemStore) Put(slot string, data []byte) error {
@@ -107,14 +154,26 @@ type FileStore struct {
 	mu  sync.Mutex
 }
 
-var _ Store = (*FileStore)(nil)
+var _ Backend = (*FileStore)(nil)
 
 const slotSuffix = ".slot"
 
 // NewFileStore creates (if needed) and opens a directory-backed store.
+// Orphaned put-* temp files — left by a crash between CreateTemp and
+// rename, or by a Put whose error path could not unlink — are swept here:
+// they are invisible to Get/List but would otherwise accumulate forever.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("open store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "put-") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
 	}
 	return &FileStore{dir: dir}, nil
 }
@@ -132,6 +191,22 @@ func (s *FileStore) slotFile(slot string) string {
 func (s *FileStore) Put(slot string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.putLocked(slot, data); err != nil {
+		return err
+	}
+	// The rename is atomic against a process crash, but the directory
+	// entry itself is not durable until the directory is fsynced — without
+	// this a power loss can forget the replace entirely.
+	if err := s.syncDir(); err != nil {
+		return fmt.Errorf("put %q: %w", slot, err)
+	}
+	return nil
+}
+
+// putLocked writes one slot up to (not including) the directory fsync.
+// Every failure path unlinks the temp file, so a failed Put never strands
+// a put-* orphan (a crash still can; NewFileStore sweeps those).
+func (s *FileStore) putLocked(slot string, data []byte) error {
 	framed := make([]byte, 12+len(data))
 	binary.BigEndian.PutUint32(framed[0:4], crc32.ChecksumIEEE(data))
 	binary.BigEndian.PutUint64(framed[4:12], uint64(len(data)))
@@ -160,14 +235,40 @@ func (s *FileStore) Put(slot string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("put %q: %w", slot, err)
 	}
-	// The rename is atomic against a process crash, but the directory
-	// entry itself is not durable until the directory is fsynced — without
-	// this a power loss can forget the replace entirely.
+	return nil
+}
+
+// PutAll implements Backend: each slot is written atomically as in Put,
+// but the whole batch shares one directory fsync — at bootstrap-checkpoint
+// scale that halves the sync count per slot.
+func (s *FileStore) PutAll(batch map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for slot, data := range batch {
+		if err := s.putLocked(slot, data); err != nil {
+			return err
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
 	if err := s.syncDir(); err != nil {
-		return fmt.Errorf("put %q: %w", slot, err)
+		return fmt.Errorf("put batch: %w", err)
 	}
 	return nil
 }
+
+// Sync implements Backend. Every Put/Delete is already durable when it
+// returns, so only the directory entry state needs (re)flushing.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncDir()
+}
+
+// Close implements Backend. The store holds no open handles between
+// operations, so there is nothing to release; the store stays usable.
+func (s *FileStore) Close() error { return nil }
 
 // syncDir fsyncs the store directory, making renames and removals durable
 // against power loss (not just process crashes).
@@ -180,8 +281,15 @@ func (s *FileStore) syncDir() error {
 	return d.Sync()
 }
 
-// Get implements Store, verifying the integrity header.
+// Get implements Store, verifying the integrity header. It takes the
+// store mutex: POSIX rename is atomic, but the store does not assume the
+// backing filesystem is (overlay and network filesystems have weaker
+// guarantees), so reads never observe a Put's rename mid-flight, and a
+// slot returned by List cannot vanish under a Get that follows it while
+// no Delete intervenes.
 func (s *FileStore) Get(slot string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	framed, err := os.ReadFile(s.slotFile(slot))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -222,8 +330,10 @@ func (s *FileStore) Delete(slot string) error {
 	return nil
 }
 
-// List implements Store.
+// List implements Store, under the same mutex as Put/Delete (see Get).
 func (s *FileStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("list store: %w", err)

@@ -1,0 +1,477 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// copyDir clones a WAL directory so a truncation/corruption scenario can
+// be replayed without disturbing the original.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// lastSegment returns the path of the manifest's last (active) segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, ok, err := readManifest(dir)
+	if err != nil || !ok || len(names) == 0 {
+		t.Fatalf("manifest: %v ok=%v names=%v", err, ok, names)
+	}
+	return filepath.Join(dir, names[len(names)-1])
+}
+
+// TestWALTornTailEveryByte is the truncation property test: any prefix
+// truncation inside the final record — a torn write at every byte
+// boundary — must recover every earlier record exactly, surface zero
+// corrupt reads, and leave the store writable.
+func TestWALTornTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential Puts: one batch each, so the on-disk order is the call
+	// order and every offset is the running sum of record lengths.
+	want := make(map[string][]byte)
+	var keys []string
+	var size int64
+	put := func(key string, val []byte) {
+		t.Helper()
+		if err := w.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+		keys = append(keys, key)
+		size += recordLen(len(key), len(val))
+	}
+	for i := 0; i < 12; i++ {
+		put(fmt.Sprintf("slot-%02d", i), bytes.Repeat([]byte{byte(i)}, 5+7*i))
+	}
+	// The final record overwrites an earlier slot, so a torn tail must
+	// resurface the OLD value — not lose the slot, not serve the new one.
+	oldVal := append([]byte(nil), want["slot-05"]...)
+	lastKey, lastVal := "slot-05", []byte("the final, possibly torn, overwrite")
+	put(lastKey, lastVal)
+	lastLen := recordLen(len(lastKey), len(lastVal))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	if info, err := os.Stat(seg); err != nil || info.Size() != size {
+		t.Fatalf("segment size = %v (%v), computed %d — offset math is off", info.Size(), err, size)
+	}
+
+	lastStart := size - lastLen
+	for cut := lastStart; cut <= size; cut++ {
+		cutDir := copyDir(t, dir)
+		if err := os.Truncate(lastSegment(t, cutDir), cut); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenWALStore(cutDir, WALOptions{})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		tornLast := cut < size
+		for _, k := range keys[:len(keys)-1] {
+			wantVal := want[k]
+			if k == lastKey && tornLast {
+				wantVal = oldVal
+			}
+			got, err := re.Get(k)
+			if err != nil {
+				t.Fatalf("cut=%d: Get(%q): %v", cut, k, err)
+			}
+			if !bytes.Equal(got, wantVal) {
+				t.Fatalf("cut=%d: Get(%q) = %d bytes, want %d", cut, k, len(got), len(wantVal))
+			}
+		}
+		if !tornLast {
+			if got, err := re.Get(lastKey); err != nil || !bytes.Equal(got, lastVal) {
+				t.Fatalf("cut=%d (whole): Get(%q) = %v, %v", cut, lastKey, got, err)
+			}
+		}
+		// The truncated store accepts appends again.
+		if err := re.Put("post-recovery", []byte("ok")); err != nil {
+			t.Fatalf("cut=%d: post-recovery put: %v", cut, err)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestWALCorruptSealedSegmentFailsOpen: a checksum flip in a sealed
+// (non-final) segment is real corruption, not a torn tail — recovery must
+// refuse rather than silently truncate fsynced history.
+func TestWALCorruptSealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWALStore(dir, WALOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := w.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte(i)}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Stats().Segments < 3 {
+		t.Fatalf("want ≥3 segments, got %d", w.Stats().Segments)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(dir, names[0])
+	raw, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(first, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWALStore(dir, WALOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt sealed segment: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWALGroupCommitConcurrency: many writers on distinct keys, all
+// acknowledged writes durable across reopen, no lost or torn records.
+func TestWALGroupCommitConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWALStore(dir, WALOptions{SegmentBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, ops = 8, 50
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("w%d-op%02d", wr, i)
+				if err := w.Put(key, []byte(key)); err != nil {
+					t.Errorf("Put(%q): %v", key, err)
+					return
+				}
+			}
+		}(wr)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	slots, err := re.List()
+	if err != nil || len(slots) != writers*ops {
+		t.Fatalf("recovered %d slots (%v), want %d", len(slots), err, writers*ops)
+	}
+	for _, k := range slots {
+		if got, err := re.Get(k); err != nil || string(got) != k {
+			t.Fatalf("Get(%q) = %q, %v", k, got, err)
+		}
+	}
+}
+
+// TestWALCompaction: overwrite churn grows garbage; Compact shrinks the
+// log to ~live size, preserves every visible value (including across
+// reopen), and retires the input segments from the directory.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWALStore(dir, WALOptions{SegmentBytes: 4 << 10, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0xAB}, 256)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 8; i++ {
+			if err := w.Put(fmt.Sprintf("hot-%d", i), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Put("cold", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Delete("hot-7"); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Stats()
+	if before.GarbageBytes == 0 || before.Segments < 2 {
+		t.Fatalf("churn produced no garbage to compact: %+v", before)
+	}
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := w.Stats()
+	if after.TotalBytes >= before.TotalBytes || after.GarbageBytes >= before.GarbageBytes {
+		t.Errorf("compaction did not shrink the log: before %+v after %+v", before, after)
+	}
+	check := func(s Backend, label string) {
+		t.Helper()
+		for i := 0; i < 7; i++ {
+			if got, err := s.Get(fmt.Sprintf("hot-%d", i)); err != nil || !bytes.Equal(got, val) {
+				t.Fatalf("%s: Get(hot-%d): %v", label, i, err)
+			}
+		}
+		if _, err := s.Get("hot-7"); !errors.Is(err, ErrNoSlot) {
+			t.Fatalf("%s: deleted slot resurrected: %v", label, err)
+		}
+		if got, err := s.Get("cold"); err != nil || string(got) != "survives" {
+			t.Fatalf("%s: Get(cold) = %q, %v", label, got, err)
+		}
+	}
+	check(w, "compacted")
+	// Writes after compaction land in the surviving active segment.
+	if err := w.Put("post", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Retired segment files are really gone from the directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segsOnDisk := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), segPrefix) {
+			segsOnDisk++
+		}
+	}
+	if segsOnDisk != after.Segments+1 { // +1: the roll for "post" — no: post rode the active; recount below
+		// Count from the manifest instead of guessing roll behavior.
+		names, _, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segsOnDisk != len(names) {
+			t.Errorf("%d segment files on disk, manifest names %d", segsOnDisk, len(names))
+		}
+	}
+	re, err := NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	check(re, "reopened")
+	if got, err := re.Get("post"); err != nil || string(got) != "x" {
+		t.Fatalf("post-compaction write lost: %v, %v", got, err)
+	}
+}
+
+// TestWALAutoCompactTrigger: with a tiny floor, overwrite churn trips the
+// background trigger and the log converges to ~live size on its own.
+func TestWALAutoCompactTrigger(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWALStore(dir, WALOptions{
+		SegmentBytes: 2 << 10, MinCompactBytes: 8 << 10, GarbageRatio: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	val := bytes.Repeat([]byte{1}, 128)
+	for i := 0; i < 400; i++ {
+		if err := w.Put(fmt.Sprintf("k%d", i%4), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := w.Stats()
+		if st.CompactErr != nil {
+			t.Fatal(st.CompactErr)
+		}
+		if !st.Compacting && st.TotalBytes < 8<<10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto compaction never converged: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		if got, err := w.Get(fmt.Sprintf("k%d", i)); err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("Get(k%d) after auto compaction: %v", i, err)
+		}
+	}
+}
+
+// TestWALCompactionUnderConcurrentWrites: a writer churns while Compact
+// runs; the swap must not resurrect overwritten values or drop fresh
+// ones.
+func TestWALCompactionUnderConcurrentWrites(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWALStore(dir, WALOptions{SegmentBytes: 2 << 10, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 64; i++ {
+		if err := w.Put(fmt.Sprintf("k%d", i%8), bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var lastGen [8]int
+	go func() {
+		defer wg.Done()
+		gen := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gen++
+			k := gen % 8
+			if err := w.Put(fmt.Sprintf("k%d", k), []byte(fmt.Sprintf("gen-%d", gen))); err != nil {
+				t.Errorf("churn put: %v", err)
+				return
+			}
+			lastGen[k] = gen
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := w.Compact(); err != nil {
+			t.Fatalf("compact %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for k := 0; k < 8; k++ {
+		got, err := w.Get(fmt.Sprintf("k%d", k))
+		if err != nil {
+			t.Fatalf("Get(k%d): %v", k, err)
+		}
+		if lastGen[k] > 0 && string(got) != fmt.Sprintf("gen-%d", lastGen[k]) {
+			t.Errorf("k%d = %q, want gen-%d", k, got, lastGen[k])
+		}
+	}
+}
+
+// TestWALSweepsCrashedCompaction: segment files the manifest does not
+// name (a crashed compaction's half-written output) and stray manifest
+// temp files are removed at open and never shadow live data.
+func TestWALSweepsCrashedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("real", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, segName(99))
+	if err := os.WriteFile(stray, []byte("half-written compaction output"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "manifest-123.tmp")
+	if err := os.WriteFile(tmp, []byte("torn manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, err := re.Get("real"); err != nil || string(got) != "data" {
+		t.Fatalf("Get(real) = %q, %v", got, err)
+	}
+	for _, p := range []string{stray, tmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stray %s survived open: %v", p, err)
+		}
+	}
+}
+
+// TestWALClosedOps: a closed store refuses mutations with ErrClosed.
+func TestWALClosedOps(t *testing.T) {
+	w, err := NewWALStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("b", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Sync after Close: %v", err)
+	}
+	if err := w.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close: %v", err)
+	}
+}
+
+// TestFileStoreSweepsOrphanTemps: put-* temp files left by a crash are
+// swept by NewFileStore and never listed as slots.
+func TestFileStoreSweepsOrphanTemps(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "put-1234567")
+	if err := os.WriteFile(orphan, []byte("crashed mid-put"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan temp survived NewFileStore: %v", err)
+	}
+	if got, err := re.Get("a"); err != nil || string(got) != "x" {
+		t.Errorf("Get(a) = %q, %v", got, err)
+	}
+	if slots, err := re.List(); err != nil || len(slots) != 1 {
+		t.Errorf("List = %v, %v", slots, err)
+	}
+}
